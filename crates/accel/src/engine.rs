@@ -1,0 +1,179 @@
+//! PE timing engine.
+//!
+//! [`run_pe`] is the analytic model used by the simulator; [`cycle_exact_pe`]
+//! is a literal cycle-stepped simulation of the same microarchitecture, kept
+//! as the ground truth the analytic model is tested against (DESIGN.md §4,
+//! "two simulator fidelities").
+//!
+//! Microarchitecture (paper §V): each PE processes one kernel at a time. Its
+//! weight/index buffers are first filled (one word per cycle). The lanes then
+//! take consecutive convolution windows; every cycle the controller
+//! broadcasts one weight (and one input index) to all lanes. A lane whose
+//! window has terminated (PAU) is data-gated but the broadcast continues
+//! until every lane of the group is done — the idle-lane phenomenon the
+//! paper's Figure 12 studies. When all lanes finish, the next group of
+//! windows starts.
+
+/// Timing result of one PE's share of one layer (one image).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeRun {
+    /// Cycles spent broadcasting weights (compute).
+    pub busy_cycles: u64,
+    /// Cycles spent filling the weight/index buffers per kernel.
+    pub load_cycles: u64,
+    /// Lane-cycles wasted by data-gated (terminated) lanes waiting for the
+    /// stragglers of their group.
+    pub idle_lane_cycles: u64,
+    /// MACs actually executed.
+    pub macs: u64,
+}
+
+impl PeRun {
+    /// Total cycles (load + busy).
+    pub fn cycles(&self) -> u64 {
+        self.busy_cycles + self.load_cycles
+    }
+
+    /// Accumulates another run.
+    pub fn merge(&mut self, other: &PeRun) {
+        self.busy_cycles += other.busy_cycles;
+        self.load_cycles += other.load_cycles;
+        self.idle_lane_cycles += other.idle_lane_cycles;
+        self.macs += other.macs;
+    }
+}
+
+/// Analytic PE timing: `kernel_window_ops[k]` holds the op counts of the
+/// windows assigned to this PE for kernel `k`; the weight buffer is refilled
+/// (`window_len` cycles) per kernel.
+pub fn run_pe(kernel_window_ops: &[&[u32]], lanes: usize, window_len: usize) -> PeRun {
+    assert!(lanes >= 1, "at least one lane");
+    let mut run = PeRun::default();
+    for ops in kernel_window_ops {
+        if ops.is_empty() {
+            continue;
+        }
+        run.load_cycles += window_len as u64;
+        for group in ops.chunks(lanes) {
+            let max = u64::from(*group.iter().max().expect("non-empty group"));
+            run.busy_cycles += max;
+            for &o in group {
+                run.macs += u64::from(o);
+                run.idle_lane_cycles += max - u64::from(o);
+            }
+            // Lanes beyond the group remainder are idle for the whole group.
+            run.idle_lane_cycles += max * (lanes - group.len()) as u64;
+        }
+    }
+    run
+}
+
+/// Cycle-stepped reference implementation of the same PE.
+pub fn cycle_exact_pe(kernel_window_ops: &[&[u32]], lanes: usize, window_len: usize) -> PeRun {
+    assert!(lanes >= 1, "at least one lane");
+    let mut run = PeRun::default();
+    for ops in kernel_window_ops {
+        if ops.is_empty() {
+            continue;
+        }
+        // Fill weight + index buffers, one word per cycle.
+        for _ in 0..window_len {
+            run.load_cycles += 1;
+        }
+        for group in ops.chunks(lanes) {
+            // remaining[i] = MACs left for lane i's window.
+            let mut remaining: Vec<u32> = group.to_vec();
+            loop {
+                if remaining.iter().all(|&r| r == 0) {
+                    break;
+                }
+                // One broadcast cycle: every lane holding work consumes one
+                // MAC; done lanes are data-gated (idle).
+                run.busy_cycles += 1;
+                let mut active = 0usize;
+                for r in remaining.iter_mut() {
+                    if *r > 0 {
+                        *r -= 1;
+                        active += 1;
+                        run.macs += 1;
+                    }
+                }
+                run.idle_lane_cycles += (lanes - active) as u64;
+            }
+        }
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_equals_cycle_exact() {
+        let cases: Vec<(Vec<Vec<u32>>, usize, usize)> = vec![
+            (vec![vec![3, 1, 4, 1, 5]], 4, 9),
+            (vec![vec![0, 0, 0, 0]], 4, 5),
+            (vec![vec![7]], 1, 7),
+            (vec![vec![2, 9, 2], vec![1, 1, 1, 1, 1, 1]], 2, 9),
+            (vec![vec![5; 13]], 8, 5),
+            (vec![], 4, 3),
+        ];
+        for (ops, lanes, wl) in cases {
+            let slices: Vec<&[u32]> = ops.iter().map(Vec::as_slice).collect();
+            let a = run_pe(&slices, lanes, wl);
+            let c = cycle_exact_pe(&slices, lanes, wl);
+            assert_eq!(a, c, "ops={ops:?} lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn straggler_dominates_group() {
+        let ops = [[1u32, 1, 1, 10]];
+        let slices: Vec<&[u32]> = ops.iter().map(|o| o.as_slice()).collect();
+        let r = run_pe(&slices, 4, 10);
+        assert_eq!(r.busy_cycles, 10);
+        assert_eq!(r.macs, 13);
+        assert_eq!(r.idle_lane_cycles, 27);
+    }
+
+    #[test]
+    fn dense_ops_have_no_idle_lanes_in_full_groups() {
+        let ops = [[6u32; 8]];
+        let slices: Vec<&[u32]> = ops.iter().map(|o| o.as_slice()).collect();
+        let r = run_pe(&slices, 4, 6);
+        assert_eq!(r.busy_cycles, 12);
+        assert_eq!(r.idle_lane_cycles, 0);
+        assert_eq!(r.macs, 48);
+        assert_eq!(r.load_cycles, 6);
+    }
+
+    #[test]
+    fn more_lanes_is_never_faster_for_fixed_pe() {
+        // With a fixed set of windows on ONE PE, more lanes reduce busy
+        // cycles but the reduction saturates as stragglers dominate.
+        let ops: Vec<u32> = (1..=16).collect();
+        let wrapped = [ops.clone()];
+        let slices: Vec<&[u32]> = wrapped.iter().map(Vec::as_slice).collect();
+        let mut prev = u64::MAX;
+        for lanes in [1usize, 2, 4, 8, 16] {
+            let r = run_pe(&slices, lanes, 16);
+            assert!(r.busy_cycles <= prev);
+            prev = r.busy_cycles;
+        }
+        // But per-lane efficiency degrades: idle cycles grow with lanes.
+        let narrow = run_pe(&slices, 2, 16).idle_lane_cycles;
+        let wide = run_pe(&slices, 16, 16).idle_lane_cycles;
+        assert!(wide > narrow);
+    }
+
+    #[test]
+    fn partial_group_remainder_counts_idle() {
+        // 5 windows on 4 lanes: second group has 3 idle lanes.
+        let ops = [[2u32, 2, 2, 2, 2]];
+        let slices: Vec<&[u32]> = ops.iter().map(|o| o.as_slice()).collect();
+        let r = run_pe(&slices, 4, 2);
+        assert_eq!(r.busy_cycles, 4);
+        assert_eq!(r.idle_lane_cycles, 2 * 3);
+    }
+}

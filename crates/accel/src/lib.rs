@@ -1,0 +1,44 @@
+//! Cycle-level simulator of the SnaPEA accelerator (paper §V–VI) and the
+//! EYERISS-style dense baseline it is evaluated against.
+//!
+//! The simulated machine is the paper's Table II configuration: an 8×8 array
+//! of Processing Engines, four compute lanes per PE (256 MAC units total),
+//! per-PE weight/index buffers (0.5 KB each) and a 20 KB input/output buffer,
+//! 500 MHz. The baseline is configured as 256 single-lane PEs with the same
+//! peak throughput and the same 1.25 MB of on-chip storage, as in the paper.
+//!
+//! Both machines run through the *same* engine ([`engine`]): the baseline is
+//! simply the degenerate configuration with one lane per PE, no index buffer,
+//! and dense (full-window) op counts. What makes SnaPEA SnaPEA is the
+//! per-window early-termination op counts produced by the `snapea` crate's
+//! executor, plus the index-buffer traffic its reordering requires.
+//!
+//! Timing model (validated against a literal cycle-stepped PE in tests):
+//!
+//! * lanes of a PE process consecutive windows of one kernel in lockstep
+//!   behind a single broadcast weight stream → a lane group costs
+//!   `max(ops)` cycles and early-terminated lanes sit data-gated (idle);
+//! * each kernel's weights+indices must be filled into the PE's buffers
+//!   (`window_len` cycles) before its windows run;
+//! * PEs proceed independently and synchronise at input-portion boundaries →
+//!   a layer costs `max` over PEs per image (the paper's horizontal-group
+//!   synchronisation);
+//! * energy follows Table III event costs: MACs, register accesses, weight /
+//!   index fetches, input/output buffer traffic and DRAM (including
+//!   activation spills when a layer's footprint exceeds on-chip capacity).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod config;
+pub mod energy;
+pub mod engine;
+pub mod sim;
+pub mod trace;
+pub mod workload;
+
+pub use config::AccelConfig;
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use sim::{simulate, LayerReport, SimReport};
+pub use workload::{LayerWorkload, NetworkWorkload};

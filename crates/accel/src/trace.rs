@@ -1,0 +1,191 @@
+//! Per-component event log (the paper §VI-A: "the simulator … generates an
+//! event log for each hardware component").
+//!
+//! A [`LayerTrace`] records every dispatched work unit of a layer —
+//! which PE it ran on, when it started in that PE's local timeline, how many
+//! cycles it filled buffers / broadcast weights / idled lanes — driven by the
+//! *same* mapping iteration as the simulator ([`crate::sim::map_layer`]), so
+//! trace totals and report totals cannot diverge (asserted by tests).
+
+use crate::config::AccelConfig;
+use crate::sim::{map_layer, UnitDispatch};
+use crate::workload::{LayerWorkload, NetworkWorkload};
+use serde::{Deserialize, Serialize};
+
+/// Per-PE activity summary within one layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeActivity {
+    /// Units dispatched to this PE.
+    pub units: usize,
+    /// Buffer-fill cycles.
+    pub fill_cycles: u64,
+    /// Weight-broadcast (compute) cycles.
+    pub busy_cycles: u64,
+    /// MACs executed.
+    pub macs: u64,
+    /// Data-gated lane-cycles.
+    pub idle_lane_cycles: u64,
+}
+
+impl PeActivity {
+    /// This PE's local finish time.
+    pub fn finish_cycle(&self) -> u64 {
+        self.fill_cycles + self.busy_cycles
+    }
+}
+
+/// The event log of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerTrace {
+    /// Layer name.
+    pub name: String,
+    /// Every dispatched unit, in dispatch order.
+    pub units: Vec<UnitDispatch>,
+    /// Per-PE summaries.
+    pub per_pe: Vec<PeActivity>,
+    /// Layer cycles (max PE finish time — the synchronisation barrier).
+    pub cycles: u64,
+}
+
+impl LayerTrace {
+    /// Cycles each PE waits at the end-of-layer barrier.
+    pub fn barrier_wait(&self, pe: usize) -> u64 {
+        self.cycles - self.per_pe[pe].finish_cycle()
+    }
+
+    /// Load imbalance: mean barrier wait over all PEs, as a fraction of the
+    /// layer's cycles.
+    pub fn imbalance(&self) -> f64 {
+        if self.cycles == 0 || self.per_pe.is_empty() {
+            return 0.0;
+        }
+        let waits: u64 = (0..self.per_pe.len()).map(|pe| self.barrier_wait(pe)).sum();
+        waits as f64 / (self.cycles as f64 * self.per_pe.len() as f64)
+    }
+}
+
+/// Traces one layer's execution on `cfg`.
+pub fn trace_layer(cfg: &AccelConfig, layer: &LayerWorkload) -> LayerTrace {
+    let mut units = Vec::new();
+    let mut per_pe = vec![PeActivity::default(); cfg.pe_count()];
+    let (_, cycles) = map_layer(cfg, layer, |u| {
+        let pe = &mut per_pe[u.pe];
+        pe.units += 1;
+        pe.fill_cycles += u.fill_cycles;
+        pe.busy_cycles += u.busy_cycles;
+        pe.macs += u.macs;
+        pe.idle_lane_cycles += u.idle_lane_cycles;
+        units.push(u.clone());
+    });
+    LayerTrace {
+        name: layer.name.clone(),
+        units,
+        per_pe,
+        cycles,
+    }
+}
+
+/// Traces every layer of a network.
+pub fn trace_network(cfg: &AccelConfig, net: &NetworkWorkload) -> Vec<LayerTrace> {
+    net.layers.iter().map(|l| trace_layer(cfg, l)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::EnergyModel;
+    use crate::sim::simulate;
+    use snapea::exec::LayerProfile;
+
+    fn layer(images: usize, kernels: usize, windows: usize, wl: usize) -> LayerWorkload {
+        let ops: Vec<u32> = (0..images * kernels * windows)
+            .map(|i| ((i * 13) % wl) as u32 + 1)
+            .collect();
+        LayerWorkload::new(
+            "t",
+            LayerProfile::from_ops(images, kernels, windows, wl, ops),
+            128,
+        )
+    }
+
+    #[test]
+    fn trace_totals_match_simulator_report() {
+        let wl = layer(2, 8, 64, 36);
+        let net = NetworkWorkload {
+            name: "n".into(),
+            layers: vec![wl.clone()],
+        };
+        let cfg = AccelConfig::snapea();
+        let report = simulate(&cfg, &EnergyModel::default(), &net);
+        let trace = trace_layer(&cfg, &wl);
+        assert_eq!(trace.cycles, report.per_layer[0].cycles);
+        let macs: u64 = trace.per_pe.iter().map(|p| p.macs).sum();
+        assert_eq!(macs, report.per_layer[0].macs);
+        let idle: u64 = trace.per_pe.iter().map(|p| p.idle_lane_cycles).sum();
+        assert_eq!(idle, report.per_layer[0].idle_lane_cycles);
+    }
+
+    #[test]
+    fn units_cover_every_kernel_and_image() {
+        let wl = layer(3, 5, 32, 27);
+        let trace = trace_layer(&AccelConfig::snapea(), &wl);
+        for k in 0..5 {
+            for img in 0..3 {
+                let covered: Vec<_> = trace
+                    .units
+                    .iter()
+                    .filter(|u| u.kernel == k && u.image == img)
+                    .collect();
+                assert!(!covered.is_empty(), "kernel {k} image {img} unmapped");
+                let total: usize = covered
+                    .iter()
+                    .map(|u| u.window_range.1 - u.window_range.0)
+                    .sum();
+                assert_eq!(total, 32, "window coverage for kernel {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn fills_charged_once_per_pe_and_kernel() {
+        let wl = layer(4, 2, 64, 20);
+        let trace = trace_layer(&AccelConfig::snapea(), &wl);
+        // Each (pe, kernel) pair pays at most one fill.
+        use std::collections::HashSet;
+        let mut seen: HashSet<(usize, usize)> = HashSet::new();
+        for u in &trace.units {
+            if u.fill_cycles > 0 {
+                assert!(
+                    seen.insert((u.pe, u.kernel)),
+                    "double fill on pe {} kernel {}",
+                    u.pe,
+                    u.kernel
+                );
+                assert_eq!(u.fill_cycles, 20);
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_and_imbalance_accounting() {
+        let wl = layer(1, 16, 64, 30);
+        let trace = trace_layer(&AccelConfig::snapea(), &wl);
+        assert!(trace.cycles > 0);
+        for pe in 0..trace.per_pe.len() {
+            assert!(trace.per_pe[pe].finish_cycle() <= trace.cycles);
+        }
+        let imb = trace.imbalance();
+        assert!((0.0..1.0).contains(&imb), "imbalance {imb}");
+    }
+
+    #[test]
+    fn start_cycles_are_locally_monotone_per_pe() {
+        let wl = layer(2, 6, 48, 25);
+        let trace = trace_layer(&AccelConfig::snapea(), &wl);
+        let mut last: Vec<u64> = vec![0; AccelConfig::snapea().pe_count()];
+        for u in &trace.units {
+            assert!(u.start_cycle >= last[u.pe], "pe {} went backwards", u.pe);
+            last[u.pe] = u.start_cycle + u.fill_cycles + u.busy_cycles;
+        }
+    }
+}

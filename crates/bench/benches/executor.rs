@@ -1,0 +1,43 @@
+//! Microbenchmarks of the SnaPEA software executor: dense im2col forward vs
+//! exact-mode vs predictive-mode window walking.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snapea::exec::{execute_conv, LayerConfig};
+use snapea::params::KernelParams;
+use snapea_nn::ops::Conv2d;
+use snapea_tensor::{im2col::ConvGeom, init, Shape4};
+
+fn bench_executor(c: &mut Criterion) {
+    let mut rng = init::rng(7);
+    let conv = Conv2d::new(16, 32, ConvGeom::square(3, 1, 1), &mut rng);
+    let input = init::uniform4(Shape4::new(1, 16, 16, 16), 1.0, &mut rng).map(f32::abs);
+
+    let mut g = c.benchmark_group("conv_16x32_3x3_16x16");
+    g.bench_function("dense_im2col", |b| b.iter(|| conv.forward(&input)));
+    let exact = LayerConfig::exact(&conv);
+    g.bench_function("snapea_exact", |b| {
+        b.iter(|| execute_conv(&conv, &input, &exact))
+    });
+    for n in [2usize, 8] {
+        let cfg = LayerConfig::predictive_uniform(&conv, KernelParams::new(0.05, n));
+        g.bench_with_input(BenchmarkId::new("snapea_predictive", n), &cfg, |b, cfg| {
+            b.iter(|| execute_conv(&conv, &input, cfg))
+        });
+    }
+    g.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_executor
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Microbenchmarks of the Algorithm-1 passes: kernel profiling and an
+//! end-to-end small optimization.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use snapea::optimizer::profiling::profile_layer_kernels;
+use snapea::optimizer::{Optimizer, OptimizerConfig};
+use snapea_nn::data::SynthShapes;
+use snapea_nn::ops::Conv2d;
+use snapea_nn::zoo;
+use snapea_tensor::{im2col::ConvGeom, init, Shape4};
+
+fn bench_profiling(c: &mut Criterion) {
+    let mut rng = init::rng(13);
+    let conv = Conv2d::new(16, 16, ConvGeom::square(3, 1, 1), &mut rng);
+    let input = init::uniform4(Shape4::new(4, 16, 16, 16), 1.0, &mut rng).map(f32::abs);
+    c.bench_function("kernel_profiling_16x16_3x3", |b| {
+        b.iter(|| profile_layer_kernels(&conv, &input, &[1, 2, 4, 8], &[0.5, 0.9], 0.2))
+    });
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let net = zoo::mini_alexnet(4);
+    let data = SynthShapes::new(zoo::INPUT_SIZE, 4).generate(8, 3);
+    let cfg = OptimizerConfig {
+        group_candidates: vec![2, 8],
+        threshold_quantiles: vec![0.5],
+        local_configs: 2,
+        ..OptimizerConfig::with_epsilon(0.1)
+    };
+    let mut g = c.benchmark_group("optimizer_mini_alexnet");
+    g.sample_size(10);
+    g.bench_function("algorithm1", |b| {
+        b.iter(|| Optimizer::new(&net, &data, cfg.clone()).run())
+    });
+    g.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_profiling, bench_optimizer
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Microbenchmarks of the offline weight-reordering passes.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snapea::reorder::{magnitude_reorder, predictive_reorder, sign_reorder};
+use snapea_tensor::init;
+use rand::Rng;
+
+fn bench_reorder(c: &mut Criterion) {
+    let mut rng = init::rng(11);
+    for len in [27usize, 288, 1152] {
+        let weights: Vec<f32> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut g = c.benchmark_group(format!("reorder_len{len}"));
+        g.bench_function("sign", |b| b.iter(|| sign_reorder(&weights)));
+        g.bench_with_input(BenchmarkId::new("predictive", 8), &weights, |b, w| {
+            b.iter(|| predictive_reorder(w, 8))
+        });
+        g.bench_with_input(BenchmarkId::new("magnitude", 8), &weights, |b, w| {
+            b.iter(|| magnitude_reorder(w, 8))
+        });
+        g.finish();
+    }
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_reorder
+}
+criterion_main!(benches);

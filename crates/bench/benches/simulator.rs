@@ -1,0 +1,61 @@
+//! Microbenchmarks of the cycle-level simulator: analytic vs cycle-exact PE
+//! engines, and whole-network simulation throughput.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use snapea::exec::LayerProfile;
+use snapea_accel::engine::{cycle_exact_pe, run_pe};
+use snapea_accel::sim::simulate;
+use snapea_accel::workload::{LayerWorkload, NetworkWorkload};
+use snapea_accel::{AccelConfig, EnergyModel};
+
+fn bench_engines(c: &mut Criterion) {
+    let ops: Vec<u32> = (0..256).map(|i| (i * 37 % 288) as u32 + 1).collect();
+    let slices: Vec<&[u32]> = vec![&ops];
+    let mut g = c.benchmark_group("pe_engine_256win_len288");
+    g.bench_function("analytic", |b| b.iter(|| run_pe(&slices, 4, 288)));
+    g.bench_function("cycle_exact", |b| b.iter(|| cycle_exact_pe(&slices, 4, 288)));
+    g.finish();
+}
+
+fn bench_network_sim(c: &mut Criterion) {
+    // A synthetic 8-layer network, 16 kernels x 1024 windows each.
+    let layers: Vec<LayerWorkload> = (0..8)
+        .map(|l| {
+            let wl = 72 + l * 24;
+            let ops: Vec<u32> = (0..16 * 1024)
+                .map(|i| ((i * 31 + l * 7) % wl) as u32 + 1)
+                .collect();
+            let p = LayerProfile::from_ops(1, 16, 1024, wl, ops);
+            LayerWorkload::new(format!("l{l}"), p, 4096).with_spatial(32, 32)
+        })
+        .collect();
+    let net = NetworkWorkload {
+        name: "synthetic".into(),
+        layers,
+    };
+    let model = EnergyModel::default();
+    let mut g = c.benchmark_group("network_sim_8layers");
+    g.bench_function("snapea", |b| {
+        b.iter(|| simulate(&AccelConfig::snapea(), &model, &net))
+    });
+    g.bench_function("eyeriss_dense", |b| {
+        let dense = net.to_dense();
+        b.iter(|| simulate(&AccelConfig::eyeriss(), &model, &dense))
+    });
+    g.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_engines, bench_network_sim
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Scratch diagnostic: per-layer exact-mode savings and cycle breakdown.
+
+use snapea::params::NetworkParams;
+use snapea::spec_net::profile_network;
+use snapea_accel::sim::simulate;
+use snapea_accel::workload::network_workload;
+use snapea_accel::{AccelConfig, EnergyModel};
+use snapea_bench::context::{datasets, trained_workload};
+use snapea_nn::data::{LabeledImage, SynthShapes};
+use snapea_nn::zoo::Workload;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "AlexNet".into());
+    let w = Workload::ALL
+        .into_iter()
+        .find(|w| w.name() == which)
+        .expect("workload name");
+    let data = datasets();
+    let tw = trained_workload(w, &data);
+    let refs: Vec<&LabeledImage> = data.eval.iter().take(8).collect();
+    let batch = SynthShapes::batch_refs(&refs);
+    let profile = profile_network(&tw.net, &NetworkParams::new(), &batch, false);
+    let model = EnergyModel::default();
+    let wl = network_workload(w.name(), &tw.net, &batch, &profile);
+    let sn = simulate(&AccelConfig::snapea(), &model, &wl);
+    let ey = simulate(&AccelConfig::eyeriss(), &model, &wl.to_dense());
+    println!(
+        "{:30} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "layer", "savings%", "sn_cyc", "ey_cyc", "speedup", "idle%", "wlen"
+    );
+    for (((id, name, p), s), e) in profile
+        .layers
+        .iter()
+        .zip(&sn.per_layer)
+        .zip(&ey.per_layer)
+    {
+        let _ = id;
+        let idle = s.idle_lane_cycles as f64
+            / (s.cycles as f64 * AccelConfig::snapea().total_macs() as f64);
+        // Fraction of windows that run the full window length, and the mean
+        // termination point of early-terminated windows.
+        let mut full = 0u64;
+        let mut early_ops = 0u64;
+        let mut early_n = 0u64;
+        for img in 0..p.images() {
+            for k in 0..p.kernels() {
+                for &o in p.kernel_ops(img, k) {
+                    if o as usize >= p.window_len() {
+                        full += 1;
+                    } else {
+                        early_ops += o as u64;
+                        early_n += 1;
+                    }
+                }
+            }
+        }
+        let total_w = (full + early_n).max(1);
+        println!(
+            "{:30} {:>8.1} {:>8} {:>8} {:>8.2} {:>8.1} {:>8} full%{:>5.1} term@{:>5.2}",
+            name,
+            p.savings() * 100.0,
+            s.cycles,
+            e.cycles,
+            e.cycles as f64 / s.cycles.max(1) as f64,
+            idle * 100.0,
+            p.window_len(),
+            full as f64 / total_w as f64 * 100.0,
+            if early_n > 0 { early_ops as f64 / early_n as f64 / p.window_len() as f64 } else { f64::NAN },
+        );
+    }
+    println!(
+        "TOTAL savings {:.1}%  sn {} ey {} speedup {:.2} energy {:.2}",
+        profile.savings() * 100.0,
+        sn.cycles,
+        ey.cycles,
+        sn.speedup_over(&ey),
+        sn.energy_reduction_over(&ey)
+    );
+}

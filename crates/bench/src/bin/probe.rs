@@ -1,0 +1,37 @@
+//! Scratch probe for training hyper-parameter debugging (not part of the
+//! documented surface; see `repro` for the real harness).
+
+use snapea_nn::data::SynthShapes;
+use snapea_nn::train::{evaluate, TrainConfig, Trainer};
+use snapea_nn::zoo::{Workload, INPUT_SIZE};
+use snapea_tensor::init;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("SqueezeNet");
+    let lr: f32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.04);
+    let epochs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let w = Workload::ALL
+        .into_iter()
+        .find(|w| w.name() == which)
+        .expect("workload name");
+    let gen = SynthShapes::new(INPUT_SIZE, 10);
+    let train = gen.generate(400, 0x7EA1);
+    let eval = gen.generate(200, 0xE7A1);
+    let mut net = w.build(10);
+    let mut trainer = Trainer::new(TrainConfig {
+        lr,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        batch_size: 20,
+    });
+    let mut rng = init::rng(0xF00D);
+    for e in 0..epochs {
+        let s = trainer.epoch(&mut net, &train, &mut rng);
+        println!(
+            "epoch {e:2}  loss {:.4}  train-acc {:.3}",
+            s.loss, s.accuracy
+        );
+    }
+    println!("eval acc: {:.3}", evaluate(&net, &eval, 32));
+}

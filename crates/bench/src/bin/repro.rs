@@ -1,0 +1,121 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p snapea-bench --bin repro            # everything
+//! cargo run --release -p snapea-bench --bin repro -- fig8    # one experiment
+//! ```
+//!
+//! Results are printed and also written as JSON under `repro-results/`.
+//! Trained models and optimizer outputs are cached under `repro-cache/`.
+
+use snapea_bench::context::{all_trained, datasets, optimized_params};
+use snapea_bench::experiments::{
+    self, ExperimentResult,
+};
+use std::io::Write;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = args.iter().map(String::as_str).collect();
+    let all = wanted.is_empty() || wanted.contains(&"all");
+    let want = |id: &str| all || wanted.contains(&id);
+
+    let t0 = Instant::now();
+    eprintln!("[repro] building datasets...");
+    let data = datasets();
+    eprintln!("[repro] training workloads (cached under repro-cache/)...");
+    let trained = all_trained(&data);
+    for tw in &trained {
+        eprintln!(
+            "[repro]   {} ready, eval accuracy {:.1}% ({:.1}s elapsed)",
+            tw.workload.name(),
+            tw.eval_accuracy * 100.0,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
+    let params_at = |tw: &snapea_bench::context::TrainedWorkload, eps: f64| {
+        optimized_params(tw, &data, eps)
+    };
+    // Budget-3% parameters: the feasible sets nest (anything acceptable at
+    // 1% or 2% is acceptable at 3%), so take the cheapest solution the
+    // greedy optimizer found across the nested budgets.
+    let params3 = |tw: &snapea_bench::context::TrainedWorkload| {
+        let refs: Vec<&snapea_nn::data::LabeledImage> = data.opt.iter().take(12).collect();
+        let batch = snapea_nn::data::SynthShapes::batch_refs(&refs);
+        [0.01, 0.02, 0.03]
+            .into_iter()
+            .map(|eps| params_at(tw, eps))
+            .min_by_key(|p| {
+                snapea::spec_net::profile_network(&tw.net, p, &batch, false).total_ops()
+            })
+            .expect("non-empty candidate list")
+    };
+
+    let mut results: Vec<ExperimentResult> = Vec::new();
+    if want("table1") {
+        results.push(experiments::table1(&trained));
+    }
+    if want("table2") {
+        results.push(experiments::table2());
+    }
+    if want("table3") {
+        results.push(experiments::table3());
+    }
+    if want("fig1") {
+        results.push(experiments::fig1(&trained, &data));
+    }
+    if want("fig2") {
+        results.push(experiments::fig2(&trained, &data));
+    }
+    if want("fig8") {
+        results.push(experiments::fig8(&trained, &data));
+    }
+    if want("fig9") {
+        results.push(experiments::fig9(&trained, &data, &params3));
+    }
+    if want("fig10") {
+        results.push(experiments::fig10(&trained, &data, &params3));
+    }
+    if want("table4") {
+        results.push(experiments::table4(&trained, &data, &params3));
+    }
+    if want("table5") {
+        results.push(experiments::table5(&trained, &data, &params3));
+    }
+    if want("fig11") {
+        results.push(experiments::fig11(&trained, &data, &params_at));
+    }
+    if want("fig12") {
+        results.push(experiments::fig12(&trained, &data, &params3));
+    }
+    if want("ablation_selection") {
+        results.push(snapea_bench::ablation::ablation_selection(&trained, &data));
+    }
+    if want("sweep_pes") {
+        results.push(snapea_bench::ablation::sweep_pe_array(&trained, &data));
+    }
+    if want("related_zeroskip") {
+        results.push(snapea_bench::ablation::related_zeroskip(&trained, &data));
+    }
+
+    let _ = std::fs::create_dir_all("repro-results");
+    for r in &results {
+        println!("=== {} ===", r.title);
+        println!("{}", r.text);
+        let path = format!("repro-results/{}.json", r.id);
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = writeln!(
+                f,
+                "{}",
+                serde_json::to_string_pretty(&r.json).expect("json serialises")
+            );
+        }
+    }
+    eprintln!(
+        "[repro] done: {} experiment(s) in {:.1}s",
+        results.len(),
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,15 @@
+//! Experiment harness for the SnaPEA reproduction.
+//!
+//! The [`context`] module trains (and caches) the four mini workloads on
+//! SynthShapes and runs (and caches) the Algorithm-1 optimizer per accuracy
+//! budget; the [`experiments`] module regenerates every table and figure of
+//! the paper's evaluation (see DESIGN.md §3 for the experiment index); the
+//! `repro` binary prints them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod context;
+pub mod experiments;
+pub mod table;

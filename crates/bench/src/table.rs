@@ -1,0 +1,127 @@
+//! Minimal plain-text table rendering for the `repro` binary.
+
+/// A printable table: header row plus data rows.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width disagrees with the header.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(c);
+                for _ in c.len()..*w {
+                    out.push(' ');
+                }
+            }
+            out.push('\n');
+        };
+        line(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a ratio as `1.23x`.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a fraction as `12.3%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Geometric mean of a non-empty slice.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains non-positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of empty slice");
+    assert!(xs.iter().all(|&x| x > 0.0), "geomean needs positive values");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["Net", "Speedup"]);
+        t.row(vec!["AlexNet", "1.30x"]);
+        t.row(vec!["GoogLeNet", "2.08x"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Net"));
+        assert!(lines[2].starts_with("AlexNet"));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(1.2345), "1.23x");
+        assert_eq!(pct(0.6789), "67.9%");
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,22 @@
+//! The `snapea-tool` command-line entry point. See [`snapea_cli`] for the
+//! subcommands.
+
+use snapea_cli::args::Args;
+use snapea_cli::commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        print!("{}", commands::usage());
+        std::process::exit(2);
+    }
+    match Args::parse(argv).map_err(|e| e.to_string()).and_then(|a| {
+        commands::run(&a).map_err(|e| e.to_string())
+    }) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Subcommand implementations. Each returns its output as a `String` so it
+//! can be unit-tested without capturing stdout.
+
+use crate::args::Args;
+use snapea::exec::LayerConfig;
+use snapea::optimizer::{Optimizer, OptimizerConfig};
+use snapea::params::NetworkParams;
+use snapea::reorder::sign_reorder;
+use snapea::spec_net::profile_network;
+use snapea_accel::sim::simulate;
+use snapea_accel::workload::network_workload;
+use snapea_accel::{AccelConfig, EnergyModel};
+use snapea_nn::data::{LabeledImage, SynthShapes};
+use snapea_nn::graph::{Graph, Op};
+use snapea_nn::train::{evaluate, TrainConfig, Trainer};
+use snapea_nn::zoo::{Workload, INPUT_SIZE};
+use snapea_tensor::init;
+use std::error::Error;
+use std::fmt::Write as _;
+use std::fs;
+
+/// Boxed error alias for command results.
+pub type CmdResult = Result<String, Box<dyn Error>>;
+
+fn load_model(path: &str) -> Result<Graph, Box<dyn Error>> {
+    let text = fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&text)?)
+}
+
+fn synth_batch(images: usize, seed: u64) -> (Vec<LabeledImage>, snapea_tensor::Tensor4) {
+    let data = SynthShapes::new(INPUT_SIZE, 10).generate(images, seed);
+    let batch = SynthShapes::batch(&data);
+    (data, batch)
+}
+
+/// `train --workload <name> [--epochs N] [--out file]`
+pub fn train(args: &Args) -> CmdResult {
+    let name = args.opt("workload").unwrap_or("AlexNet");
+    let w = Workload::ALL
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown workload {name:?} (try AlexNet, GoogLeNet, SqueezeNet, VGGNet)"))?;
+    let epochs: usize = args.opt_parse("epochs", 12)?;
+    let train_set = SynthShapes::new(INPUT_SIZE, 10).generate(300, 0x7EA1);
+    let eval_set = SynthShapes::new(INPUT_SIZE, 10).generate(100, 0xE7A1);
+    let mut net = w.build(10);
+    let mut trainer = Trainer::new(TrainConfig {
+        lr: 0.01,
+        ..TrainConfig::default()
+    });
+    let mut rng = init::rng(0xF00D);
+    let mut out = String::new();
+    for e in 0..epochs {
+        let s = trainer.epoch(&mut net, &train_set, &mut rng);
+        writeln!(out, "epoch {e:2}: loss {:.4}, train acc {:.1}%", s.loss, s.accuracy * 100.0)?;
+    }
+    writeln!(out, "eval accuracy: {:.1}%", evaluate(&net, &eval_set, 32) * 100.0)?;
+    if let Some(path) = args.opt("out") {
+        fs::write(path, serde_json::to_string(&net)?)?;
+        writeln!(out, "model written to {path}")?;
+    }
+    Ok(out)
+}
+
+/// `inspect <model.json>`
+pub fn inspect(args: &Args) -> CmdResult {
+    let net = load_model(args.required_positional("model.json")?)?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} nodes, {} conv, {} fc, {} parameters ({} bytes)",
+        net.len(),
+        net.conv_ids().len(),
+        net.linear_ids().len(),
+        net.param_count(),
+        net.model_size_bytes()
+    )?;
+    writeln!(out, "{:<28} {:>8} {:>10} {:>12} {:>8}", "layer", "kind", "kernels", "window_len", "ReLU?")?;
+    for (id, node) in net.nodes().iter().enumerate() {
+        match &node.op {
+            Op::Conv(c) => writeln!(
+                out,
+                "{:<28} {:>8} {:>10} {:>12} {:>8}",
+                node.name,
+                "conv",
+                c.c_out(),
+                c.window_len(),
+                if net.feeds_only_relu(id) { "yes" } else { "no" }
+            )?,
+            Op::Linear(l) => writeln!(
+                out,
+                "{:<28} {:>8} {:>10} {:>12} {:>8}",
+                node.name,
+                "fc",
+                l.c_out(),
+                l.c_in(),
+                if net.feeds_only_relu(id) { "yes" } else { "no" }
+            )?,
+            other => writeln!(
+                out,
+                "{:<28} {:>8} {:>10} {:>12} {:>8}",
+                node.name,
+                other.kind(),
+                "-",
+                "-",
+                "-"
+            )?,
+        }
+    }
+    Ok(out)
+}
+
+/// `reorder <model.json> --layer <name> [--kernel K]`
+pub fn reorder(args: &Args) -> CmdResult {
+    let net = load_model(args.required_positional("model.json")?)?;
+    let layer = args.opt("layer").ok_or("missing --layer <name>")?;
+    let kernel: usize = args.opt_parse("kernel", 0)?;
+    let id = net
+        .nodes()
+        .iter()
+        .position(|n| n.name == layer)
+        .ok_or_else(|| format!("no layer named {layer:?}"))?;
+    let Op::Conv(conv) = &net.node(id).op else {
+        return Err(format!("layer {layer:?} is not a convolution").into());
+    };
+    if kernel >= conv.c_out() {
+        return Err(format!("kernel {kernel} out of range ({} kernels)", conv.c_out()).into());
+    }
+    let weights = conv.weight().item(kernel);
+    let r = sign_reorder(weights);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "layer {layer}, kernel {kernel}: {} weights, negative region starts at {}",
+        r.len(),
+        r.neg_start()
+    )?;
+    writeln!(out, "first 16 entries of the weight buffer (value) / index buffer (original idx):")?;
+    for (p, (&w, &i)) in r.weights().iter().zip(r.order()).take(16).enumerate() {
+        writeln!(out, "  [{p:3}] w = {w:+.4}   idx = {i}")?;
+    }
+    Ok(out)
+}
+
+/// `optimize <model.json> --epsilon 0.03 [--images N] [--out file]`
+pub fn optimize(args: &Args) -> CmdResult {
+    let net = load_model(args.required_positional("model.json")?)?;
+    let epsilon: f64 = args.opt_parse("epsilon", 0.03)?;
+    let images: usize = args.opt_parse("images", 40)?;
+    let (data, _) = synth_batch(images, 0x0071);
+    let cfg = OptimizerConfig::with_epsilon(epsilon);
+    let outcome = Optimizer::new(&net, &data, cfg).run();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "accuracy {:.1}% -> {:.1}% (budget {:.1}%), conv MACs {} -> {} (dense {})",
+        outcome.baseline_accuracy * 100.0,
+        outcome.final_accuracy * 100.0,
+        epsilon * 100.0,
+        outcome.exact_ops,
+        outcome.final_ops,
+        outcome.full_macs
+    )?;
+    writeln!(
+        out,
+        "{}/{} layers predictive",
+        outcome.per_layer.iter().filter(|l| l.predictive).count(),
+        outcome.per_layer.len()
+    )?;
+    if let Some(path) = args.opt("out") {
+        fs::write(path, serde_json::to_string(&outcome.params)?)?;
+        writeln!(out, "parameters written to {path}")?;
+    }
+    Ok(out)
+}
+
+/// `simulate <model.json> [--params params.json] [--images N]`
+pub fn simulate_cmd(args: &Args) -> CmdResult {
+    let net = load_model(args.required_positional("model.json")?)?;
+    let images: usize = args.opt_parse("images", 4)?;
+    let params: NetworkParams = match args.opt("params") {
+        Some(p) => serde_json::from_str(&fs::read_to_string(p)?)?,
+        None => NetworkParams::new(),
+    };
+    let (_, batch) = synth_batch(images, 0xE7A1);
+    let profile = profile_network(&net, &params, &batch, false);
+    let model = EnergyModel::default();
+    let wl = network_workload("model", &net, &batch, &profile);
+    let sn = simulate(&AccelConfig::snapea(), &model, &wl);
+    let ey = simulate(&AccelConfig::eyeriss(), &model, &wl.to_dense());
+    let mut out = String::new();
+    writeln!(out, "conv MACs eliminated: {:.1}%", profile.savings() * 100.0)?;
+    writeln!(
+        out,
+        "SnaPEA : {:>12} cycles  {:>10.3} uJ  util {:>5.1}%",
+        sn.cycles,
+        sn.total_pj() / 1e6,
+        sn.utilization() * 100.0
+    )?;
+    writeln!(
+        out,
+        "EYERISS: {:>12} cycles  {:>10.3} uJ  util {:>5.1}%",
+        ey.cycles,
+        ey.total_pj() / 1e6,
+        ey.utilization() * 100.0
+    )?;
+    writeln!(
+        out,
+        "speedup {:.2}x, energy reduction {:.2}x",
+        sn.speedup_over(&ey),
+        sn.energy_reduction_over(&ey)
+    )?;
+    Ok(out)
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "snapea-tool <command> [args]\n\
+     commands:\n\
+       train     --workload <name> [--epochs N] [--out model.json]\n\
+       inspect   <model.json>\n\
+       reorder   <model.json> --layer <name> [--kernel K]\n\
+       optimize  <model.json> [--epsilon 0.03] [--images N] [--out params.json]\n\
+       simulate  <model.json> [--params params.json] [--images N]\n"
+        .to_string()
+}
+
+/// Dispatches a parsed command line.
+pub fn run(args: &Args) -> CmdResult {
+    match args.command.as_str() {
+        "train" => train(args),
+        "inspect" => inspect(args),
+        "reorder" => reorder(args),
+        "optimize" => optimize(args),
+        "simulate" => simulate_cmd(args),
+        "help" | "--help" => Ok(usage()),
+        other => Err(format!("unknown command {other:?}\n{}", usage()).into()),
+    }
+}
+
+/// Executes an exact-mode sanity pass over a model (used by tests).
+pub fn exact_sanity(net: &Graph, images: usize) -> bool {
+    let (_, batch) = synth_batch(images, 1);
+    let acts = net.forward(&batch);
+    net.conv_ids().iter().all(|&id| {
+        let Op::Conv(conv) = &net.node(id).op else {
+            return false;
+        };
+        let input = &acts[net.node(id).inputs[0]];
+        let r = snapea::exec::execute_conv(conv, input, &LayerConfig::exact(conv));
+        r.profile.total_ops() <= r.profile.full_macs()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_model() -> (tempdir::TempDirLike, String) {
+        // Minimal home-grown temp dir (std only).
+        let dir = std::env::temp_dir().join(format!("snapea-cli-test-{}", std::process::id()));
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("model.json").to_string_lossy().into_owned();
+        let net = Workload::SqueezeNet.build(10);
+        fs::write(&path, serde_json::to_string(&net).unwrap()).unwrap();
+        (tempdir::TempDirLike(dir), path)
+    }
+
+    mod tempdir {
+        pub struct TempDirLike(pub std::path::PathBuf);
+        impl Drop for TempDirLike {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_dir_all(&self.0);
+            }
+        }
+    }
+
+    #[test]
+    fn inspect_lists_layers() {
+        let (_guard, path) = temp_model();
+        let args = Args::parse(["inspect", path.as_str()]).unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("26 conv"));
+        assert!(out.contains("fire2/squeeze1x1"));
+    }
+
+    #[test]
+    fn reorder_dumps_index_buffer() {
+        let (_guard, path) = temp_model();
+        let args =
+            Args::parse(["reorder", path.as_str(), "--layer", "conv1", "--kernel", "1"]).unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("negative region starts"));
+        assert!(out.contains("idx ="));
+    }
+
+    #[test]
+    fn reorder_rejects_bad_layer_and_kernel() {
+        let (_guard, path) = temp_model();
+        let args = Args::parse(["reorder", path.as_str(), "--layer", "nope"]).unwrap();
+        assert!(run(&args).is_err());
+        let args =
+            Args::parse(["reorder", path.as_str(), "--layer", "conv1", "--kernel", "999"])
+                .unwrap();
+        assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn simulate_reports_speedup_line() {
+        let (_guard, path) = temp_model();
+        let args = Args::parse(["simulate", path.as_str(), "--images", "2"]).unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("speedup"));
+        assert!(out.contains("SnaPEA"));
+    }
+
+    #[test]
+    fn unknown_command_shows_usage() {
+        let args = Args::parse(["bogus"]).unwrap();
+        let err = run(&args).unwrap_err().to_string();
+        assert!(err.contains("snapea-tool <command>"));
+    }
+
+    #[test]
+    fn exact_sanity_runs() {
+        let net = Workload::AlexNet.build(10);
+        assert!(exact_sanity(&net, 1));
+    }
+}

@@ -1,0 +1,21 @@
+//! Command-line tooling for the SnaPEA reproduction.
+//!
+//! The `snapea` binary (see `src/bin/snapea-tool.rs`) exposes the library's
+//! workflow to the shell:
+//!
+//! ```text
+//! snapea-tool train      --workload SqueezeNet --out model.json
+//! snapea-tool inspect    model.json
+//! snapea-tool reorder    model.json --layer conv1 --kernel 0
+//! snapea-tool optimize   model.json --epsilon 0.03 --out params.json
+//! snapea-tool simulate   model.json [--params params.json] [--images 8]
+//! ```
+//!
+//! This module holds the (dependency-free) argument parser and the
+//! subcommand implementations, kept as a library so they are unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,909 @@
+//! The SnaPEA convolution executor: walks every convolution window
+//! weight-by-weight in the reordered order, probing the PAU before each MAC
+//! exactly as the hardware lanes do (paper §V), and records the per-window
+//! operation counts — the function `Op(o, Th, N)` of the paper's Eq. (1).
+
+use crate::params::{KernelMode, KernelParams, LayerParams};
+use crate::pau::{Pau, PauAction, TerminationKind};
+use crate::reorder::{predictive_reorder, sign_reorder, ReorderedKernel};
+use serde::{Deserialize, Serialize};
+use snapea_nn::ops::Conv2d;
+use snapea_tensor::im2col::ConvGeom;
+use snapea_tensor::{Shape4, Tensor4};
+
+/// Per-kernel execution state: the reordered weights (weight buffer + index
+/// buffer) and the PAU configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelExec {
+    /// The reordered kernel (weight values + index buffer).
+    pub reordered: ReorderedKernel,
+    /// The lane's PAU configuration for this kernel.
+    pub pau: Pau,
+}
+
+/// Execution configuration of one convolution layer: one [`KernelExec`] per
+/// output channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerConfig {
+    kernels: Vec<KernelExec>,
+}
+
+impl LayerConfig {
+    /// Exact-mode configuration: sign-based reordering for every kernel.
+    pub fn exact(conv: &Conv2d) -> Self {
+        let kernels = (0..conv.c_out())
+            .map(|k| {
+                let r = sign_reorder(conv.weight().item(k));
+                let pau = Pau::exact(&r);
+                KernelExec { reordered: r, pau }
+            })
+            .collect();
+        Self { kernels }
+    }
+
+    /// Predictive-mode configuration with per-kernel modes (speculating
+    /// kernels carry their `(Th, N)`; exact kernels fall back to sign-based
+    /// reordering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modes.len() != conv.c_out()` or any `groups` exceeds the
+    /// window length.
+    pub fn predictive(conv: &Conv2d, modes: &[KernelMode]) -> Self {
+        assert_eq!(modes.len(), conv.c_out(), "one mode per kernel");
+        let kernels = modes
+            .iter()
+            .enumerate()
+            .map(|(k, mode)| match mode {
+                KernelMode::Exact => {
+                    let r = sign_reorder(conv.weight().item(k));
+                    let pau = Pau::exact(&r);
+                    KernelExec { reordered: r, pau }
+                }
+                KernelMode::Speculate(p) => {
+                    let r = predictive_reorder(conv.weight().item(k), p.groups);
+                    let pau = Pau::predictive(&r, *p);
+                    KernelExec { reordered: r, pau }
+                }
+            })
+            .collect();
+        Self { kernels }
+    }
+
+    /// Uniform predictive configuration: every kernel speculates with the
+    /// same `(Th, N)`.
+    pub fn predictive_uniform(conv: &Conv2d, params: KernelParams) -> Self {
+        Self::predictive(conv, &vec![KernelMode::Speculate(params); conv.c_out()])
+    }
+
+    /// Builds the configuration dictated by [`LayerParams`].
+    pub fn from_params(conv: &Conv2d, params: &LayerParams) -> Self {
+        match params {
+            LayerParams::Exact => Self::exact(conv),
+            LayerParams::Predictive(ks) => Self::predictive(conv, ks),
+        }
+    }
+
+    /// Builds a configuration from explicit per-kernel states (used by the
+    /// ablation benches to plug in alternative reorderings).
+    pub fn from_kernels(kernels: Vec<KernelExec>) -> Self {
+        Self { kernels }
+    }
+
+    /// Per-kernel execution states.
+    pub fn kernels(&self) -> &[KernelExec] {
+        &self.kernels
+    }
+
+    /// Whether any kernel speculates.
+    pub fn is_predictive(&self) -> bool {
+        self.kernels.iter().any(|k| k.pau.is_predictive())
+    }
+}
+
+/// Per-window operation counts of one layer execution — the raw material for
+/// both the computation-reduction numbers and the cycle-level simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    images: usize,
+    kernels: usize,
+    windows: usize,
+    window_len: usize,
+    /// `ops[(img * kernels + k) * windows + w]` = MACs executed for window
+    /// `w` of kernel `k` on image `img`.
+    ops: Vec<u32>,
+}
+
+impl LayerProfile {
+    /// A dense profile: every window costs the full `window_len` MACs (the
+    /// baseline accelerator's workload).
+    pub fn dense(images: usize, kernels: usize, windows: usize, window_len: usize) -> Self {
+        Self {
+            images,
+            kernels,
+            windows,
+            window_len,
+            ops: vec![window_len as u32; images * kernels * windows],
+        }
+    }
+
+    /// A dense profile with the same geometry as `self`.
+    pub fn to_dense(&self) -> Self {
+        Self::dense(self.images, self.kernels, self.windows, self.window_len)
+    }
+
+    /// Builds a profile from explicit per-window op counts (layout
+    /// `[(img * kernels + k) * windows + w]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops.len() != images * kernels * windows` or any count
+    /// exceeds `window_len`.
+    pub fn from_ops(
+        images: usize,
+        kernels: usize,
+        windows: usize,
+        window_len: usize,
+        ops: Vec<u32>,
+    ) -> Self {
+        assert_eq!(ops.len(), images * kernels * windows, "op count layout");
+        assert!(
+            ops.iter().all(|&o| o as usize <= window_len),
+            "op count exceeds window length"
+        );
+        Self {
+            images,
+            kernels,
+            windows,
+            window_len,
+            ops,
+        }
+    }
+
+    /// The raw op-count slice (layout `[(img * kernels + k) * windows + w]`).
+    pub fn ops_slice(&self) -> &[u32] {
+        &self.ops
+    }
+
+    /// Number of images profiled.
+    pub fn images(&self) -> usize {
+        self.images
+    }
+
+    /// Number of kernels (output channels).
+    pub fn kernels(&self) -> usize {
+        self.kernels
+    }
+
+    /// Number of windows per kernel (out_h × out_w).
+    pub fn windows(&self) -> usize {
+        self.windows
+    }
+
+    /// Window length `C_in × D × D`.
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    /// MACs executed for one window.
+    pub fn op(&self, image: usize, kernel: usize, window: usize) -> u32 {
+        self.ops[(image * self.kernels + kernel) * self.windows + window]
+    }
+
+    /// All op counts of one `(image, kernel)` pair.
+    pub fn kernel_ops(&self, image: usize, kernel: usize) -> &[u32] {
+        let base = (image * self.kernels + kernel) * self.windows;
+        &self.ops[base..base + self.windows]
+    }
+
+    /// Total MACs executed.
+    pub fn total_ops(&self) -> u64 {
+        self.ops.iter().map(|&o| o as u64).sum()
+    }
+
+    /// Total MACs an unaltered convolution would execute.
+    pub fn full_macs(&self) -> u64 {
+        (self.images * self.kernels * self.windows) as u64 * self.window_len as u64
+    }
+
+    /// `1 - total/full`: the fraction of MACs eliminated.
+    pub fn savings(&self) -> f64 {
+        let full = self.full_macs();
+        if full == 0 {
+            return 0.0;
+        }
+        1.0 - self.total_ops() as f64 / full as f64
+    }
+}
+
+/// Prediction quality accounting (paper Table V).
+///
+/// *True negatives* are windows whose full convolution output is negative
+/// and which the **predictive** check terminated. *False negatives* are
+/// positive-output windows the predictive check squashed to zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PredictionStats {
+    /// Windows whose full output is negative.
+    pub negative_windows: u64,
+    /// Windows whose full output is positive (or zero).
+    pub positive_windows: u64,
+    /// Negative windows terminated by the predictive check.
+    pub true_negatives: u64,
+    /// Positive windows terminated by the predictive check.
+    pub false_negatives: u64,
+    /// Negative windows terminated by the exact sign check.
+    pub sign_terminations: u64,
+    /// Sum of ReLU(full output) over all windows.
+    pub positive_mass: f64,
+    /// Sum of ReLU(full output) over falsely-squashed windows.
+    pub squashed_mass: f64,
+}
+
+impl PredictionStats {
+    /// True-negative rate: correctly-predicted negatives over all negatives.
+    pub fn true_negative_rate(&self) -> f64 {
+        if self.negative_windows == 0 {
+            0.0
+        } else {
+            self.true_negatives as f64 / self.negative_windows as f64
+        }
+    }
+
+    /// False-negative rate: mis-squashed positives over all positives.
+    pub fn false_negative_rate(&self) -> f64 {
+        if self.positive_windows == 0 {
+            0.0
+        } else {
+            self.false_negatives as f64 / self.positive_windows as f64
+        }
+    }
+
+    /// Fraction of total positive activation mass that was squashed — the
+    /// quantity the paper argues stays on "small positive values".
+    pub fn squashed_mass_fraction(&self) -> f64 {
+        if self.positive_mass == 0.0 {
+            0.0
+        } else {
+            self.squashed_mass / self.positive_mass
+        }
+    }
+
+    /// Accumulates another stats block.
+    pub fn merge(&mut self, other: &PredictionStats) {
+        self.negative_windows += other.negative_windows;
+        self.positive_windows += other.positive_windows;
+        self.true_negatives += other.true_negatives;
+        self.false_negatives += other.false_negatives;
+        self.sign_terminations += other.sign_terminations;
+        self.positive_mass += other.positive_mass;
+        self.squashed_mass += other.squashed_mass;
+    }
+}
+
+/// Result of executing one convolution layer through SnaPEA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecResult {
+    /// Layer output. For windows terminated by the predictive check the
+    /// early ReLU has already fired: the stored value is `0.0`. All other
+    /// windows hold their raw (pre-ReLU) partial sums, so applying ReLU
+    /// yields the layer's post-activation output.
+    pub output: Tensor4,
+    /// Per-window operation counts.
+    pub profile: LayerProfile,
+    /// Prediction accounting (all-zero when stats collection is off).
+    pub stats: PredictionStats,
+}
+
+/// Per-window input gather table: `taps[w][orig_idx]` is the offset into the
+/// image's item slice, or `-1` for a padding tap.
+#[derive(Debug, Clone)]
+pub struct GatherTable {
+    windows: usize,
+    taps: Vec<i32>,
+    window_len: usize,
+}
+
+impl GatherTable {
+    /// Builds the gather table for `geom` over inputs of shape `input`
+    /// (shared by every kernel of the layer).
+    pub fn build(input: Shape4, geom: ConvGeom, c_in: usize) -> Self {
+        let (oh, ow) = (geom.out_h(input.h), geom.out_w(input.w));
+        let window_len = c_in * geom.kh * geom.kw;
+        let mut taps = Vec::with_capacity(oh * ow * window_len);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for c in 0..c_in {
+                    for ky in 0..geom.kh {
+                        for kx in 0..geom.kw {
+                            let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            if iy < 0 || ix < 0 || iy >= input.h as isize || ix >= input.w as isize
+                            {
+                                taps.push(-1);
+                            } else {
+                                taps.push(
+                                    ((c * input.h + iy as usize) * input.w + ix as usize) as i32,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            windows: oh * ow,
+            taps,
+            window_len,
+        }
+    }
+
+    /// Number of windows.
+    pub fn windows(&self) -> usize {
+        self.windows
+    }
+
+    /// Tap offsets of window `w`.
+    #[inline]
+    pub fn window(&self, w: usize) -> &[i32] {
+        &self.taps[w * self.window_len..(w + 1) * self.window_len]
+    }
+}
+
+/// Outcome of one window walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowResult {
+    /// MACs executed (the paper's `Op` function, Eq. (1)).
+    pub ops: u32,
+    /// The value written to the output buffer *before* the downstream ReLU
+    /// (0.0 if the early ReLU already fired on a prediction).
+    pub output: f32,
+    /// How the window ended.
+    pub termination: Option<TerminationKind>,
+}
+
+/// Walks a single convolution window: probes the PAU before every MAC,
+/// terminates when it says so. `item` is the image's contiguous `c*h*w`
+/// slice; `taps` maps original weight indices to offsets (−1 = padding).
+#[inline]
+pub fn run_window(kernel: &KernelExec, taps: &[i32], item: &[f32], bias: f32) -> WindowResult {
+    let weights = kernel.reordered.weights();
+    let order = kernel.reordered.order();
+    let mut acc = bias;
+    for p in 0..weights.len() {
+        match kernel.pau.probe(p, acc) {
+            PauAction::Terminate(kind) => {
+                let output = match kind {
+                    TerminationKind::Predicted => 0.0, // early ReLU fired
+                    TerminationKind::SignCheck => acc,
+                };
+                return WindowResult {
+                    ops: p as u32,
+                    output,
+                    termination: Some(kind),
+                };
+            }
+            PauAction::Continue => {}
+        }
+        let off = taps[order[p] as usize];
+        if off >= 0 {
+            acc += item[off as usize] * weights[p];
+        }
+        // Padding taps still occupy a MAC slot in the hardware walk: the
+        // weight is broadcast and the lane multiplies by zero.
+    }
+    WindowResult {
+        ops: weights.len() as u32,
+        output: acc,
+        termination: None,
+    }
+}
+
+/// Completes a window's dot product regardless of termination (used for
+/// prediction-quality accounting).
+fn full_window_value(kernel: &KernelExec, taps: &[i32], item: &[f32], bias: f32) -> f32 {
+    let weights = kernel.reordered.weights();
+    let order = kernel.reordered.order();
+    let mut acc = bias;
+    for p in 0..weights.len() {
+        let off = taps[order[p] as usize];
+        if off >= 0 {
+            acc += item[off as usize] * weights[p];
+        }
+    }
+    acc
+}
+
+/// Executes a convolution layer through SnaPEA (no prediction accounting —
+/// the fast path used inside the optimizer's accuracy simulations).
+pub fn execute_conv(conv: &Conv2d, input: &Tensor4, cfg: &LayerConfig) -> ExecResult {
+    execute_conv_inner(conv, input, cfg, false)
+}
+
+/// Like [`execute_conv`] but additionally completes every window's dot
+/// product to fill [`PredictionStats`] (paper Table V).
+pub fn execute_conv_stats(conv: &Conv2d, input: &Tensor4, cfg: &LayerConfig) -> ExecResult {
+    execute_conv_inner(conv, input, cfg, true)
+}
+
+fn execute_conv_inner(
+    conv: &Conv2d,
+    input: &Tensor4,
+    cfg: &LayerConfig,
+    collect_stats: bool,
+) -> ExecResult {
+    assert_eq!(cfg.kernels.len(), conv.c_out(), "config kernel count");
+    let s = input.shape();
+    let geom = conv.geom();
+    let gather = GatherTable::build(s, geom, conv.c_in());
+    let out_shape = conv.out_shape(s);
+    let windows = gather.windows();
+    debug_assert_eq!(windows, out_shape.plane_len());
+
+    let mut output = Tensor4::zeros(out_shape);
+    let mut ops = vec![0u32; s.n * conv.c_out() * windows];
+    let mut stats = PredictionStats::default();
+
+    for n in 0..s.n {
+        let item = input.item(n);
+        for (k, kexec) in cfg.kernels.iter().enumerate() {
+            let bias = conv.bias()[k];
+            let out_base = out_shape.offset(n, k, 0, 0);
+            let ops_base = (n * conv.c_out() + k) * windows;
+            for w in 0..windows {
+                let taps = gather.window(w);
+                let r = run_window(kexec, taps, item, bias);
+                output.as_mut_slice()[out_base + w] = r.output;
+                ops[ops_base + w] = r.ops;
+                if collect_stats {
+                    let full = full_window_value(kexec, taps, item, bias);
+                    if full < 0.0 {
+                        stats.negative_windows += 1;
+                    } else {
+                        stats.positive_windows += 1;
+                        stats.positive_mass += full as f64;
+                    }
+                    match r.termination {
+                        Some(TerminationKind::Predicted) => {
+                            if full < 0.0 {
+                                stats.true_negatives += 1;
+                            } else {
+                                stats.false_negatives += 1;
+                                stats.squashed_mass += full.max(0.0) as f64;
+                            }
+                        }
+                        Some(TerminationKind::SignCheck) => {
+                            stats.sign_terminations += 1;
+                        }
+                        None => {}
+                    }
+                }
+            }
+        }
+    }
+
+    ExecResult {
+        output,
+        profile: LayerProfile {
+            images: s.n,
+            kernels: conv.c_out(),
+            windows,
+            window_len: conv.window_len(),
+            ops,
+        },
+        stats,
+    }
+}
+
+/// Op counts under Cnvlutin-style *ineffectual-neuron skipping* (paper §VII's
+/// related work): a window's cost is the number of taps whose **input** is
+/// non-zero — zero activations (the output of upstream ReLUs) are skipped
+/// outright, regardless of weight signs. This is the orthogonal,
+/// input-sparsity approach SnaPEA is contrasted against.
+pub fn zero_skip_profile(conv: &Conv2d, input: &Tensor4) -> LayerProfile {
+    let s = input.shape();
+    let gather = GatherTable::build(s, conv.geom(), conv.c_in());
+    let windows = gather.windows();
+    let mut ops = Vec::with_capacity(s.n * conv.c_out() * windows);
+    for n in 0..s.n {
+        let item = input.item(n);
+        // The nonzero-tap count per window is kernel-independent; compute it
+        // once and replicate across kernels.
+        let mut per_window = Vec::with_capacity(windows);
+        for w in 0..windows {
+            let count = gather
+                .window(w)
+                .iter()
+                .filter(|&&off| off >= 0 && item[off as usize] != 0.0)
+                .count() as u32;
+            per_window.push(count);
+        }
+        for _k in 0..conv.c_out() {
+            ops.extend_from_slice(&per_window);
+        }
+    }
+    LayerProfile::from_ops(s.n, conv.c_out(), windows, conv.window_len(), ops)
+}
+
+/// Op counts when zero-input skipping **combines** with SnaPEA's early
+/// termination: the window walks the reordered weights, zero-input taps are
+/// free, and the PAU terminates as usual. Shows the two mechanisms are
+/// complementary (they eliminate different MACs).
+pub fn combined_profile(conv: &Conv2d, input: &Tensor4, cfg: &LayerConfig) -> LayerProfile {
+    assert_eq!(cfg.kernels.len(), conv.c_out(), "config kernel count");
+    let s = input.shape();
+    let gather = GatherTable::build(s, conv.geom(), conv.c_in());
+    let windows = gather.windows();
+    let mut ops = Vec::with_capacity(s.n * conv.c_out() * windows);
+    for n in 0..s.n {
+        let item = input.item(n);
+        for (k, kexec) in cfg.kernels.iter().enumerate() {
+            let weights = kexec.reordered.weights();
+            let order = kexec.reordered.order();
+            for w in 0..windows {
+                let taps = gather.window(w);
+                let mut acc = conv.bias()[k];
+                let mut effectual = 0u32;
+                for p in 0..weights.len() {
+                    if let PauAction::Terminate(_) = kexec.pau.probe(p, acc) {
+                        break;
+                    }
+                    let off = taps[order[p] as usize];
+                    if off >= 0 && item[off as usize] != 0.0 {
+                        acc += item[off as usize] * weights[p];
+                        effectual += 1; // zero-input taps cost nothing
+                    }
+                }
+                ops.push(effectual);
+            }
+        }
+    }
+    LayerProfile::from_ops(s.n, conv.c_out(), windows, conv.window_len(), ops)
+}
+
+/// Walks a single convolution window in 16-bit fixed point, as the paper's
+/// PEs do (Table II): operands are quantised to `fmt`, products accumulate in
+/// a 32-bit-style register ([`QAcc`]), and the PAU probes the dequantised
+/// partial sum. Termination decisions may differ from the `f32` walk by at
+/// most the quantisation error of the partial sums.
+pub fn run_window_q16(
+    kernel: &KernelExec,
+    taps: &[i32],
+    item_q: &[snapea_tensor::q16::Q16],
+    bias: f32,
+    fmt: snapea_tensor::q16::Q16Format,
+) -> WindowResult {
+    use snapea_tensor::q16::QAcc;
+    let weights = kernel.reordered.weights();
+    let order = kernel.reordered.order();
+    let mut acc = QAcc::new();
+    // Bias enters the accumulator pre-scaled to the product width.
+    acc.mac(fmt.quantize(bias), fmt.quantize(1.0));
+    for p in 0..weights.len() {
+        match kernel.pau.probe(p, acc.to_f32(fmt)) {
+            PauAction::Terminate(kind) => {
+                let output = match kind {
+                    TerminationKind::Predicted => 0.0,
+                    TerminationKind::SignCheck => acc.to_f32(fmt),
+                };
+                return WindowResult {
+                    ops: p as u32,
+                    output,
+                    termination: Some(kind),
+                };
+            }
+            PauAction::Continue => {}
+        }
+        let off = taps[order[p] as usize];
+        if off >= 0 {
+            acc.mac(item_q[off as usize], fmt.quantize(weights[p]));
+        }
+    }
+    WindowResult {
+        ops: weights.len() as u32,
+        output: acc.to_f32(fmt),
+        termination: None,
+    }
+}
+
+/// Executes a convolution layer with 16-bit fixed-point arithmetic in the
+/// lanes (quantised inputs and weights, wide accumulator), mirroring
+/// [`execute_conv`]. No prediction accounting.
+pub fn execute_conv_q16(
+    conv: &Conv2d,
+    input: &Tensor4,
+    cfg: &LayerConfig,
+    fmt: snapea_tensor::q16::Q16Format,
+) -> ExecResult {
+    assert_eq!(cfg.kernels.len(), conv.c_out(), "config kernel count");
+    let s = input.shape();
+    let gather = GatherTable::build(s, conv.geom(), conv.c_in());
+    let out_shape = conv.out_shape(s);
+    let windows = gather.windows();
+
+    let mut output = Tensor4::zeros(out_shape);
+    let mut ops = vec![0u32; s.n * conv.c_out() * windows];
+
+    for n in 0..s.n {
+        let item_q = snapea_tensor::q16::quantize_slice(fmt, input.item(n));
+        for (k, kexec) in cfg.kernels.iter().enumerate() {
+            let bias = conv.bias()[k];
+            let out_base = out_shape.offset(n, k, 0, 0);
+            let ops_base = (n * conv.c_out() + k) * windows;
+            for w in 0..windows {
+                let r = run_window_q16(kexec, gather.window(w), &item_q, bias, fmt);
+                output.as_mut_slice()[out_base + w] = r.output;
+                ops[ops_base + w] = r.ops;
+            }
+        }
+    }
+
+    ExecResult {
+        output,
+        profile: LayerProfile {
+            images: s.n,
+            kernels: conv.c_out(),
+            windows,
+            window_len: conv.window_len(),
+            ops,
+        },
+        stats: PredictionStats::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapea_tensor::init;
+
+    fn nonneg_input(shape: Shape4, seed: u64) -> Tensor4 {
+        init::uniform4(shape, 1.0, &mut init::rng(seed)).map(f32::abs)
+    }
+
+    #[test]
+    fn exact_mode_preserves_post_relu_output() {
+        for seed in 0..5 {
+            let mut rng = init::rng(seed);
+            let conv = Conv2d::new(3, 6, ConvGeom::square(3, 1, 1), &mut rng);
+            let input = nonneg_input(Shape4::new(2, 3, 7, 7), seed + 100);
+            let cfg = LayerConfig::exact(&conv);
+            let r = execute_conv(&conv, &input, &cfg);
+            let reference = conv.forward(&input);
+            for (a, b) in r.output.iter().zip(reference.iter()) {
+                let (ra, rb) = (a.max(0.0), b.max(0.0));
+                assert!(
+                    (ra - rb).abs() < 1e-3,
+                    "post-ReLU mismatch: {ra} vs {rb} (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_mode_saves_ops_on_zero_centred_kernels() {
+        let mut rng = init::rng(1);
+        let conv = Conv2d::new(4, 8, ConvGeom::square(3, 1, 1), &mut rng);
+        let input = nonneg_input(Shape4::new(1, 4, 8, 8), 7);
+        let cfg = LayerConfig::exact(&conv);
+        let r = execute_conv(&conv, &input, &cfg);
+        assert!(r.profile.savings() > 0.05, "savings {}", r.profile.savings());
+        assert_eq!(r.profile.full_macs(), conv.full_macs(input.shape()));
+    }
+
+    #[test]
+    fn all_positive_kernel_never_terminates() {
+        let mut rng = init::rng(2);
+        let mut conv = Conv2d::new(2, 1, ConvGeom::square(3, 1, 0), &mut rng);
+        conv.weight_mut().map_inplace(f32::abs);
+        let input = nonneg_input(Shape4::new(1, 2, 5, 5), 3);
+        let cfg = LayerConfig::exact(&conv);
+        let r = execute_conv(&conv, &input, &cfg);
+        assert_eq!(r.profile.total_ops(), r.profile.full_macs());
+    }
+
+    #[test]
+    fn paper_figure4_example() {
+        // Figure 4: weights [-5, +1, -1] over inputs [+1, +2, +6], bias 0.
+        // Unaltered output: -5 + 2 - 6 = -9. Exact mode reorders to
+        // [+1, -5, -1] over [+2, +1, +6] and stops after 2 MACs at -3.
+        let weight =
+            Tensor4::from_vec(Shape4::new(1, 1, 1, 3), vec![-5.0, 1.0, -1.0]).unwrap();
+        let geom = ConvGeom {
+            kh: 1,
+            kw: 3,
+            stride: 1,
+            pad: 0,
+        };
+        let conv = Conv2d::from_parts(weight, vec![0.0], geom);
+        let input = Tensor4::from_vec(Shape4::new(1, 1, 1, 3), vec![1.0, 2.0, 6.0]).unwrap();
+        let cfg = LayerConfig::exact(&conv);
+        let r = execute_conv(&conv, &input, &cfg);
+        assert_eq!(r.profile.op(0, 0, 0), 2);
+        assert_eq!(r.output.as_slice()[0], -3.0);
+
+        // Predictive mode with N=1, Th=+3: the largest-magnitude
+        // representative of the single group is -5 (product -5·1 = -5 < 3),
+        // so the window terminates after 1 MAC and the early ReLU outputs 0.
+        let cfg = LayerConfig::predictive_uniform(&conv, KernelParams::new(3.0, 1));
+        let r = execute_conv(&conv, &input, &cfg);
+        assert_eq!(r.profile.op(0, 0, 0), 1);
+        assert_eq!(r.output.as_slice()[0], 0.0);
+    }
+
+    #[test]
+    fn predictive_mode_cuts_at_least_as_early_with_loose_threshold() {
+        let mut rng = init::rng(5);
+        let conv = Conv2d::new(3, 4, ConvGeom::square(3, 1, 1), &mut rng);
+        let input = nonneg_input(Shape4::new(1, 3, 8, 8), 11);
+        let exact = execute_conv(&conv, &input, &LayerConfig::exact(&conv));
+        // A huge threshold predicts "negative" for every window after N ops.
+        let params = KernelParams::new(f32::INFINITY, 4);
+        let pred = execute_conv(&conv, &input, &LayerConfig::predictive_uniform(&conv, params));
+        assert!(pred.profile.total_ops() < exact.profile.total_ops());
+        assert_eq!(
+            pred.profile.total_ops(),
+            (pred.profile.images() * pred.profile.kernels() * pred.profile.windows()) as u64 * 4
+        );
+        // Every window output zero (all predicted).
+        assert!(pred.output.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn predictive_with_never_firing_threshold_matches_exact_outputs() {
+        let mut rng = init::rng(6);
+        let conv = Conv2d::new(3, 4, ConvGeom::square(3, 1, 1), &mut rng);
+        let input = nonneg_input(Shape4::new(1, 3, 6, 6), 13);
+        let params = KernelParams::new(f32::NEG_INFINITY, 2);
+        let pred = execute_conv(&conv, &input, &LayerConfig::predictive_uniform(&conv, params));
+        let reference = conv.forward(&input);
+        for (a, b) in pred.output.iter().zip(reference.iter()) {
+            assert!((a.max(0.0) - b.max(0.0)).abs() < 1e-3);
+        }
+        assert!(!pred.output.iter().any(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn stats_split_true_and_false_negatives() {
+        let mut rng = init::rng(8);
+        let conv = Conv2d::new(3, 8, ConvGeom::square(3, 1, 1), &mut rng);
+        let input = nonneg_input(Shape4::new(2, 3, 8, 8), 17);
+        let params = KernelParams::new(0.05, 4);
+        let r = execute_conv_stats(&conv, &input, &LayerConfig::predictive_uniform(&conv, params));
+        let s = r.stats;
+        assert_eq!(
+            s.negative_windows + s.positive_windows,
+            (r.profile.images() * r.profile.kernels() * r.profile.windows()) as u64
+        );
+        assert!(s.true_negatives > 0, "no true negatives: {s:?}");
+        assert!(s.true_negative_rate() <= 1.0);
+        assert!(s.false_negative_rate() <= 1.0);
+        assert!(s.squashed_mass <= s.positive_mass);
+        // With a mild threshold the squashed mass should be a small share.
+        assert!(s.squashed_mass_fraction() < 0.8);
+    }
+
+    #[test]
+    fn op_counts_bounded_by_window_len() {
+        let mut rng = init::rng(9);
+        let conv = Conv2d::new(2, 3, ConvGeom::square(3, 2, 1), &mut rng);
+        let input = nonneg_input(Shape4::new(1, 2, 9, 9), 19);
+        for cfg in [
+            LayerConfig::exact(&conv),
+            LayerConfig::predictive_uniform(&conv, KernelParams::new(0.0, 2)),
+        ] {
+            let r = execute_conv(&conv, &input, &cfg);
+            assert!(r
+                .profile
+                .ops
+                .iter()
+                .all(|&o| o as usize <= conv.window_len()));
+        }
+    }
+
+    #[test]
+    fn zero_skip_counts_nonzero_taps() {
+        let mut rng = init::rng(41);
+        let conv = Conv2d::new(2, 3, ConvGeom::square(3, 1, 1), &mut rng);
+        // Half the inputs are exactly zero (post-ReLU style sparsity).
+        let input = init::uniform4(Shape4::new(1, 2, 6, 6), 1.0, &mut rng)
+            .map(|v| if v > 0.0 { v } else { 0.0 });
+        let p = zero_skip_profile(&conv, &input);
+        assert!(p.total_ops() < p.full_macs(), "sparsity must be exploited");
+        // Kernel-independent: same counts for every kernel.
+        for w in 0..p.windows() {
+            let a = p.op(0, 0, w);
+            for k in 1..p.kernels() {
+                assert_eq!(p.op(0, k, w), a);
+            }
+        }
+        // All-dense input ⇒ only padding taps are skipped.
+        let ones = Tensor4::full(Shape4::new(1, 2, 6, 6), 1.0);
+        let pd = zero_skip_profile(&conv, &ones);
+        let interior_full = pd
+            .kernel_ops(0, 0)
+            .iter()
+            .any(|&o| o as usize == conv.window_len());
+        assert!(interior_full, "interior windows have no zero taps");
+    }
+
+    #[test]
+    fn combined_profile_dominates_both_mechanisms() {
+        let mut rng = init::rng(43);
+        let conv = Conv2d::new(3, 4, ConvGeom::square(3, 1, 1), &mut rng);
+        let input = init::uniform4(Shape4::new(1, 3, 8, 8), 1.0, &mut rng)
+            .map(|v| if v > 0.2 { v } else { 0.0 });
+        let cfg = LayerConfig::exact(&conv);
+        let snapea = execute_conv(&conv, &input, &cfg).profile;
+        let zskip = zero_skip_profile(&conv, &input);
+        let combined = combined_profile(&conv, &input, &cfg);
+        // Combining the two mechanisms never costs more than either alone.
+        assert!(combined.total_ops() <= snapea.total_ops());
+        assert!(combined.total_ops() <= zskip.total_ops());
+        assert!(combined.total_ops() > 0);
+    }
+
+    #[test]
+    fn q16_exact_mode_matches_f32_within_quantisation() {
+        use snapea_tensor::q16::Q16Format;
+        let mut rng = init::rng(21);
+        let conv = Conv2d::new(3, 4, ConvGeom::square(3, 1, 1), &mut rng);
+        let input = nonneg_input(Shape4::new(1, 3, 8, 8), 22);
+        let cfg = LayerConfig::exact(&conv);
+        let fmt = Q16Format::new(10);
+        let fq = execute_conv_q16(&conv, &input, &cfg, fmt);
+        let ff = execute_conv(&conv, &input, &cfg);
+        // Post-ReLU outputs agree within accumulated quantisation error.
+        let window_err = conv.window_len() as f32 * fmt.lsb() * 4.0;
+        for (a, b) in fq.output.iter().zip(ff.output.iter()) {
+            assert!(
+                (a.max(0.0) - b.max(0.0)).abs() <= window_err,
+                "{a} vs {b}"
+            );
+        }
+        // Termination decisions agree for the overwhelming majority of
+        // windows (they can differ where the partial sum grazes zero).
+        let same = fq
+            .profile
+            .ops_slice()
+            .iter()
+            .zip(ff.profile.ops_slice())
+            .filter(|(a, b)| a == b)
+            .count();
+        let total = fq.profile.ops_slice().len();
+        assert!(
+            same as f64 / total as f64 > 0.9,
+            "only {same}/{total} windows agree"
+        );
+    }
+
+    #[test]
+    fn q16_predictive_mode_zeroes_predicted_windows() {
+        use snapea_tensor::q16::Q16Format;
+        let mut rng = init::rng(31);
+        let conv = Conv2d::new(2, 3, ConvGeom::square(3, 1, 0), &mut rng);
+        let input = nonneg_input(Shape4::new(1, 2, 6, 6), 32);
+        let cfg = LayerConfig::predictive_uniform(&conv, KernelParams::new(f32::INFINITY, 2));
+        let r = execute_conv_q16(&conv, &input, &cfg, Q16Format::default());
+        assert!(r.output.iter().all(|&v| v == 0.0));
+        assert_eq!(
+            r.profile.total_ops(),
+            (r.profile.kernels() * r.profile.windows()) as u64 * 2
+        );
+    }
+
+    #[test]
+    fn gather_table_matches_im2col_layout() {
+        let shape = Shape4::new(1, 2, 5, 5);
+        let geom = ConvGeom::square(3, 2, 1);
+        let g = GatherTable::build(shape, geom, 2);
+        let x = Tensor4::from_fn(shape, |_, c, h, w| (c * 100 + h * 10 + w) as f32);
+        let cols = snapea_tensor::im2col::im2col(&x, 0, geom);
+        let item = x.item(0);
+        for w in 0..g.windows() {
+            for (idx, &off) in g.window(w).iter().enumerate() {
+                let expect = cols[(idx, w)];
+                let got = if off < 0 { 0.0 } else { item[off as usize] };
+                assert_eq!(got, expect, "window {w} tap {idx}");
+            }
+        }
+    }
+}

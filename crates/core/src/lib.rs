@@ -1,0 +1,61 @@
+//! SnaPEA: Snappy Predictive Early Activation (ISCA 2018) — core library.
+//!
+//! Convolution layers in modern CNNs are followed by ReLU, which squashes
+//! every negative output to zero. SnaPEA exploits this:
+//!
+//! * **Exact mode** — weights of each kernel are statically reordered so the
+//!   positive subset is processed first ([`reorder::sign_reorder`]). Because
+//!   convolution-layer inputs are non-negative (they come out of a ReLU), the
+//!   partial sum can only decrease once the negative weights begin; a
+//!   single-bit sign check after each of those MACs terminates the window as
+//!   soon as the partial sum goes negative, with **zero** accuracy loss.
+//! * **Predictive mode** — a small speculative set of weights (one
+//!   largest-magnitude representative from each of `N` groups of the
+//!   ascending-sorted weights, [`reorder::predictive_reorder`]) is processed
+//!   first; if the partial sum falls below a per-kernel threshold `Th`, the
+//!   window is *predicted* negative and terminated immediately, trading
+//!   accuracy for computation. The `(Th, N)` parameters for every kernel are
+//!   found by the three-pass optimizer of the paper's Algorithm 1
+//!   ([`optimizer`]).
+//!
+//! The behavioural contract between software and hardware lives in
+//! [`pau`] (the Predictive Activation Unit state machine) and [`exec`] (the
+//! window-walking executor that both the accuracy simulations and the
+//! cycle-level accelerator model consume).
+//!
+//! # Examples
+//!
+//! ```
+//! use snapea::exec::{execute_conv, LayerConfig};
+//! use snapea_nn::ops::Conv2d;
+//! use snapea_tensor::{im2col::ConvGeom, init, Shape4, Tensor4};
+//!
+//! let mut rng = init::rng(0);
+//! let conv = Conv2d::new(4, 8, ConvGeom::square(3, 1, 1), &mut rng);
+//! let input = init::uniform4(Shape4::new(1, 4, 8, 8), 1.0, &mut rng).map(f32::abs);
+//!
+//! let cfg = LayerConfig::exact(&conv);
+//! let result = execute_conv(&conv, &input, &cfg);
+//! // Early termination must never change the post-ReLU output (up to
+//! // floating-point summation order).
+//! let reference = conv.forward(&input).map(|v| v.max(0.0));
+//! let early = result.output.map(|v| v.max(0.0));
+//! for (a, b) in early.iter().zip(reference.iter()) {
+//!     assert!((a - b).abs() < 1e-4);
+//! }
+//! // ...but it skips MACs.
+//! assert!(result.profile.total_ops() < conv.full_macs(input.shape()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod optimizer;
+pub mod params;
+pub mod pau;
+pub mod reorder;
+pub mod spec_net;
+
+pub use params::{KernelParams, LayerParams, NetworkParams};
+pub use reorder::ReorderedKernel;

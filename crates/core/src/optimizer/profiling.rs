@@ -1,0 +1,335 @@
+//! Kernel Profiling Pass (Algorithm 1, `KERNELPROFILINGPASS`).
+//!
+//! For every kernel in isolation, this pass measures the operation count and
+//! a local error estimate for a grid of `(Th, N)` candidates, keeping those
+//! whose error is acceptable, sorted by ascending operation count.
+//!
+//! ## Fidelity note
+//!
+//! The paper's inner `Simulate` call re-runs the whole network per kernel per
+//! candidate to obtain the end-to-end accuracy loss. With hundreds of kernels
+//! per network that is prohibitively slow on a CPU-only reproduction, so this
+//! pass scores candidates with a *local surrogate*: the fraction of the
+//! kernel's positive output **mass** that the candidate would squash to zero.
+//! The paper itself observes (§VI-B, "Prediction accuracy") that >86% of
+//! prediction error falls on small positive values filtered by downstream
+//! max-pooling — i.e. squashed positive mass, not squashed count, is what
+//! tracks final accuracy. The Local and Global optimization passes then
+//! measure *real* network accuracy, exactly as in the paper, so surrogate
+//! mis-rankings are corrected before any parameter is adopted.
+
+use crate::params::KernelMode;
+use crate::reorder::{predictive_reorder, sign_reorder, ReorderedKernel};
+use crate::exec::GatherTable;
+use snapea_nn::ops::Conv2d;
+use snapea_tensor::Tensor4;
+
+/// One profiled candidate for a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelCandidate {
+    /// The kernel mode this candidate represents.
+    pub mode: KernelMode,
+    /// Total MACs over the profiling set when this kernel runs alone with
+    /// this mode.
+    pub ops: u64,
+    /// Local surrogate error: squashed positive mass / total positive mass
+    /// (always 0 for the exact candidate).
+    pub surrogate_err: f64,
+}
+
+/// Profiled candidates of one kernel, sorted by ascending `ops`. Always
+/// contains the exact-mode candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTable {
+    candidates: Vec<KernelCandidate>,
+}
+
+impl KernelTable {
+    /// Candidates sorted by ascending op count.
+    pub fn candidates(&self) -> &[KernelCandidate] {
+        &self.candidates
+    }
+
+    /// The `t`-th cheapest candidate, clamped to the table length (the
+    /// indexing rule of Algorithm 1's Local Optimization pass).
+    pub fn get_clamped(&self, t: usize) -> &KernelCandidate {
+        &self.candidates[t.min(self.candidates.len() - 1)]
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the table is empty (never true for tables built by
+    /// [`profile_layer_kernels`]).
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+}
+
+/// Scan of one window under one reordering: the partial sum after the
+/// speculative set, the sign-check termination op count, and the full value.
+#[derive(Debug, Clone, Copy)]
+struct WindowScan {
+    spec_partial: f32,
+    term_ops: u32,
+    full: f32,
+}
+
+/// Scans one window: computes the running prefix of the reordered MAC chain
+/// and extracts the three quantities every `(Th, N)` candidate needs. The
+/// probe semantics mirror [`crate::pau::Pau::probe`]: a sign check fires
+/// before MAC `p` (for `p ≥ neg_start`) when the prefix after `p` MACs is
+/// negative.
+fn scan_window(r: &ReorderedKernel, taps: &[i32], item: &[f32], bias: f32) -> WindowScan {
+    let weights = r.weights();
+    let order = r.order();
+    let len = weights.len();
+    let spec_len = r.spec_len();
+    let neg_start = r.neg_start();
+    let mut acc = bias;
+    let mut spec_partial = bias;
+    let mut term_ops = len as u32;
+    let mut terminated = false;
+    for p in 0..len {
+        if p == spec_len {
+            spec_partial = acc;
+        }
+        if !terminated && p >= neg_start && acc < 0.0 {
+            term_ops = p as u32;
+            terminated = true;
+        }
+        let off = taps[order[p] as usize];
+        if off >= 0 {
+            acc += item[off as usize] * weights[p];
+        }
+    }
+    if spec_len == len {
+        spec_partial = acc;
+    }
+    WindowScan {
+        spec_partial,
+        term_ops,
+        full: acc,
+    }
+}
+
+/// Profiles every kernel of `conv` against the layer input `input` (a batch
+/// of optimization-set activations), producing one [`KernelTable`] per
+/// kernel.
+///
+/// `group_candidates` is the grid of `N` values; thresholds are derived per
+/// `(kernel, N)` from the `threshold_quantiles` of the speculative partial
+/// sums of truly-negative windows. Candidates whose surrogate error exceeds
+/// `budget` are discarded. The exact-mode candidate is always present.
+pub fn profile_layer_kernels(
+    conv: &Conv2d,
+    input: &Tensor4,
+    group_candidates: &[usize],
+    threshold_quantiles: &[f64],
+    budget: f64,
+) -> Vec<KernelTable> {
+    let s = input.shape();
+    let gather = GatherTable::build(s, conv.geom(), conv.c_in());
+    let windows = gather.windows();
+    let images = s.n;
+    let window_len = conv.window_len();
+
+    let mut tables = Vec::with_capacity(conv.c_out());
+    let mut scans: Vec<WindowScan> = Vec::with_capacity(images * windows);
+
+    for k in 0..conv.c_out() {
+        let weights = conv.weight().item(k);
+        let bias = conv.bias()[k];
+        let mut candidates: Vec<KernelCandidate> = Vec::new();
+
+        // Exact-mode candidate.
+        let exact = sign_reorder(weights);
+        let mut exact_ops = 0u64;
+        for img in 0..images {
+            let item = input.item(img);
+            for w in 0..windows {
+                exact_ops += scan_window(&exact, gather.window(w), item, bias).term_ops as u64;
+            }
+        }
+        candidates.push(KernelCandidate {
+            mode: KernelMode::Exact,
+            ops: exact_ops,
+            surrogate_err: 0.0,
+        });
+
+        // Predictive candidates.
+        for &n in group_candidates {
+            if n == 0 || n >= window_len {
+                continue;
+            }
+            let r = predictive_reorder(weights, n);
+            scans.clear();
+            for img in 0..images {
+                let item = input.item(img);
+                for w in 0..windows {
+                    scans.push(scan_window(&r, gather.window(w), item, bias));
+                }
+            }
+            // Threshold grid: quantiles of the speculative partial sums of
+            // truly-negative windows. No negative windows → nothing for this
+            // kernel to gain from speculating at this N.
+            let mut neg_partials: Vec<f32> = scans
+                .iter()
+                .filter(|sc| sc.full < 0.0)
+                .map(|sc| sc.spec_partial)
+                .collect();
+            if neg_partials.is_empty() {
+                continue;
+            }
+            neg_partials.sort_by(|a, b| a.partial_cmp(b).expect("no NaN partial sums"));
+            let positive_mass: f64 = scans.iter().map(|sc| sc.full.max(0.0) as f64).sum();
+
+            for &q in threshold_quantiles {
+                let idx = ((neg_partials.len() as f64 - 1.0) * q).round() as usize;
+                let th = neg_partials[idx.min(neg_partials.len() - 1)];
+                let mut ops = 0u64;
+                let mut squashed = 0.0f64;
+                for sc in &scans {
+                    if sc.spec_partial < th {
+                        ops += n as u64;
+                        if sc.full >= 0.0 {
+                            squashed += sc.full as f64;
+                        }
+                    } else {
+                        ops += sc.term_ops as u64;
+                    }
+                }
+                let surrogate_err = if positive_mass > 0.0 {
+                    squashed / positive_mass
+                } else {
+                    0.0
+                };
+                if surrogate_err <= budget {
+                    candidates.push(KernelCandidate {
+                        mode: KernelMode::spec(th, n),
+                        ops,
+                        surrogate_err,
+                    });
+                }
+            }
+        }
+
+        candidates.sort_by_key(|c| c.ops);
+        tables.push(KernelTable { candidates });
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapea_tensor::im2col::ConvGeom;
+    use snapea_tensor::{init, Shape4};
+
+    fn setup() -> (Conv2d, Tensor4) {
+        let mut rng = init::rng(3);
+        let conv = Conv2d::new(3, 4, ConvGeom::square(3, 1, 1), &mut rng);
+        let input = init::uniform4(Shape4::new(3, 3, 8, 8), 1.0, &mut rng).map(f32::abs);
+        (conv, input)
+    }
+
+    #[test]
+    fn tables_always_contain_exact() {
+        let (conv, input) = setup();
+        let tables = profile_layer_kernels(&conv, &input, &[1, 2, 4], &[0.25, 0.5], 1.0);
+        assert_eq!(tables.len(), conv.c_out());
+        for t in &tables {
+            assert!(!t.is_empty());
+            assert!(t
+                .candidates()
+                .iter()
+                .any(|c| matches!(c.mode, KernelMode::Exact)));
+            // Sorted ascending by ops.
+            for pair in t.candidates().windows(2) {
+                assert!(pair[0].ops <= pair[1].ops);
+            }
+        }
+    }
+
+    #[test]
+    fn generous_budget_admits_predictive_candidates() {
+        let (conv, input) = setup();
+        let tables = profile_layer_kernels(&conv, &input, &[1, 2, 4, 8], &[0.5, 0.9], 1.0);
+        let any_spec = tables.iter().any(|t| {
+            t.candidates()
+                .iter()
+                .any(|c| matches!(c.mode, KernelMode::Speculate(_)))
+        });
+        assert!(any_spec, "no speculative candidate survived a budget of 1.0");
+    }
+
+    #[test]
+    fn zero_budget_keeps_only_harmless_candidates() {
+        let (conv, input) = setup();
+        let tables = profile_layer_kernels(&conv, &input, &[1, 2, 4], &[0.5], 0.0);
+        for t in &tables {
+            for c in t.candidates() {
+                assert_eq!(c.surrogate_err, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn predictive_candidates_cost_less_than_exact_when_aggressive() {
+        let (conv, input) = setup();
+        let tables = profile_layer_kernels(&conv, &input, &[1, 2], &[0.9], 1.0);
+        for t in &tables {
+            let exact_ops = t
+                .candidates()
+                .iter()
+                .find(|c| matches!(c.mode, KernelMode::Exact))
+                .map(|c| c.ops)
+                .expect("exact present");
+            if let Some(spec) = t
+                .candidates()
+                .iter()
+                .find(|c| matches!(c.mode, KernelMode::Speculate(_)))
+            {
+                assert!(
+                    spec.ops <= exact_ops,
+                    "aggressive speculation should not cost more than exact"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scan_window_agrees_with_executor() {
+        use crate::exec::{run_window, KernelExec};
+        use crate::pau::Pau;
+        let (conv, input) = setup();
+        let gather = GatherTable::build(input.shape(), conv.geom(), conv.c_in());
+        for k in 0..conv.c_out() {
+            let weights = conv.weight().item(k);
+            let bias = conv.bias()[k];
+            let r = sign_reorder(weights);
+            let kexec = KernelExec {
+                reordered: r.clone(),
+                pau: Pau::exact(&r),
+            };
+            for w in 0..gather.windows() {
+                let taps = gather.window(w);
+                let item = input.item(0);
+                let scan = scan_window(&r, taps, item, bias);
+                let exec = run_window(&kexec, taps, item, bias);
+                assert_eq!(scan.term_ops, exec.ops, "kernel {k} window {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn get_clamped_saturates() {
+        let (conv, input) = setup();
+        let tables = profile_layer_kernels(&conv, &input, &[2], &[0.5], 1.0);
+        let t = &tables[0];
+        let last = t.get_clamped(usize::MAX);
+        assert_eq!(last, &t.candidates()[t.len() - 1]);
+    }
+}

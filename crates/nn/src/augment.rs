@@ -1,0 +1,115 @@
+//! Lightweight data augmentation for SynthShapes training.
+//!
+//! ImageNet training pipelines (which produced the paper's pretrained
+//! models) rely on random crops and flips; the mini substrate mirrors that
+//! with integer shifts and horizontal flips, improving the margin (and thus
+//! speculation tolerance) of the trained mini networks.
+
+use crate::data::LabeledImage;
+use rand::rngs::StdRng;
+use rand::Rng;
+use snapea_tensor::Tensor4;
+
+/// Augmentation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Augment {
+    /// Maximum absolute shift, in pixels, along each axis.
+    pub max_shift: usize,
+    /// Whether to flip horizontally with probability ½.
+    pub flip: bool,
+}
+
+impl Default for Augment {
+    fn default() -> Self {
+        Self {
+            max_shift: 2,
+            flip: true,
+        }
+    }
+}
+
+impl Augment {
+    /// Applies a random shift/flip to one image (labels are untouched —
+    /// SynthShapes classes are invariant under both).
+    pub fn apply(&self, item: &LabeledImage, rng: &mut StdRng) -> LabeledImage {
+        let s = item.image.shape();
+        let m = self.max_shift as isize;
+        let dy = if m > 0 { rng.gen_range(-m..=m) } else { 0 };
+        let dx = if m > 0 { rng.gen_range(-m..=m) } else { 0 };
+        let flip = self.flip && rng.gen_bool(0.5);
+        let image = Tensor4::from_fn(s, |n, c, y, x| {
+            let sx = if flip { s.w - 1 - x } else { x };
+            let (yy, xx) = (y as isize - dy, sx as isize - dx);
+            if yy < 0 || xx < 0 || yy >= s.h as isize || xx >= s.w as isize {
+                0.0 // shifted-in border is background
+            } else {
+                item.image[(n, c, yy as usize, xx as usize)]
+            }
+        });
+        LabeledImage {
+            image,
+            label: item.label,
+        }
+    }
+
+    /// Augments a whole dataset (one randomised copy per item).
+    pub fn apply_all(&self, items: &[LabeledImage], rng: &mut StdRng) -> Vec<LabeledImage> {
+        items.iter().map(|i| self.apply(i, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SynthShapes;
+    use snapea_tensor::init;
+
+    #[test]
+    fn augmentation_preserves_labels_shape_and_range() {
+        let data = SynthShapes::new(16, 4).generate(8, 3);
+        let aug = Augment::default();
+        let mut rng = init::rng(9);
+        let out = aug.apply_all(&data, &mut rng);
+        assert_eq!(out.len(), data.len());
+        for (a, b) in out.iter().zip(&data) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.image.shape(), b.image.shape());
+            assert!(a.image.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn zero_config_is_identity_or_flip_only() {
+        let data = SynthShapes::new(16, 4).generate(2, 5);
+        let aug = Augment {
+            max_shift: 0,
+            flip: false,
+        };
+        let mut rng = init::rng(1);
+        let out = aug.apply_all(&data, &mut rng);
+        for (a, b) in out.iter().zip(&data) {
+            assert_eq!(a.image, b.image);
+        }
+    }
+
+    #[test]
+    fn flip_is_an_involution() {
+        let data = SynthShapes::new(16, 4).generate(1, 7);
+        // Force a flip by re-drawing until the RNG says flip; easier: apply
+        // a deterministic double flip via from_fn equivalence.
+        let img = &data[0].image;
+        let s = img.shape();
+        let flipped = Tensor4::from_fn(s, |n, c, y, x| img[(n, c, y, s.w - 1 - x)]);
+        let back = Tensor4::from_fn(s, |n, c, y, x| flipped[(n, c, y, s.w - 1 - x)]);
+        assert_eq!(&back, img);
+    }
+
+    #[test]
+    fn augmentation_is_deterministic_in_the_seed() {
+        let data = SynthShapes::new(16, 4).generate(4, 11);
+        let aug = Augment::default();
+        let a = aug.apply_all(&data, &mut init::rng(42));
+        let b = aug.apply_all(&data, &mut init::rng(42));
+        assert_eq!(a, b);
+    }
+}

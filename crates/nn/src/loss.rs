@@ -1,0 +1,149 @@
+//! Softmax cross-entropy loss and classification accuracy.
+
+use snapea_tensor::{Shape4, Tensor2, Tensor4};
+
+/// Numerically-stable softmax over the columns of each row of `logits`.
+pub fn softmax(logits: &Tensor2) -> Tensor2 {
+    let mut out = logits.clone();
+    for r in 0..out.shape().rows {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Mean softmax cross-entropy loss and its gradient with respect to the
+/// logits, packed as a `[n, classes, 1, 1]` tensor ready for
+/// [`crate::Graph::backward`].
+///
+/// # Panics
+///
+/// Panics if any label is out of range or `labels.len()` disagrees with the
+/// batch size.
+pub fn cross_entropy(logits: &Tensor2, labels: &[usize]) -> (f32, Tensor4) {
+    let s = logits.shape();
+    assert_eq!(labels.len(), s.rows, "one label per batch item");
+    let probs = softmax(logits);
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    let inv_n = 1.0 / s.rows as f32;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < s.cols, "label {label} out of range {}", s.cols);
+        loss -= probs[(r, label)].max(1e-12).ln();
+        grad[(r, label)] -= 1.0;
+    }
+    grad.scale(inv_n);
+    let g4 = Tensor4::from_vec(Shape4::new(s.rows, s.cols, 1, 1), grad.into_vec())
+        .expect("element count preserved");
+    (loss * inv_n, g4)
+}
+
+/// Index of the maximum logit per row.
+pub fn argmax_rows(logits: &Tensor2) -> Vec<usize> {
+    (0..logits.shape().rows)
+        .map(|r| {
+            logits
+                .row(r)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN logits"))
+                .map(|(i, _)| i)
+                .expect("non-empty row")
+        })
+        .collect()
+}
+
+/// Fraction of rows whose argmax equals the label.
+pub fn accuracy(logits: &Tensor2, labels: &[usize]) -> f64 {
+    assert_eq!(labels.len(), logits.shape().rows);
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = argmax_rows(logits)
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapea_tensor::Shape2;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let l = Tensor2::from_vec(Shape2::new(2, 3), vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let p = softmax(&l);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(p.row(r).iter().all(|&v| v > 0.0));
+        }
+        // Larger logit → larger probability.
+        assert!(p[(0, 2)] > p[(0, 1)] && p[(0, 1)] > p[(0, 0)]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let l = Tensor2::from_vec(Shape2::new(1, 3), vec![1000.0, 1001.0, 999.0]).unwrap();
+        let p = softmax(&l);
+        assert!(p.iter().all(|v| v.is_finite()));
+        let l2 = Tensor2::from_vec(Shape2::new(1, 3), vec![0.0, 1.0, -1.0]).unwrap();
+        let p2 = softmax(&l2);
+        for (a, b) in p.iter().zip(p2.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let l = Tensor2::from_vec(Shape2::new(2, 3), vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]).unwrap();
+        let labels = [2usize, 0usize];
+        let (_, g) = cross_entropy(&l, &labels);
+        let eps = 1e-3;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut lp = l.clone();
+                lp[(r, c)] += eps;
+                let mut lm = l.clone();
+                lm[(r, c)] -= eps;
+                let num =
+                    (cross_entropy(&lp, &labels).0 - cross_entropy(&lm, &labels).0) / (2.0 * eps);
+                assert!(
+                    (num - g[(r, c, 0, 0)]).abs() < 1e-3,
+                    "({r},{c}): fd {num} vs {}",
+                    g[(r, c, 0, 0)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let l = Tensor2::from_vec(Shape2::new(1, 3), vec![10.0, -10.0, -10.0]).unwrap();
+        let (loss, _) = cross_entropy(&l, &[0]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let l = Tensor2::from_vec(
+            Shape2::new(3, 2),
+            vec![1.0, 0.0, 0.0, 1.0, 0.3, 0.7],
+        )
+        .unwrap();
+        assert_eq!(accuracy(&l, &[0, 1, 1]), 1.0);
+        assert!((accuracy(&l, &[0, 0, 0]) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(argmax_rows(&l), vec![0, 1, 1]);
+    }
+}

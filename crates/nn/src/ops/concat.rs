@@ -1,0 +1,109 @@
+//! Channel-wise concatenation (Inception / Fire module joins).
+
+use snapea_tensor::{Shape4, Tensor4};
+
+/// Concatenates tensors along the channel dimension.
+///
+/// All inputs must share `n`, `h` and `w`.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or the non-channel dimensions disagree.
+pub fn concat_channels(inputs: &[&Tensor4]) -> Tensor4 {
+    assert!(!inputs.is_empty(), "concat of zero tensors");
+    let first = inputs[0].shape();
+    let c_total: usize = inputs
+        .iter()
+        .map(|t| {
+            let s = t.shape();
+            assert_eq!(
+                (s.n, s.h, s.w),
+                (first.n, first.h, first.w),
+                "concat inputs must share batch and spatial dims"
+            );
+            s.c
+        })
+        .sum();
+    let os = Shape4::new(first.n, c_total, first.h, first.w);
+    let mut out = Tensor4::zeros(os);
+    for n in 0..os.n {
+        let mut c_base = 0usize;
+        for t in inputs {
+            let s = t.shape();
+            for c in 0..s.c {
+                let src = t.plane(n, c);
+                let start = os.offset(n, c_base + c, 0, 0);
+                out.as_mut_slice()[start..start + os.plane_len()].copy_from_slice(src);
+            }
+            c_base += s.c;
+        }
+    }
+    out
+}
+
+/// Splits a channel-concatenated gradient back into per-input gradients with
+/// the given channel counts (the adjoint of [`concat_channels`]).
+///
+/// # Panics
+///
+/// Panics if the channel counts do not sum to `grad.shape().c`.
+pub fn split_channels(grad: &Tensor4, channels: &[usize]) -> Vec<Tensor4> {
+    let s = grad.shape();
+    assert_eq!(
+        channels.iter().sum::<usize>(),
+        s.c,
+        "split channel counts must sum to input channels"
+    );
+    let mut outs = Vec::with_capacity(channels.len());
+    let mut c_base = 0usize;
+    for &c_cnt in channels {
+        let os = Shape4::new(s.n, c_cnt, s.h, s.w);
+        let mut t = Tensor4::zeros(os);
+        for n in 0..s.n {
+            for c in 0..c_cnt {
+                let src = grad.plane(n, c_base + c);
+                let start = os.offset(n, c, 0, 0);
+                t.as_mut_slice()[start..start + os.plane_len()].copy_from_slice(src);
+            }
+        }
+        outs.push(t);
+        c_base += c_cnt;
+    }
+    outs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_then_split_round_trips() {
+        let a = Tensor4::from_fn(Shape4::new(2, 2, 3, 3), |n, c, h, w| {
+            (n * 100 + c * 10 + h + w) as f32
+        });
+        let b = Tensor4::from_fn(Shape4::new(2, 3, 3, 3), |n, c, h, w| {
+            -((n * 100 + c * 10 + h + w) as f32)
+        });
+        let cat = concat_channels(&[&a, &b]);
+        assert_eq!(cat.shape(), Shape4::new(2, 5, 3, 3));
+        assert_eq!(cat[(1, 0, 0, 0)], a[(1, 0, 0, 0)]);
+        assert_eq!(cat[(1, 2, 1, 1)], b[(1, 0, 1, 1)]);
+        let parts = split_channels(&cat, &[2, 3]);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    #[should_panic(expected = "share batch and spatial")]
+    fn concat_rejects_mismatched_spatial() {
+        let a = Tensor4::zeros(Shape4::new(1, 1, 2, 2));
+        let b = Tensor4::zeros(Shape4::new(1, 1, 3, 3));
+        let _ = concat_channels(&[&a, &b]);
+    }
+
+    #[test]
+    fn concat_single_is_identity() {
+        let a = Tensor4::full(Shape4::new(1, 2, 2, 2), 3.0);
+        assert_eq!(concat_channels(&[&a]), a);
+    }
+}

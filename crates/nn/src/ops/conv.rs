@@ -1,0 +1,314 @@
+//! 2-D convolution layer (im2col fast path).
+
+use serde::{Deserialize, Serialize};
+use snapea_tensor::im2col::{col2im, im2col, ConvGeom};
+use snapea_tensor::{init, Shape2, Shape4, Tensor2, Tensor4};
+
+/// A 2-D convolution layer with bias.
+///
+/// Weights are stored NCHW as `[c_out, c_in, kh, kw]`. The forward/backward
+/// passes lower the convolution to matrix products through im2col; the SnaPEA
+/// executor (crate `snapea`) instead walks windows weight-by-weight to model
+/// early termination, and integration tests assert the two paths agree.
+///
+/// ```
+/// use snapea_nn::ops::Conv2d;
+/// use snapea_tensor::{im2col::ConvGeom, init, Shape4, Tensor4};
+///
+/// let conv = Conv2d::new(3, 8, ConvGeom::square(3, 1, 1), &mut init::rng(0));
+/// let x = Tensor4::full(Shape4::new(2, 3, 8, 8), 1.0);
+/// let y = conv.forward(&x);
+/// assert_eq!(y.shape(), Shape4::new(2, 8, 8, 8));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv2d {
+    weight: Tensor4,
+    bias: Vec<f32>,
+    geom: ConvGeom,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-initialized weights and zero bias.
+    pub fn new(c_in: usize, c_out: usize, geom: ConvGeom, rng: &mut rand::rngs::StdRng) -> Self {
+        Self {
+            weight: init::he_conv(Shape4::new(c_out, c_in, geom.kh, geom.kw), rng),
+            bias: vec![0.0; c_out],
+            geom,
+        }
+    }
+
+    /// Creates a convolution from explicit weights and bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != weight.shape().n` or the kernel spatial
+    /// dimensions disagree with `geom`.
+    pub fn from_parts(weight: Tensor4, bias: Vec<f32>, geom: ConvGeom) -> Self {
+        assert_eq!(bias.len(), weight.shape().n, "bias per output channel");
+        assert_eq!(weight.shape().h, geom.kh, "kernel height");
+        assert_eq!(weight.shape().w, geom.kw, "kernel width");
+        Self { weight, bias, geom }
+    }
+
+    /// The kernel tensor `[c_out, c_in, kh, kw]`.
+    pub fn weight(&self) -> &Tensor4 {
+        &self.weight
+    }
+
+    /// Mutable access to the kernel tensor.
+    pub fn weight_mut(&mut self) -> &mut Tensor4 {
+        &mut self.weight
+    }
+
+    /// Per-output-channel bias.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutable access to the bias.
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+
+    /// The convolution geometry.
+    pub fn geom(&self) -> ConvGeom {
+        self.geom
+    }
+
+    /// Number of input channels.
+    pub fn c_in(&self) -> usize {
+        self.weight.shape().c
+    }
+
+    /// Number of output channels (kernels).
+    pub fn c_out(&self) -> usize {
+        self.weight.shape().n
+    }
+
+    /// Number of weights in a single kernel (`c_in * kh * kw`) — the window
+    /// length the paper calls `C_in × D × D`.
+    pub fn window_len(&self) -> usize {
+        self.weight.shape().item_len()
+    }
+
+    /// Output shape for a given input shape.
+    pub fn out_shape(&self, input: Shape4) -> Shape4 {
+        Shape4::new(
+            input.n,
+            self.c_out(),
+            self.geom.out_h(input.h),
+            self.geom.out_w(input.w),
+        )
+    }
+
+    /// MAC count for a full (non-terminated) evaluation of this layer on an
+    /// input of shape `input`: `windows × window_len`.
+    pub fn full_macs(&self, input: Shape4) -> u64 {
+        let out = self.out_shape(input);
+        (out.n * out.c * out.h * out.w) as u64 * self.window_len() as u64
+    }
+
+    /// Kernel weights as a `[c_out, c_in*kh*kw]` matrix (rows are kernels).
+    pub fn weight_matrix(&self) -> Tensor2 {
+        Tensor2::from_vec(
+            Shape2::new(self.c_out(), self.window_len()),
+            self.weight.as_slice().to_vec(),
+        )
+        .expect("weight layout is contiguous")
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.shape().c != self.c_in()`.
+    pub fn forward(&self, input: &Tensor4) -> Tensor4 {
+        assert_eq!(input.shape().c, self.c_in(), "conv input channels");
+        let out_shape = self.out_shape(input.shape());
+        let wmat = self.weight_matrix();
+        let mut out = Tensor4::zeros(out_shape);
+        for n in 0..input.shape().n {
+            let cols = im2col(input, n, self.geom);
+            let prod = wmat.matmul(&cols).expect("im2col shape is consistent");
+            let dst = out.item_mut(n);
+            let plane = out_shape.plane_len();
+            for co in 0..out_shape.c {
+                let row = prod.row(co);
+                let b = self.bias[co];
+                for (d, &v) in dst[co * plane..(co + 1) * plane].iter_mut().zip(row) {
+                    *d = v + b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass: given the layer input and the gradient of the loss with
+    /// respect to the output, returns `(grad_input, grad_weight, grad_bias)`.
+    pub fn backward(&self, input: &Tensor4, grad_out: &Tensor4) -> (Tensor4, Tensor4, Vec<f32>) {
+        let out_shape = self.out_shape(input.shape());
+        assert_eq!(grad_out.shape(), out_shape, "conv grad_out shape");
+        let wmat = self.weight_matrix();
+        let plane = out_shape.plane_len();
+        let mut grad_in = Tensor4::zeros(input.shape());
+        let mut grad_w = Tensor2::zeros(Shape2::new(self.c_out(), self.window_len()));
+        let mut grad_b = vec![0.0f32; self.c_out()];
+        for n in 0..input.shape().n {
+            let cols = im2col(input, n, self.geom);
+            // grad_out for this item as [c_out, oh*ow]
+            let go = Tensor2::from_vec(
+                Shape2::new(out_shape.c, plane),
+                grad_out.item(n).to_vec(),
+            )
+            .expect("contiguous item");
+            // dW += dOut × colsᵀ
+            let dw = go.matmul_t(&cols).expect("shapes agree");
+            grad_w.add_assign(&dw).expect("same shape");
+            // db += row sums of dOut
+            for (co, g) in grad_b.iter_mut().enumerate() {
+                *g += go.row(co).iter().sum::<f32>();
+            }
+            // dIn = Wᵀ × dOut, scattered through col2im
+            let dcols = wmat.t_matmul(&go).expect("shapes agree");
+            col2im(&dcols, &mut grad_in, n, self.geom);
+        }
+        let grad_w4 = Tensor4::from_vec(self.weight.shape(), grad_w.into_vec())
+            .expect("weight layout is contiguous");
+        (grad_in, grad_w4, grad_b)
+    }
+
+    /// Applies a gradient step `w -= lr * gw`, `b -= lr * gb` (used by the
+    /// trainer through velocity buffers).
+    pub fn apply_step(&mut self, gw: &Tensor4, gb: &[f32], lr: f32) {
+        for (w, g) in self.weight.iter_mut().zip(gw.iter()) {
+            *w -= lr * g;
+        }
+        for (b, g) in self.bias.iter_mut().zip(gb.iter()) {
+            *b -= lr * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapea_tensor::init::rng;
+
+    /// Reference direct convolution, used to validate the im2col path.
+    fn conv_reference(conv: &Conv2d, input: &Tensor4) -> Tensor4 {
+        let s = input.shape();
+        let g = conv.geom();
+        let os = conv.out_shape(s);
+        Tensor4::from_fn(os, |n, co, oy, ox| {
+            let mut acc = conv.bias()[co];
+            for ci in 0..s.c {
+                for ky in 0..g.kh {
+                    for kx in 0..g.kw {
+                        let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        if iy < 0 || ix < 0 || iy >= s.h as isize || ix >= s.w as isize {
+                            continue;
+                        }
+                        acc += input[(n, ci, iy as usize, ix as usize)]
+                            * conv.weight()[(co, ci, ky, kx)];
+                    }
+                }
+            }
+            acc
+        })
+    }
+
+    #[test]
+    fn forward_matches_direct_convolution() {
+        for (k, stride, pad) in [(3, 1, 1), (3, 2, 0), (1, 1, 0), (5, 1, 2), (3, 2, 1)] {
+            let mut r = rng(9);
+            let conv = Conv2d::new(3, 4, ConvGeom::square(k, stride, pad), &mut r);
+            let x = snapea_tensor::init::uniform4(Shape4::new(2, 3, 9, 9), 1.0, &mut r);
+            let fast = conv.forward(&x);
+            let slow = conv_reference(&conv, &x);
+            assert_eq!(fast.shape(), slow.shape());
+            for (a, b) in fast.iter().zip(slow.iter()) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b} (k={k} s={stride} p={pad})");
+            }
+        }
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let mut conv = Conv2d::new(1, 2, ConvGeom::square(1, 1, 0), &mut rng(0));
+        conv.weight_mut().map_inplace(|_| 0.0);
+        conv.bias_mut()[0] = 1.5;
+        conv.bias_mut()[1] = -2.5;
+        let x = Tensor4::zeros(Shape4::new(1, 1, 2, 2));
+        let y = conv.forward(&x);
+        assert!(y.plane(0, 0).iter().all(|&v| v == 1.5));
+        assert!(y.plane(0, 1).iter().all(|&v| v == -2.5));
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_differences() {
+        let mut r = rng(3);
+        let conv = Conv2d::new(2, 3, ConvGeom::square(3, 1, 1), &mut r);
+        let x = snapea_tensor::init::uniform4(Shape4::new(1, 2, 4, 4), 1.0, &mut r);
+        // Loss = sum(forward(x)); grad_out = ones.
+        let y = conv.forward(&x);
+        let go = Tensor4::full(y.shape(), 1.0);
+        let (gi, gw, gb) = conv.backward(&x, &go);
+
+        let eps = 1e-3;
+        // Check a few input positions.
+        for &(c, h, w) in &[(0usize, 0usize, 0usize), (1, 2, 3), (0, 3, 1)] {
+            let mut xp = x.clone();
+            xp[(0, c, h, w)] += eps;
+            let mut xm = x.clone();
+            xm[(0, c, h, w)] -= eps;
+            let num = (conv.forward(&xp).sum() - conv.forward(&xm).sum()) / (2.0 * eps);
+            assert!(
+                (num - gi[(0, c, h, w)]).abs() < 1e-2,
+                "input grad at ({c},{h},{w}): fd {num} vs {}",
+                gi[(0, c, h, w)]
+            );
+        }
+        // Check a few weight positions.
+        for &(co, ci, ky, kx) in &[(0usize, 0usize, 0usize, 0usize), (2, 1, 2, 2), (1, 0, 1, 1)] {
+            let mut cp = conv.clone();
+            cp.weight_mut()[(co, ci, ky, kx)] += eps;
+            let mut cm = conv.clone();
+            cm.weight_mut()[(co, ci, ky, kx)] -= eps;
+            let num = (cp.forward(&x).sum() - cm.forward(&x).sum()) / (2.0 * eps);
+            assert!(
+                (num - gw[(co, ci, ky, kx)]).abs() < 1e-2,
+                "weight grad at ({co},{ci},{ky},{kx}): fd {num} vs {}",
+                gw[(co, ci, ky, kx)]
+            );
+        }
+        // Bias gradient is just the number of output positions per channel.
+        let plane = conv.out_shape(x.shape()).plane_len() as f32;
+        for &g in &gb {
+            assert!((g - plane).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn full_macs_counts_every_tap() {
+        let conv = Conv2d::new(4, 8, ConvGeom::square(3, 1, 1), &mut rng(0));
+        let s = Shape4::new(2, 4, 8, 8);
+        // 2 images × 8 kernels × 8×8 windows × (4×3×3) taps
+        assert_eq!(conv.full_macs(s), 2 * 8 * 64 * 36);
+        assert_eq!(conv.window_len(), 36);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let w = Tensor4::zeros(Shape4::new(2, 1, 3, 3));
+        let c = Conv2d::from_parts(w, vec![0.0, 0.0], ConvGeom::square(3, 1, 1));
+        assert_eq!(c.c_out(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias per output channel")]
+    fn from_parts_rejects_bad_bias() {
+        let w = Tensor4::zeros(Shape4::new(2, 1, 3, 3));
+        let _ = Conv2d::from_parts(w, vec![0.0], ConvGeom::square(3, 1, 1));
+    }
+}

@@ -1,0 +1,15 @@
+//! Neural-network layer primitives with forward and backward passes.
+
+mod concat;
+mod conv;
+mod fc;
+mod lrn;
+mod pool;
+mod relu;
+
+pub use concat::{concat_channels, split_channels};
+pub use conv::Conv2d;
+pub use fc::Linear;
+pub use lrn::Lrn;
+pub use pool::{AvgPool, MaxPool, PoolGeom};
+pub use relu::{relu, relu_backward};

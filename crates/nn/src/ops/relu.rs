@@ -1,0 +1,52 @@
+//! Rectified Linear Unit.
+//!
+//! ReLU is the algorithmic hinge of the whole paper: it maps every negative
+//! convolution output to zero, which is what makes early termination of the
+//! convolution sound (exact mode) or cheap to speculate on (predictive mode).
+
+use snapea_tensor::Tensor4;
+
+/// Forward ReLU: `max(0, x)` elementwise.
+pub fn relu(input: &Tensor4) -> Tensor4 {
+    input.map(|v| if v > 0.0 { v } else { 0.0 })
+}
+
+/// Backward ReLU: passes the gradient where the *input* was positive.
+pub fn relu_backward(input: &Tensor4, grad_out: &Tensor4) -> Tensor4 {
+    let mut grad_in = grad_out.clone();
+    for (g, &x) in grad_in.iter_mut().zip(input.iter()) {
+        if x <= 0.0 {
+            *g = 0.0;
+        }
+    }
+    grad_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapea_tensor::Shape4;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor4::from_vec(
+            Shape4::new(1, 1, 2, 2),
+            vec![-1.0, 0.0, 2.0, -0.5],
+        )
+        .unwrap();
+        let y = relu(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let x = Tensor4::from_vec(
+            Shape4::new(1, 1, 2, 2),
+            vec![-1.0, 0.0, 2.0, 3.0],
+        )
+        .unwrap();
+        let go = Tensor4::full(x.shape(), 5.0);
+        let gi = relu_backward(&x, &go);
+        assert_eq!(gi.as_slice(), &[0.0, 0.0, 5.0, 5.0]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Activation statistics behind the paper's Figures 1 and 2.
+//!
+//! Figure 1 reports the fraction of activation-layer inputs (i.e. convolution
+//! outputs feeding a ReLU) that are negative — 42–68% across the paper's
+//! networks. Figure 2 shows that the *spatial location* of zeros varies from
+//! input image to input image, which is why a static (pruning-style) approach
+//! cannot capture them and a runtime mechanism is needed.
+
+use crate::graph::{Graph, NodeId, Op};
+use snapea_tensor::Tensor4;
+
+/// Per-conv-layer negative-input statistics for one network/batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NegativeStats {
+    /// `(conv node id, layer name, negative fraction)` per conv layer.
+    pub per_layer: Vec<(NodeId, String, f64)>,
+    /// Element-weighted overall negative fraction.
+    pub overall: f64,
+}
+
+/// Measures, for every convolution layer that feeds a ReLU, the fraction of
+/// its outputs that are negative (Figure 1).
+pub fn negative_fraction(net: &Graph, batch: &Tensor4) -> NegativeStats {
+    let acts = net.forward(batch);
+    let mut per_layer = Vec::new();
+    let mut neg = 0usize;
+    let mut total = 0usize;
+    for id in net.conv_ids() {
+        if !net.feeds_only_relu(id) {
+            continue;
+        }
+        let a = &acts[id];
+        let n = a.iter().filter(|v| **v < 0.0).count();
+        per_layer.push((id, net.node(id).name.clone(), n as f64 / a.shape().len() as f64));
+        neg += n;
+        total += a.shape().len();
+    }
+    NegativeStats {
+        per_layer,
+        overall: if total == 0 { 0.0 } else { neg as f64 / total as f64 },
+    }
+}
+
+/// A boolean zero-mask of one activation tensor (true where the
+/// post-ReLU value is zero).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZeroMap {
+    /// Channel count of the mapped activation.
+    pub channels: usize,
+    /// Spatial extent (h, w).
+    pub spatial: (usize, usize),
+    /// Flattened mask, true = zero activation.
+    pub mask: Vec<bool>,
+}
+
+impl ZeroMap {
+    /// Fraction of zero entries.
+    pub fn zero_fraction(&self) -> f64 {
+        if self.mask.is_empty() {
+            return 0.0;
+        }
+        self.mask.iter().filter(|z| **z).count() as f64 / self.mask.len() as f64
+    }
+
+    /// Jaccard similarity of the zero sets of two maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the maps have different extents.
+    pub fn jaccard(&self, other: &ZeroMap) -> f64 {
+        assert_eq!(self.mask.len(), other.mask.len(), "zero map extents differ");
+        let mut inter = 0usize;
+        let mut union = 0usize;
+        for (&a, &b) in self.mask.iter().zip(other.mask.iter()) {
+            if a && b {
+                inter += 1;
+            }
+            if a || b {
+                union += 1;
+            }
+        }
+        if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+}
+
+/// Computes the post-ReLU zero map of conv node `conv_id`'s activation for
+/// batch item `item` (Figure 2's intermediate feature maps).
+///
+/// # Panics
+///
+/// Panics if `conv_id` is not a conv node of `net`.
+pub fn zero_map(net: &Graph, batch: &Tensor4, conv_id: NodeId, item: usize) -> ZeroMap {
+    assert!(
+        matches!(net.node(conv_id).op, Op::Conv(_)),
+        "node {conv_id} is not a convolution"
+    );
+    let acts = net.forward(batch);
+    let a = &acts[conv_id];
+    let s = a.shape();
+    let mut mask = Vec::with_capacity(s.item_len());
+    for &v in a.item(item) {
+        mask.push(v <= 0.0); // ReLU squashes non-positive values to zero
+    }
+    ZeroMap {
+        channels: s.c,
+        spatial: (s.h, s.w),
+        mask,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SynthShapes;
+    use crate::zoo;
+    use snapea_tensor::Shape4;
+
+    #[test]
+    fn negative_fraction_on_untrained_net_is_substantial() {
+        // He-initialized conv layers upstream of ReLU produce roughly
+        // zero-centred pre-activations: the negative fraction should be far
+        // from both 0 and 1 — the same band the paper's Figure 1 reports.
+        let net = zoo::mini_alexnet(10);
+        let data = SynthShapes::new(zoo::INPUT_SIZE, 10).generate(8, 3);
+        let batch = SynthShapes::batch(&data);
+        let stats = negative_fraction(&net, &batch);
+        assert!(!stats.per_layer.is_empty());
+        assert!(
+            stats.overall > 0.2 && stats.overall < 0.9,
+            "overall negative fraction {}",
+            stats.overall
+        );
+    }
+
+    #[test]
+    fn zero_maps_vary_across_images() {
+        // The paper's Figure 2 insight: the spatial distribution of zeros
+        // depends on the input image.
+        let net = zoo::mini_squeezenet(10);
+        let data = SynthShapes::new(zoo::INPUT_SIZE, 10).generate(2, 9);
+        let batch = SynthShapes::batch(&data);
+        let conv = net.conv_ids()[1];
+        let m0 = zero_map(&net, &batch, conv, 0);
+        let m1 = zero_map(&net, &batch, conv, 1);
+        assert!(m0.zero_fraction() > 0.05);
+        let j = m0.jaccard(&m1);
+        assert!(j < 0.999, "zero maps identical across images (jaccard {j})");
+    }
+
+    #[test]
+    fn jaccard_properties() {
+        let a = ZeroMap {
+            channels: 1,
+            spatial: (2, 2),
+            mask: vec![true, false, true, false],
+        };
+        let b = ZeroMap {
+            channels: 1,
+            spatial: (2, 2),
+            mask: vec![true, true, false, false],
+        };
+        assert_eq!(a.jaccard(&a), 1.0);
+        assert!((a.jaccard(&b) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(a.zero_fraction(), 0.5);
+        let empty = ZeroMap {
+            channels: 1,
+            spatial: (2, 2),
+            mask: vec![false; 4],
+        };
+        assert_eq!(empty.jaccard(&empty), 1.0);
+    }
+
+    #[test]
+    fn negative_fraction_all_positive_weights_is_zero() {
+        // A conv with all-positive weights and biases over non-negative
+        // inputs can never be negative.
+        use crate::GraphBuilder;
+        use snapea_tensor::im2col::ConvGeom;
+        use snapea_tensor::init;
+        let mut rng = init::rng(0);
+        let mut b = GraphBuilder::new();
+        let x = b.input();
+        let c = b.conv("c", x, 1, 2, ConvGeom::square(3, 1, 1), &mut rng);
+        let _ = b.relu("r", c);
+        let mut g = b.build();
+        if let Op::Conv(conv) = &mut g.node_mut(1).op {
+            conv.weight_mut().map_inplace(f32::abs);
+        }
+        let batch = Tensor4::full(Shape4::new(1, 1, 8, 8), 1.0);
+        let stats = negative_fraction(&g, &batch);
+        assert_eq!(stats.overall, 0.0);
+    }
+}

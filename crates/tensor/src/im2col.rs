@@ -1,0 +1,175 @@
+//! im2col / col2im transforms used by the fast convolution path.
+//!
+//! The forward/backward passes of [`snapea-nn`]'s convolution layer lower a
+//! convolution to a matrix product: weights `[c_out, c_in*kh*kw]` times the
+//! im2col patch matrix `[c_in*kh*kw, out_h*out_w]`. The SnaPEA executor in the
+//! `snapea` crate does *not* use this path — it walks windows weight-by-weight
+//! to model early termination — but both paths must agree numerically, which
+//! the integration tests assert.
+
+use crate::{Shape2, Tensor2, Tensor4};
+
+/// Geometry of a 2-D convolution: kernel size, stride and zero padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ConvGeom {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Vertical and horizontal stride.
+    pub stride: usize,
+    /// Zero padding applied on every side.
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Creates a square-kernel geometry.
+    pub fn square(k: usize, stride: usize, pad: usize) -> Self {
+        Self {
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        }
+    }
+
+    /// Output height for an input of height `h`.
+    pub fn out_h(&self, h: usize) -> usize {
+        (h + 2 * self.pad).saturating_sub(self.kh) / self.stride + 1
+    }
+
+    /// Output width for an input of width `w`.
+    pub fn out_w(&self, w: usize) -> usize {
+        (w + 2 * self.pad).saturating_sub(self.kw) / self.stride + 1
+    }
+}
+
+/// Expands batch item `n` of `input` into the im2col patch matrix of shape
+/// `[c_in*kh*kw, out_h*out_w]`. Out-of-bounds (padding) taps contribute zero.
+///
+/// # Panics
+///
+/// Panics if `n` is out of bounds.
+pub fn im2col(input: &Tensor4, n: usize, geom: ConvGeom) -> Tensor2 {
+    let s = input.shape();
+    let (oh, ow) = (geom.out_h(s.h), geom.out_w(s.w));
+    let rows = s.c * geom.kh * geom.kw;
+    let mut out = Tensor2::zeros(Shape2::new(rows, oh * ow));
+    for c in 0..s.c {
+        for ky in 0..geom.kh {
+            for kx in 0..geom.kw {
+                let row = (c * geom.kh + ky) * geom.kw + kx;
+                let dst = out.row_mut(row);
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                    if iy < 0 || iy >= s.h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                        if ix < 0 || ix >= s.w as isize {
+                            continue;
+                        }
+                        dst[oy * ow + ox] = input[(n, c, iy as usize, ix as usize)];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Scatters a patch-matrix gradient (shape `[c_in*kh*kw, out_h*out_w]`) back
+/// into an input-shaped gradient for batch item `n`, accumulating overlaps.
+///
+/// Inverse-adjoint of [`im2col`]: padding positions are dropped.
+///
+/// # Panics
+///
+/// Panics if `cols` has the wrong shape for `(grad_input.shape(), geom)`.
+pub fn col2im(cols: &Tensor2, grad_input: &mut Tensor4, n: usize, geom: ConvGeom) {
+    let s = grad_input.shape();
+    let (oh, ow) = (geom.out_h(s.h), geom.out_w(s.w));
+    assert_eq!(
+        cols.shape(),
+        Shape2::new(s.c * geom.kh * geom.kw, oh * ow),
+        "col2im: patch matrix shape mismatch"
+    );
+    for c in 0..s.c {
+        for ky in 0..geom.kh {
+            for kx in 0..geom.kw {
+                let row = (c * geom.kh + ky) * geom.kw + kx;
+                let src = cols.row(row);
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                    if iy < 0 || iy >= s.h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                        if ix < 0 || ix >= s.w as isize {
+                            continue;
+                        }
+                        grad_input[(n, c, iy as usize, ix as usize)] += src[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape4;
+
+    #[test]
+    fn geometry() {
+        let g = ConvGeom::square(3, 1, 1);
+        assert_eq!(g.out_h(8), 8);
+        assert_eq!(g.out_w(8), 8);
+        let g = ConvGeom::square(3, 2, 0);
+        assert_eq!(g.out_h(7), 3);
+        let g = ConvGeom::square(1, 1, 0);
+        assert_eq!(g.out_h(5), 5);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: im2col is just the channel planes.
+        let t = Tensor4::from_fn(Shape4::new(1, 2, 2, 2), |_, c, h, w| {
+            (c * 4 + h * 2 + w) as f32
+        });
+        let m = im2col(&t, 0, ConvGeom::square(1, 1, 0));
+        assert_eq!(m.shape(), Shape2::new(2, 4));
+        assert_eq!(m.row(0), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn im2col_padding_zero_fills() {
+        let t = Tensor4::full(Shape4::new(1, 1, 2, 2), 1.0);
+        let m = im2col(&t, 0, ConvGeom::square(3, 1, 1));
+        // Centre tap of the 3x3 kernel sees every input pixel.
+        let centre = m.row(4);
+        assert_eq!(centre, &[1.0, 1.0, 1.0, 1.0]);
+        // Top-left tap only sees the input at output (1,1).
+        let tl = m.row(0);
+        assert_eq!(tl, &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y.
+        let geom = ConvGeom::square(3, 2, 1);
+        let shape = Shape4::new(1, 2, 5, 5);
+        let x = Tensor4::from_fn(shape, |_, c, h, w| ((c * 25 + h * 5 + w) as f32).sin());
+        let cols = im2col(&x, 0, geom);
+        let y = Tensor2::from_fn(cols.shape(), |r, c| ((r * 31 + c * 7) as f32).cos());
+        let lhs: f32 = cols.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+        let mut back = Tensor4::zeros(shape);
+        col2im(&y, &mut back, 0, geom);
+        let rhs: f32 = x.iter().zip(back.iter()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+}

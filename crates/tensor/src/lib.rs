@@ -1,0 +1,40 @@
+//! Minimal dense tensor library underpinning the SnaPEA reproduction.
+//!
+//! The crate provides exactly what the CNN substrate ([`snapea-nn`]) and the
+//! SnaPEA core need:
+//!
+//! * [`Tensor4`] — a dense, row-major, NCHW `f32` tensor used for activations
+//!   and convolution kernels.
+//! * [`Tensor2`] — a dense matrix used by fully-connected layers and the
+//!   im2col-based convolution path.
+//! * [`init`] — deterministic, seeded weight initializers.
+//! * [`q16`] — 16-bit fixed-point arithmetic mirroring the paper's 16-bit
+//!   fixed-point processing engines (Table II of the paper).
+//!
+//! Everything is deterministic: no global RNG state, no wall-clock.
+//!
+//! # Examples
+//!
+//! ```
+//! use snapea_tensor::{Shape4, Tensor4};
+//!
+//! let mut t = Tensor4::zeros(Shape4::new(1, 3, 4, 4));
+//! t[(0, 0, 0, 0)] = 1.0;
+//! assert_eq!(t[(0, 0, 0, 0)], 1.0);
+//! assert_eq!(t.shape().len(), 48);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matrix;
+mod shape;
+mod tensor4;
+
+pub mod im2col;
+pub mod init;
+pub mod q16;
+
+pub use matrix::Tensor2;
+pub use shape::{Shape2, Shape4, ShapeError};
+pub use tensor4::Tensor4;

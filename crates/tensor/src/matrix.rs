@@ -1,0 +1,330 @@
+//! Dense 2-D matrix.
+
+use crate::{Shape2, ShapeError};
+use serde::{Deserialize, Serialize};
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major `f32` matrix.
+///
+/// Used by fully-connected layers, the im2col convolution path, and the
+/// softmax/loss computations.
+///
+/// ```
+/// use snapea_tensor::{Shape2, Tensor2};
+/// let a = Tensor2::from_fn(Shape2::new(2, 3), |r, c| (r * 3 + c) as f32);
+/// let b = Tensor2::eye(3);
+/// let c = a.matmul(&b).unwrap();
+/// assert_eq!(c, a);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor2 {
+    shape: Shape2,
+    data: Vec<f32>,
+}
+
+impl Tensor2 {
+    /// Creates a matrix filled with zeros.
+    pub fn zeros(shape: Shape2) -> Self {
+        Self {
+            shape,
+            data: vec![0.0; shape.len()],
+        }
+    }
+
+    /// Creates a matrix filled with `value`.
+    pub fn full(shape: Shape2, value: f32) -> Self {
+        Self {
+            shape,
+            data: vec![value; shape.len()],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(Shape2::new(n, n));
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every coordinate.
+    pub fn from_fn(shape: Shape2, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(shape.len());
+        for r in 0..shape.rows {
+            for c in 0..shape.cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { shape, data }
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `data.len() != shape.len()`.
+    pub fn from_vec(shape: Shape2, data: Vec<f32>) -> Result<Self, ShapeError> {
+        if data.len() != shape.len() {
+            return Err(ShapeError::new(format!(
+                "expected {} elements for shape {shape}, got {}",
+                shape.len(),
+                data.len()
+            )));
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// The matrix shape.
+    pub fn shape(&self) -> Shape2 {
+        self.shape
+    }
+
+    /// Borrow the flat row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the flat row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its flat data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow row `r` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f32] {
+        let start = self.shape.offset(r, 0);
+        &self.data[start..start + self.shape.cols]
+    }
+
+    /// Mutably borrow row `r` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        let start = self.shape.offset(r, 0);
+        let cols = self.shape.cols;
+        &mut self.data[start..start + cols]
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Tensor2) -> Result<Tensor2, ShapeError> {
+        if self.shape.cols != rhs.shape.rows {
+            return Err(ShapeError::new(format!(
+                "matmul: {} × {}",
+                self.shape, rhs.shape
+            )));
+        }
+        let (m, k, n) = (self.shape.rows, self.shape.cols, rhs.shape.cols);
+        let mut out = Tensor2::zeros(Shape2::new(m, n));
+        // ikj loop order keeps the inner loop contiguous over both rhs and out.
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (p, &a) in a_row.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(p);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product `selfᵀ × rhs` without materialising the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `self.rows != rhs.rows`.
+    pub fn t_matmul(&self, rhs: &Tensor2) -> Result<Tensor2, ShapeError> {
+        if self.shape.rows != rhs.shape.rows {
+            return Err(ShapeError::new(format!(
+                "t_matmul: {}ᵀ × {}",
+                self.shape, rhs.shape
+            )));
+        }
+        let (m, k, n) = (self.shape.cols, self.shape.rows, rhs.shape.cols);
+        let mut out = Tensor2::zeros(Shape2::new(m, n));
+        for p in 0..k {
+            let a_row = self.row(p);
+            let b_row = rhs.row(p);
+            for (i, &a) in a_row.iter().enumerate().take(m) {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product `self × rhsᵀ` without materialising the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `self.cols != rhs.cols`.
+    pub fn matmul_t(&self, rhs: &Tensor2) -> Result<Tensor2, ShapeError> {
+        if self.shape.cols != rhs.shape.cols {
+            return Err(ShapeError::new(format!(
+                "matmul_t: {} × {}ᵀ",
+                self.shape, rhs.shape
+            )));
+        }
+        let (m, n) = (self.shape.rows, rhs.shape.rows);
+        let mut out = Tensor2::zeros(Shape2::new(m, n));
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate().take(n) {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transpose(&self) -> Tensor2 {
+        Tensor2::from_fn(Shape2::new(self.shape.cols, self.shape.rows), |r, c| {
+            self[(c, r)]
+        })
+    }
+
+    /// Adds `other` element-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if the shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor2) -> Result<(), ShapeError> {
+        if self.shape != other.shape {
+            return Err(ShapeError::new(format!(
+                "add: {} vs {}",
+                self.shape, other.shape
+            )));
+        }
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Scales every element by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Iterate over all elements in row-major order.
+    pub fn iter(&self) -> std::slice::Iter<'_, f32> {
+        self.data.iter()
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+}
+
+impl Index<(usize, usize)> for Tensor2 {
+    type Output = f32;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        &self.data[self.shape.offset(r, c)]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Tensor2 {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        &mut self.data[self.shape.offset(r, c)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, v: &[f32]) -> Tensor2 {
+        Tensor2::from_vec(Shape2::new(rows, cols), v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = mat(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = mat(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, mat(2, 2, &[58.0, 64.0, 139.0, 154.0]));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = mat(2, 3, &[0.0; 6]);
+        let b = mat(2, 3, &[0.0; 6]);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transposed_products_agree_with_explicit_transpose() {
+        let a = mat(3, 2, &[1.0, -2.0, 0.5, 4.0, -1.0, 2.0]);
+        let b = mat(3, 4, &(0..12).map(|i| i as f32 * 0.25 - 1.0).collect::<Vec<_>>());
+        let fast = a.t_matmul(&b).unwrap();
+        let slow = a.transpose().matmul(&b).unwrap();
+        assert_eq!(fast, slow);
+
+        let c = mat(5, 2, &(0..10).map(|i| (i as f32).sin()).collect::<Vec<_>>());
+        let fast = a.matmul_t(&c).unwrap();
+        let slow = a.matmul(&c.transpose()).unwrap();
+        for (x, y) in fast.iter().zip(slow.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn eye_is_identity_for_matmul() {
+        let a = mat(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.matmul(&Tensor2::eye(2)).unwrap(), a);
+        assert_eq!(Tensor2::eye(2).matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn rows_and_mutation() {
+        let mut a = mat(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.row(1), &[4.0, 5.0, 6.0]);
+        a.row_mut(0)[2] = 9.0;
+        assert_eq!(a[(0, 2)], 9.0);
+        a.scale(2.0);
+        assert_eq!(a.sum(), 2.0 * (1.0 + 2.0 + 9.0 + 4.0 + 5.0 + 6.0));
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests of the tensor primitives.
+
+use proptest::prelude::*;
+use snapea_tensor::im2col::{col2im, im2col, ConvGeom};
+use snapea_tensor::{Shape2, Shape4, Tensor2, Tensor4};
+
+fn mat(rows: usize, cols: usize) -> impl Strategy<Value = Tensor2> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Tensor2::from_vec(Shape2::new(rows, cols), v).expect("sized"))
+}
+
+proptest! {
+    /// (A·B)·C == A·(B·C) within float tolerance.
+    #[test]
+    fn matmul_is_associative(a in mat(3, 4), b in mat(4, 5), c in mat(5, 2)) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for (x, y) in left.iter().zip(right.iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Transpose is an involution and transposed products match.
+    #[test]
+    fn transpose_involution(a in mat(4, 6)) {
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+    }
+
+    /// `t_matmul` and `matmul_t` agree with explicit transposes.
+    #[test]
+    fn fused_transpose_products(a in mat(5, 3), b in mat(5, 4), c in mat(6, 3)) {
+        let fused = a.t_matmul(&b).unwrap();
+        let explicit = a.transpose().matmul(&b).unwrap();
+        for (x, y) in fused.iter().zip(explicit.iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+        let fused = a.matmul_t(&c).unwrap();
+        let explicit = a.matmul(&c.transpose()).unwrap();
+        for (x, y) in fused.iter().zip(explicit.iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// im2col/col2im satisfy the adjoint identity
+    /// `<im2col(x), y> == <x, col2im(y)>` for every geometry.
+    #[test]
+    fn im2col_adjoint_identity(
+        xv in prop::collection::vec(-1.0f32..1.0, 2 * 6 * 6),
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        let shape = Shape4::new(1, 2, 6, 6);
+        let geom = ConvGeom::square(k, stride, pad);
+        prop_assume!(geom.out_h(6) > 0 && geom.out_w(6) > 0);
+        let x = Tensor4::from_vec(shape, xv).expect("sized");
+        let cols = im2col(&x, 0, geom);
+        let y = Tensor2::from_fn(cols.shape(), |r, c| ((r * 13 + c * 7) % 5) as f32 - 2.0);
+        let lhs: f32 = cols.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+        let mut back = Tensor4::zeros(shape);
+        col2im(&y, &mut back, 0, geom);
+        let rhs: f32 = x.iter().zip(back.iter()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    /// `negative_fraction` is exactly the count of negatives over the size.
+    #[test]
+    fn negative_fraction_definition(v in prop::collection::vec(-1.0f32..1.0, 24)) {
+        let t = Tensor4::from_vec(Shape4::new(1, 2, 3, 4), v.clone()).expect("sized");
+        let expect = v.iter().filter(|x| **x < 0.0).count() as f64 / 24.0;
+        prop_assert_eq!(t.negative_fraction(), expect);
+    }
+}

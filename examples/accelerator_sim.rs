@@ -1,0 +1,65 @@
+//! Simulate a whole CNN on the SnaPEA accelerator vs the EYERISS-style
+//! baseline (the paper's Figure 8 flow on one network).
+//!
+//! ```text
+//! cargo run --release --example accelerator_sim
+//! ```
+
+use snapea_suite::accel::area::area_of;
+use snapea_suite::accel::sim::simulate;
+use snapea_suite::accel::workload::network_workload;
+use snapea_suite::accel::{AccelConfig, EnergyModel};
+use snapea_suite::core::params::NetworkParams;
+use snapea_suite::core::spec_net::profile_network;
+use snapea_suite::nn::data::SynthShapes;
+use snapea_suite::nn::zoo;
+
+fn main() {
+    // MiniSqueezeNet (26 conv layers, Fire modules) over a small batch of
+    // SynthShapes images. He-initialised weights already show the paper's
+    // key property: roughly half of all convolution outputs are negative.
+    let net = zoo::mini_squeezenet(10);
+    let data = SynthShapes::new(zoo::INPUT_SIZE, 10).generate(4, 7);
+    let batch = SynthShapes::batch(&data);
+
+    // Exact-mode op counts for every conv layer.
+    let profile = profile_network(&net, &NetworkParams::new(), &batch, false);
+    println!(
+        "SqueezeNet: {} conv layers, {:.1}% of conv MACs eliminated in exact mode",
+        profile.layers.len(),
+        profile.savings() * 100.0
+    );
+
+    // Map onto both machines.
+    let model = EnergyModel::default();
+    let wl = network_workload("SqueezeNet", &net, &batch, &profile);
+    let snapea = simulate(&AccelConfig::snapea(), &model, &wl);
+    let eyeriss = simulate(&AccelConfig::eyeriss(), &model, &wl.to_dense());
+
+    println!("\n{:<12} {:>12} {:>14} {:>10}", "machine", "cycles", "energy (uJ)", "util");
+    for (name, r) in [("SnaPEA", &snapea), ("EYERISS", &eyeriss)] {
+        println!(
+            "{:<12} {:>12} {:>14.3} {:>9.1}%",
+            name,
+            r.cycles,
+            r.total_pj() / 1e6,
+            r.utilization() * 100.0
+        );
+    }
+    println!(
+        "\nspeedup {:.2}x, energy reduction {:.2}x",
+        snapea.speedup_over(&eyeriss),
+        snapea.energy_reduction_over(&eyeriss)
+    );
+
+    println!("\narea (Table II model):");
+    for cfg in [AccelConfig::snapea(), AccelConfig::eyeriss()] {
+        let a = area_of(&cfg);
+        println!(
+            "  {:3} PEs x {} lanes: {:.1} mm^2",
+            cfg.pe_count(),
+            cfg.lanes_per_pe,
+            a.total_mm2
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Run the paper's Algorithm 1 end to end on a small trained network:
+//! train on SynthShapes, then search per-kernel `(Th, N)` speculation
+//! parameters under an accuracy budget and report the computation saved.
+//!
+//! ```text
+//! cargo run --release --example predictive_tuning
+//! ```
+
+use snapea_suite::core::optimizer::{Optimizer, OptimizerConfig};
+use snapea_suite::nn::data::SynthShapes;
+use snapea_suite::nn::train::{evaluate, TrainConfig, Trainer};
+use snapea_suite::nn::zoo;
+use snapea_suite::tensor::init;
+
+fn main() {
+    // Train MiniAlexNet briefly on SynthShapes.
+    let gen = SynthShapes::new(zoo::INPUT_SIZE, 6);
+    let train = gen.generate(180, 11);
+    let opt_set = gen.generate(36, 12);
+    let eval = gen.generate(90, 13);
+
+    let mut net = zoo::mini_alexnet(6);
+    let mut trainer = Trainer::new(TrainConfig {
+        lr: 0.01,
+        ..TrainConfig::default()
+    });
+    let mut rng = init::rng(99);
+    println!("training MiniAlexNet...");
+    for epoch in 0..10 {
+        let s = trainer.epoch(&mut net, &train, &mut rng);
+        println!("  epoch {epoch:2}: loss {:.3}, train acc {:.1}%", s.loss, s.accuracy * 100.0);
+    }
+    println!("eval accuracy: {:.1}%\n", evaluate(&net, &eval, 32) * 100.0);
+
+    // Algorithm 1 with a 5% accuracy budget.
+    let cfg = OptimizerConfig::with_epsilon(0.05);
+    let out = Optimizer::new(&net, &opt_set, cfg).run();
+
+    println!("Algorithm 1 results (epsilon = 5%):");
+    println!(
+        "  accuracy: {:.1}% -> {:.1}% (loss {:.1} pp)",
+        out.baseline_accuracy * 100.0,
+        out.final_accuracy * 100.0,
+        out.accuracy_loss() * 100.0
+    );
+    println!("  dense conv MACs : {}", out.full_macs);
+    println!("  exact-mode MACs : {}", out.exact_ops);
+    println!("  predictive MACs : {}", out.final_ops);
+    println!(
+        "  predictive layers: {}/{} ({:.0}%)",
+        out.per_layer.iter().filter(|l| l.predictive).count(),
+        out.per_layer.len(),
+        out.predictive_layer_fraction() * 100.0
+    );
+    println!("\nper-layer breakdown:");
+    for l in &out.per_layer {
+        println!(
+            "  {:<8} {}  ops {:>9} (exact {:>9}, dense {:>9})",
+            l.name,
+            if l.predictive { "predictive" } else { "exact     " },
+            l.ops,
+            l.exact_ops,
+            l.full_macs
+        );
+    }
+}

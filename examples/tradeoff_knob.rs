@@ -1,0 +1,51 @@
+//! The accuracy–computation knob (the paper's Figure 11 flow, miniature):
+//! sweep the acceptable accuracy loss and watch the MAC count fall.
+//!
+//! ```text
+//! cargo run --release --example tradeoff_knob
+//! ```
+
+use snapea_suite::core::optimizer::{Optimizer, OptimizerConfig};
+use snapea_suite::nn::data::SynthShapes;
+use snapea_suite::nn::train::{TrainConfig, Trainer};
+use snapea_suite::nn::zoo;
+use snapea_suite::tensor::init;
+
+fn main() {
+    let gen = SynthShapes::new(zoo::INPUT_SIZE, 6);
+    let train = gen.generate(150, 21);
+    let opt_set = gen.generate(30, 22);
+
+    let mut net = zoo::mini_squeezenet(6);
+    let mut trainer = Trainer::new(TrainConfig {
+        lr: 0.01,
+        ..TrainConfig::default()
+    });
+    let mut rng = init::rng(5);
+    println!("training MiniSqueezeNet (10 epochs)...");
+    for _ in 0..10 {
+        let _ = trainer.epoch(&mut net, &train, &mut rng);
+    }
+
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>10} {:>12}",
+        "epsilon", "MACs", "vs dense", "loss (pp)", "pred layers"
+    );
+    for eps in [0.0, 0.02, 0.05, 0.10] {
+        let cfg = OptimizerConfig {
+            group_candidates: vec![1, 2, 4, 8],
+            ..OptimizerConfig::with_epsilon(eps)
+        };
+        let out = Optimizer::new(&net, &opt_set, cfg).run();
+        println!(
+            "{:>7.0}% {:>12} {:>11.1}% {:>10.1} {:>11.0}%",
+            eps * 100.0,
+            out.final_ops,
+            out.final_ops as f64 / out.full_macs as f64 * 100.0,
+            out.accuracy_loss() * 100.0,
+            out.predictive_layer_fraction() * 100.0
+        );
+    }
+    println!("\nLooser budgets monotonically buy more computation reduction —");
+    println!("the knob the paper exposes to navigate accuracy vs efficiency.");
+}

@@ -1,0 +1,32 @@
+//! Facade crate for the SnaPEA reproduction workspace.
+//!
+//! Re-exports the constituent crates so examples and integration tests can
+//! use one import root:
+//!
+//! * [`tensor`] — dense tensors, fixed point, initializers;
+//! * [`nn`] — the CNN substrate (layers, graphs, training, dataset, zoo);
+//! * [`core`] — the SnaPEA contribution (reordering, PAU, executor,
+//!   Algorithm-1 optimizer);
+//! * [`accel`] — the cycle-level accelerator simulator and baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use snapea_suite::core::exec::{execute_conv, LayerConfig};
+//! use snapea_suite::nn::ops::Conv2d;
+//! use snapea_suite::tensor::{im2col::ConvGeom, init, Shape4};
+//!
+//! let mut rng = init::rng(1);
+//! let conv = Conv2d::new(2, 4, ConvGeom::square(3, 1, 1), &mut rng);
+//! let x = init::uniform4(Shape4::new(1, 2, 6, 6), 1.0, &mut rng).map(f32::abs);
+//! let r = execute_conv(&conv, &x, &LayerConfig::exact(&conv));
+//! assert!(r.profile.total_ops() <= r.profile.full_macs());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use snapea as core;
+pub use snapea_accel as accel;
+pub use snapea_nn as nn;
+pub use snapea_tensor as tensor;

@@ -1,0 +1,110 @@
+//! End-to-end integration: train → optimize (Algorithm 1) → execute with
+//! speculation → simulate on both machines. The whole paper pipeline on a
+//! small network.
+
+use snapea_suite::accel::sim::simulate;
+use snapea_suite::accel::workload::network_workload;
+use snapea_suite::accel::{AccelConfig, EnergyModel};
+use snapea_suite::core::optimizer::{Optimizer, OptimizerConfig};
+use snapea_suite::core::params::NetworkParams;
+use snapea_suite::core::spec_net::{profile_network, SpecNet};
+use snapea_suite::nn::data::SynthShapes;
+use snapea_suite::nn::train::{evaluate, TrainConfig, Trainer};
+use snapea_suite::nn::zoo;
+use snapea_suite::tensor::init;
+
+#[test]
+fn full_pipeline_train_optimize_simulate() {
+    // 1. Train a small network to above-chance accuracy.
+    let gen = SynthShapes::new(zoo::INPUT_SIZE, 4);
+    let train = gen.generate(96, 1);
+    let opt_set = gen.generate(24, 2);
+    let eval = gen.generate(48, 3);
+    let mut net = zoo::mini_alexnet(4);
+    let mut trainer = Trainer::new(TrainConfig {
+        lr: 0.01,
+        ..TrainConfig::default()
+    });
+    let mut rng = init::rng(4);
+    for _ in 0..8 {
+        let _ = trainer.epoch(&mut net, &train, &mut rng);
+    }
+    let base_acc = evaluate(&net, &eval, 24);
+    assert!(base_acc > 0.3, "training failed: {base_acc}");
+
+    // 2. Optimize speculation parameters under a 10% budget.
+    let cfg = OptimizerConfig {
+        group_candidates: vec![1, 4],
+        threshold_quantiles: vec![0.5, 0.9],
+        local_configs: 3,
+        ..OptimizerConfig::with_epsilon(0.10)
+    };
+    let out = Optimizer::new(&net, &opt_set, cfg).run();
+    assert!(out.accuracy_loss() <= 0.10 + 1e-9);
+    assert!(out.final_ops <= out.exact_ops);
+
+    // 3. The speculating network still classifies the held-out set sanely.
+    let spec = SpecNet::new(&net, &out.params);
+    let spec_acc = spec.accuracy(&eval);
+    assert!(
+        spec_acc >= base_acc - 0.25,
+        "speculation destroyed generalisation: {base_acc} -> {spec_acc}"
+    );
+
+    // 4. Simulate: SnaPEA with the optimized parameters must beat the dense
+    //    baseline in energy, and exact mode must lower-bound predictive ops.
+    let refs: Vec<_> = eval.iter().take(4).collect();
+    let batch = SynthShapes::batch_refs(&refs);
+    let prof_pred = profile_network(&net, &out.params, &batch, false);
+    let prof_exact = profile_network(&net, &NetworkParams::new(), &batch, false);
+    assert!(prof_pred.total_ops() <= prof_exact.total_ops());
+
+    let m = EnergyModel::default();
+    let wl = network_workload("e2e", &net, &batch, &prof_pred);
+    let sn = simulate(&AccelConfig::snapea(), &m, &wl);
+    let ey = simulate(&AccelConfig::eyeriss(), &m, &wl.to_dense());
+    assert!(
+        sn.energy_reduction_over(&ey) > 1.0,
+        "predictive SnaPEA must save energy over the dense baseline"
+    );
+    assert!(sn.speedup_over(&ey) > 1.0, "and cycles");
+}
+
+#[test]
+fn prediction_stats_track_accuracy_budget() {
+    // Tighter budgets must not squash more positive mass than looser ones.
+    let gen = SynthShapes::new(zoo::INPUT_SIZE, 4);
+    let train = gen.generate(64, 7);
+    let opt_set = gen.generate(16, 8);
+    let mut net = zoo::mini_squeezenet(4);
+    let mut trainer = Trainer::new(TrainConfig {
+        lr: 0.01,
+        ..TrainConfig::default()
+    });
+    let mut rng = init::rng(9);
+    for _ in 0..6 {
+        let _ = trainer.epoch(&mut net, &train, &mut rng);
+    }
+    let run = |eps: f64| {
+        let cfg = OptimizerConfig {
+            group_candidates: vec![2, 8],
+            threshold_quantiles: vec![0.5, 1.0],
+            local_configs: 3,
+            ..OptimizerConfig::with_epsilon(eps)
+        };
+        let out = Optimizer::new(&net, &opt_set, cfg).run();
+        let refs: Vec<_> = opt_set.iter().collect();
+        let batch = SynthShapes::batch_refs(&refs);
+        profile_network(&net, &out.params, &batch, true)
+    };
+    let tight = run(0.0);
+    let loose = run(0.2);
+    // A tight budget yields no more false-negative squashing than a loose one.
+    assert!(
+        tight.stats.false_negative_rate() <= loose.stats.false_negative_rate() + 1e-9,
+        "tight {} vs loose {}",
+        tight.stats.false_negative_rate(),
+        loose.stats.false_negative_rate()
+    );
+    assert!(tight.total_ops() >= loose.total_ops());
+}

@@ -1,0 +1,74 @@
+//! Cross-crate exactness guarantees: SnaPEA's exact mode must never change a
+//! network's post-ReLU outputs, on any of the paper's four topologies.
+
+use snapea_suite::core::exec::{execute_conv, LayerConfig};
+use snapea_suite::core::params::NetworkParams;
+use snapea_suite::core::spec_net::{profile_network, SpecNet};
+use snapea_suite::nn::data::SynthShapes;
+use snapea_suite::nn::graph::Op;
+use snapea_suite::nn::zoo::{self, Workload};
+
+/// Exact-mode execution of every conv layer of every zoo network matches the
+/// dense reference after ReLU.
+#[test]
+fn exact_mode_matches_dense_on_all_workloads() {
+    let data = SynthShapes::new(zoo::INPUT_SIZE, 10).generate(2, 99);
+    let batch = SynthShapes::batch(&data);
+    for w in Workload::ALL {
+        let net = w.build(10);
+        let acts = net.forward(&batch);
+        for id in net.conv_ids() {
+            let Op::Conv(conv) = &net.node(id).op else {
+                unreachable!()
+            };
+            let input = &acts[net.node(id).inputs[0]];
+            let r = execute_conv(conv, input, &LayerConfig::exact(conv));
+            for (a, b) in r.output.iter().zip(acts[id].iter()) {
+                assert!(
+                    (a.max(0.0) - b.max(0.0)).abs() < 1e-2,
+                    "{w}: layer {} diverged ({} vs {})",
+                    net.node(id).name,
+                    a,
+                    b
+                );
+            }
+            assert!(r.profile.total_ops() <= r.profile.full_macs());
+        }
+    }
+}
+
+/// An all-exact `NetworkParams` leaves end-to-end classification untouched.
+#[test]
+fn exact_spec_net_classifies_identically() {
+    let data = SynthShapes::new(zoo::INPUT_SIZE, 10).generate(6, 7);
+    for w in [Workload::AlexNet, Workload::SqueezeNet] {
+        let net = w.build(10);
+        let params = NetworkParams::new();
+        let spec = SpecNet::new(&net, &params);
+        let batch = SynthShapes::batch(&data);
+        let dense_logits = net.logits(&batch);
+        let spec_acts = spec.forward(&batch);
+        let spec_logits = spec_acts.last().unwrap().to_matrix();
+        for (a, b) in spec_logits.iter().zip(dense_logits.iter()) {
+            assert!((a - b).abs() < 1e-3, "{w}: logits diverged");
+        }
+    }
+}
+
+/// Exact-mode profiles eliminate MACs on every zoo network (the Figure 1
+/// premise turned into an invariant: zero-centred kernels + non-negative
+/// inputs ⇒ some windows terminate early).
+#[test]
+fn exact_mode_saves_macs_on_every_workload() {
+    let data = SynthShapes::new(zoo::INPUT_SIZE, 10).generate(2, 3);
+    let batch = SynthShapes::batch(&data);
+    for w in Workload::ALL {
+        let net = w.build(10);
+        let prof = profile_network(&net, &NetworkParams::new(), &batch, false);
+        assert!(
+            prof.savings() > 0.02,
+            "{w}: exact mode saved only {:.2}%",
+            prof.savings() * 100.0
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the core invariants (proptest).
+
+use proptest::prelude::*;
+use snapea_suite::core::exec::{run_window, KernelExec, LayerConfig};
+use snapea_suite::core::params::KernelParams;
+use snapea_suite::core::pau::{Pau, TerminationKind};
+use snapea_suite::core::reorder::{magnitude_reorder, predictive_reorder, sign_reorder};
+use snapea_suite::nn::ops::Conv2d;
+use snapea_suite::tensor::im2col::ConvGeom;
+use snapea_suite::tensor::q16::{Q16Format, QAcc};
+use snapea_suite::tensor::{Shape4, Tensor4};
+
+fn weights_strategy(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-2.0f32..2.0, 2..max_len)
+}
+
+fn is_permutation(order: &[u32], len: usize) -> bool {
+    let mut seen = vec![false; len];
+    for &i in order {
+        if (i as usize) >= len || seen[i as usize] {
+            return false;
+        }
+        seen[i as usize] = true;
+    }
+    order.len() == len
+}
+
+proptest! {
+    /// Every reordering is a permutation with the documented region
+    /// structure.
+    #[test]
+    fn reorderings_are_structured_permutations(w in weights_strategy(40)) {
+        let r = sign_reorder(&w);
+        prop_assert!(is_permutation(r.order(), w.len()));
+        prop_assert!(r.weights()[..r.neg_start()].iter().all(|&v| v >= 0.0));
+        prop_assert!(r.weights()[r.neg_start()..].iter().all(|&v| v < 0.0));
+        // Negative region is sorted by descending magnitude.
+        for pair in r.weights()[r.neg_start()..].windows(2) {
+            prop_assert!(pair[0] <= pair[1], "negatives not descending in |w|");
+        }
+
+        for groups in [1usize, 2, w.len() / 2, w.len()] {
+            if groups == 0 || groups > w.len() {
+                continue;
+            }
+            let p = predictive_reorder(&w, groups);
+            prop_assert!(is_permutation(p.order(), w.len()));
+            prop_assert_eq!(p.spec_len(), groups);
+            prop_assert!(p.neg_start() >= groups);
+            let mid = &p.weights()[groups..p.neg_start()];
+            let tail = &p.weights()[p.neg_start()..];
+            prop_assert!(mid.iter().all(|&v| v >= 0.0));
+            prop_assert!(tail.iter().all(|&v| v < 0.0));
+
+            let m = magnitude_reorder(&w, groups);
+            prop_assert!(is_permutation(m.order(), w.len()));
+        }
+    }
+
+    /// The `Op` function of Eq. (1): op counts are bounded, prediction costs
+    /// exactly `N`, and a window that never terminates costs the full window.
+    #[test]
+    fn op_counts_obey_equation_1(
+        w in weights_strategy(30),
+        xs in prop::collection::vec(0.0f32..2.0, 30),
+        th in -1.0f32..1.0,
+        groups_raw in 1usize..8,
+        bias in -0.5f32..0.5,
+    ) {
+        let groups = groups_raw.min(w.len());
+        let taps: Vec<i32> = (0..w.len() as i32).collect();
+        let item = &xs[..w.len().min(xs.len())];
+        prop_assume!(item.len() == w.len());
+
+        let r = predictive_reorder(&w, groups);
+        let pau = Pau::predictive(&r, KernelParams::new(th, groups));
+        let k = KernelExec { reordered: r, pau };
+        let res = run_window(&k, &taps, item, bias);
+        prop_assert!(res.ops as usize <= w.len());
+        match res.termination {
+            Some(TerminationKind::Predicted) => {
+                prop_assert_eq!(res.ops as usize, groups);
+                prop_assert_eq!(res.output, 0.0);
+            }
+            Some(TerminationKind::SignCheck) => {
+                prop_assert!(res.output < 0.0);
+                prop_assert!((res.ops as usize) >= k.reordered.neg_start());
+            }
+            None => prop_assert_eq!(res.ops as usize, w.len()),
+        }
+    }
+
+    /// Exact-mode window walks reproduce the dense dot product after ReLU.
+    #[test]
+    fn exact_window_walk_matches_dot_product(
+        w in weights_strategy(24),
+        xs in prop::collection::vec(0.0f32..2.0, 24),
+        bias in -0.5f32..0.5,
+    ) {
+        prop_assume!(xs.len() >= w.len());
+        let item = &xs[..w.len()];
+        let taps: Vec<i32> = (0..w.len() as i32).collect();
+        let r = sign_reorder(&w);
+        let pau = Pau::exact(&r);
+        let k = KernelExec { reordered: r, pau };
+        let res = run_window(&k, &taps, item, bias);
+        let dense: f32 = bias + w.iter().zip(item).map(|(a, b)| a * b).sum::<f32>();
+        prop_assert!(
+            (res.output.max(0.0) - dense.max(0.0)).abs() < 1e-3,
+            "post-ReLU mismatch: {} vs {}",
+            res.output,
+            dense
+        );
+    }
+
+    /// Fixed-point round trip stays within half an LSB (for values inside
+    /// the representable range — ±2^(15−frac)); MAC chains stay close to
+    /// float.
+    #[test]
+    fn q16_round_trip_and_mac(v in -25.0f32..25.0, frac in 4u32..10) {
+        let fmt = Q16Format::new(frac);
+        let q = fmt.quantize(v);
+        prop_assert!((fmt.dequantize(q) - v).abs() <= fmt.lsb() / 2.0 + 1e-5);
+
+        let mut acc = QAcc::new();
+        acc.mac(fmt.quantize(v / 10.0), fmt.quantize(0.5));
+        let expect = (v / 10.0) * 0.5;
+        prop_assert!((acc.to_f32(fmt) - expect).abs() < fmt.lsb() * 2.0 + 0.01);
+    }
+
+    /// Exact-mode layer execution preserves post-ReLU outputs for arbitrary
+    /// (seeded) convolutions — the library-level statement of soundness.
+    #[test]
+    fn exact_layer_execution_is_sound(seed in 0u64..50) {
+        use snapea_suite::tensor::init;
+        let mut rng = init::rng(seed);
+        let conv = Conv2d::new(3, 4, ConvGeom::square(3, 1, 1), &mut rng);
+        let input: Tensor4 =
+            init::uniform4(Shape4::new(1, 3, 6, 6), 1.5, &mut rng).map(f32::abs);
+        let r = snapea_suite::core::exec::execute_conv(
+            &conv,
+            &input,
+            &LayerConfig::exact(&conv),
+        );
+        let dense = conv.forward(&input);
+        for (a, b) in r.output.iter().zip(dense.iter()) {
+            prop_assert!((a.max(0.0) - b.max(0.0)).abs() < 1e-3);
+        }
+    }
+}

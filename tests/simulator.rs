@@ -1,0 +1,125 @@
+//! Cross-crate simulator invariants: timing monotonicity, MAC conservation,
+//! and the SnaPEA-vs-baseline relationships the paper's evaluation rests on.
+
+use proptest::prelude::*;
+use snapea_suite::accel::sim::simulate;
+use snapea_suite::accel::workload::{LayerWorkload, NetworkWorkload};
+use snapea_suite::accel::{AccelConfig, EnergyModel};
+use snapea_suite::core::exec::LayerProfile;
+
+fn workload_from(ops: Vec<u32>, kernels: usize, windows: usize, window_len: usize) -> NetworkWorkload {
+    let profile = LayerProfile::from_ops(1, kernels, windows, window_len, ops);
+    NetworkWorkload {
+        name: "prop".into(),
+        layers: vec![LayerWorkload::new("l", profile, 64)],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pointwise-smaller op counts never cost more cycles or energy.
+    #[test]
+    fn fewer_ops_never_slower(
+        ops in prop::collection::vec(1u32..28, 64),
+        cuts in prop::collection::vec(0u32..28, 64),
+    ) {
+        let kernels = 4;
+        let windows = 16;
+        let wl = 28;
+        let reduced: Vec<u32> = ops
+            .iter()
+            .zip(&cuts)
+            .map(|(&o, &c)| o.saturating_sub(c).max(1))
+            .collect();
+        let cfg = AccelConfig::snapea();
+        let m = EnergyModel::default();
+        let full = simulate(&cfg, &m, &workload_from(ops, kernels, windows, wl));
+        let less = simulate(&cfg, &m, &workload_from(reduced, kernels, windows, wl));
+        prop_assert!(less.cycles <= full.cycles);
+        prop_assert!(less.total_pj() <= full.total_pj() + 1e-6);
+    }
+
+    /// Simulated MACs equal the workload's op counts on any machine.
+    #[test]
+    fn macs_are_conserved(ops in prop::collection::vec(0u32..36, 128)) {
+        let net = workload_from(ops.clone(), 8, 16, 36);
+        let m = EnergyModel::default();
+        for cfg in [AccelConfig::snapea(), AccelConfig::eyeriss()] {
+            let r = simulate(&cfg, &m, &net);
+            prop_assert_eq!(r.events.macs, ops.iter().map(|&o| o as u64).sum::<u64>());
+        }
+    }
+
+    /// The dense workload upper-bounds any early-terminated variant on both
+    /// machines.
+    #[test]
+    fn dense_is_an_upper_bound(ops in prop::collection::vec(1u32..36, 128)) {
+        let net = workload_from(ops, 8, 16, 36);
+        let dense = net.to_dense();
+        let m = EnergyModel::default();
+        for cfg in [AccelConfig::snapea(), AccelConfig::eyeriss()] {
+            let early = simulate(&cfg, &m, &net);
+            let full = simulate(&cfg, &m, &dense);
+            prop_assert!(early.cycles <= full.cycles);
+        }
+    }
+}
+
+/// Whole-pipeline smoke: profile a real network in exact mode, simulate both
+/// machines, and check the headline relationships.
+#[test]
+fn network_level_speedup_holds() {
+    use snapea_suite::accel::workload::network_workload;
+    use snapea_suite::core::params::NetworkParams;
+    use snapea_suite::core::spec_net::profile_network;
+    use snapea_suite::nn::data::SynthShapes;
+    use snapea_suite::nn::zoo;
+
+    let net = zoo::mini_alexnet(10);
+    let data = SynthShapes::new(zoo::INPUT_SIZE, 10).generate(2, 17);
+    let batch = SynthShapes::batch(&data);
+    let prof = profile_network(&net, &NetworkParams::new(), &batch, false);
+    let m = EnergyModel::default();
+    let wl = network_workload("alex", &net, &batch, &prof);
+    let sn = simulate(&AccelConfig::snapea(), &m, &wl);
+    let ey = simulate(&AccelConfig::eyeriss(), &m, &wl.to_dense());
+    assert!(
+        sn.speedup_over(&ey) > 0.9,
+        "exact-mode SnaPEA should be at least near baseline parity, got {:.2}",
+        sn.speedup_over(&ey)
+    );
+    // On an *untrained* net exact-mode savings are small, so energy may sit
+    // near parity (SnaPEA pays index traffic and reuses inputs less); it
+    // must not collapse.
+    assert!(
+        sn.energy_reduction_over(&ey) > 0.85,
+        "exact-mode energy should stay near parity, got {:.2}",
+        sn.energy_reduction_over(&ey)
+    );
+    // With aggressive speculation the MAC savings dominate and energy must
+    // genuinely drop.
+    let mut params = snapea_suite::core::params::NetworkParams::new();
+    for id in net.conv_ids() {
+        if let snapea_suite::nn::graph::Op::Conv(c) = &net.node(id).op {
+            params.set(
+                id,
+                snapea_suite::core::params::LayerParams::uniform(
+                    c.c_out(),
+                    snapea_suite::core::params::KernelParams::new(f32::INFINITY, 1),
+                ),
+            );
+        }
+    }
+    let prof_pred = profile_network(&net, &params, &batch, false);
+    let wl_pred = network_workload("alex-pred", &net, &batch, &prof_pred);
+    let sn_pred = simulate(&AccelConfig::snapea(), &m, &wl_pred);
+    assert!(
+        sn_pred.energy_reduction_over(&ey) > 1.5,
+        "aggressive speculation must cut energy, got {:.2}",
+        sn_pred.energy_reduction_over(&ey)
+    );
+    assert!(sn_pred.speedup_over(&ey) > 1.5);
+    // Per-layer cycle totals add up.
+    assert_eq!(sn.cycles, sn.per_layer.iter().map(|l| l.cycles).sum::<u64>());
+}
