@@ -239,7 +239,25 @@ fn simulate_layer(
 ) -> LayerReport {
     let p = &layer.profile;
     let (images, kernels, windows) = (p.images(), p.kernels(), p.windows());
-    let (total, cycles) = map_layer(cfg, layer, |_| {});
+    // With a sink installed, accumulate per-PE activity inside the same
+    // mapping pass that produces the simulator totals (one iteration, so the
+    // emitted utilization/imbalance cannot diverge from the report).
+    let obs_on = snapea_obs::enabled();
+    let mut per_pe: Vec<crate::trace::PeActivity> = if obs_on {
+        vec![crate::trace::PeActivity::default(); cfg.pe_count()]
+    } else {
+        Vec::new()
+    };
+    let (total, cycles) = map_layer(cfg, layer, |u| {
+        if obs_on {
+            let pe = &mut per_pe[u.pe];
+            pe.units += 1;
+            pe.fill_cycles += u.fill_cycles;
+            pe.busy_cycles += u.busy_cycles;
+            pe.macs += u.macs;
+            pe.idle_lane_cycles += u.idle_lane_cycles;
+        }
+    });
 
     // Data movement.
     let has_index = cfg.index_buffer_bytes > 0;
@@ -285,7 +303,7 @@ fn simulate_layer(
     };
     let energy = EnergyBreakdown::from_events(model, &events);
 
-    LayerReport {
+    let report = LayerReport {
         name: layer.name.clone(),
         cycles,
         macs: total.macs,
@@ -293,11 +311,45 @@ fn simulate_layer(
         events,
         energy,
         spilled,
+    };
+    snapea_obs::counter("sim/layers").inc();
+    snapea_obs::counter("sim/cycles").add(cycles);
+    snapea_obs::counter("sim/macs").add(total.macs);
+    if obs_on {
+        // Imbalance as in `LayerTrace::imbalance`: mean end-of-layer barrier
+        // wait as a fraction of the layer's cycles.
+        let imbalance = if cycles == 0 || per_pe.is_empty() {
+            0.0
+        } else {
+            let waits: u64 = per_pe
+                .iter()
+                .map(|pe| cycles - pe.finish_cycle())
+                .sum();
+            waits as f64 / (cycles as f64 * per_pe.len() as f64)
+        };
+        let busiest = per_pe.iter().map(|pe| pe.finish_cycle()).max().unwrap_or(0);
+        let idlest = per_pe.iter().map(|pe| pe.finish_cycle()).min().unwrap_or(0);
+        snapea_obs::event!(
+            "sim/layer",
+            layer = report.name.clone(),
+            cycles = cycles,
+            macs = total.macs,
+            utilization = report.utilization(cfg),
+            imbalance = imbalance,
+            idle_lane_cycles = total.idle_lane_cycles,
+            pes = per_pe.len() as u64,
+            busiest_pe_cycles = busiest,
+            idlest_pe_cycles = idlest,
+            energy_pj = report.energy.total_pj(),
+            spilled = report.spilled,
+        );
     }
+    report
 }
 
 /// Simulates a whole network on the configured accelerator.
 pub fn simulate(cfg: &AccelConfig, model: &EnergyModel, net: &NetworkWorkload) -> SimReport {
+    let _span = snapea_obs::span!("sim/simulate", net.name.clone());
     let n = net.layers.len();
     let mut per_layer = Vec::with_capacity(n);
     let mut cycles = 0u64;
@@ -310,13 +362,23 @@ pub fn simulate(cfg: &AccelConfig, model: &EnergyModel, net: &NetworkWorkload) -
         events.merge(&r.events);
         per_layer.push(r);
     }
-    SimReport {
+    let report = SimReport {
         config: *cfg,
         cycles,
         energy,
         events,
         per_layer,
-    }
+    };
+    snapea_obs::event!(
+        "sim/network",
+        network = net.name.clone(),
+        layers = n as u64,
+        cycles = cycles,
+        macs = report.events.macs,
+        utilization = report.utilization(),
+        energy_pj = report.total_pj(),
+    );
+    report
 }
 
 #[cfg(test)]

@@ -5,7 +5,9 @@
 //! which PE it ran on, when it started in that PE's local timeline, how many
 //! cycles it filled buffers / broadcast weights / idled lanes — driven by the
 //! *same* mapping iteration as the simulator ([`crate::sim::map_layer`]), so
-//! trace totals and report totals cannot diverge (asserted by tests).
+//! trace totals and report totals cannot diverge (asserted by tests, per
+//! layer and at network scope). [`LayerTrace::emit_events`] exports the
+//! per-PE utilization and imbalance through the obs sinks.
 
 use crate::config::AccelConfig;
 use crate::sim::{map_layer, UnitDispatch};
@@ -61,6 +63,42 @@ impl LayerTrace {
         }
         let waits: u64 = (0..self.per_pe.len()).map(|pe| self.barrier_wait(pe)).sum();
         waits as f64 / (self.cycles as f64 * self.per_pe.len() as f64)
+    }
+
+    /// Exports the trace through the obs sinks: one `sim/trace` summary for
+    /// the layer plus one `sim/trace/pe` event per PE (busy/fill/idle cycle
+    /// split, per-PE utilization, barrier wait). No-op without a sink.
+    pub fn emit_events(&self) {
+        if !snapea_obs::enabled() {
+            return;
+        }
+        snapea_obs::event!(
+            "sim/trace",
+            layer = self.name.clone(),
+            cycles = self.cycles,
+            units = self.units.len() as u64,
+            pes = self.per_pe.len() as u64,
+            imbalance = self.imbalance(),
+        );
+        for (pe, a) in self.per_pe.iter().enumerate() {
+            let utilization = if self.cycles == 0 {
+                0.0
+            } else {
+                a.busy_cycles as f64 / self.cycles as f64
+            };
+            snapea_obs::event!(
+                "sim/trace/pe",
+                layer = self.name.clone(),
+                pe = pe as u64,
+                units = a.units as u64,
+                fill_cycles = a.fill_cycles,
+                busy_cycles = a.busy_cycles,
+                macs = a.macs,
+                idle_lane_cycles = a.idle_lane_cycles,
+                utilization = utilization,
+                barrier_wait = self.barrier_wait(pe),
+            );
+        }
     }
 }
 
@@ -123,6 +161,34 @@ mod tests {
         assert_eq!(macs, report.per_layer[0].macs);
         let idle: u64 = trace.per_pe.iter().map(|p| p.idle_lane_cycles).sum();
         assert_eq!(idle, report.per_layer[0].idle_lane_cycles);
+    }
+
+    #[test]
+    fn network_trace_totals_match_simulator_report() {
+        // Network scope: heterogeneous layers, so any divergence between the
+        // trace iteration and the simulator's own accounting would surface.
+        let net = NetworkWorkload {
+            name: "multi".into(),
+            layers: vec![layer(2, 8, 64, 36), layer(1, 4, 48, 27), layer(3, 16, 16, 9)],
+        };
+        let cfg = AccelConfig::snapea();
+        let report = simulate(&cfg, &EnergyModel::default(), &net);
+        let traces = trace_network(&cfg, &net);
+        assert_eq!(traces.len(), report.per_layer.len());
+        for (t, r) in traces.iter().zip(&report.per_layer) {
+            assert_eq!(t.cycles, r.cycles, "layer {} cycles", r.name);
+            let macs: u64 = t.per_pe.iter().map(|p| p.macs).sum();
+            assert_eq!(macs, r.macs, "layer {} macs", r.name);
+            let idle: u64 = t.per_pe.iter().map(|p| p.idle_lane_cycles).sum();
+            assert_eq!(idle, r.idle_lane_cycles, "layer {} idle", r.name);
+        }
+        let trace_cycles: u64 = traces.iter().map(|t| t.cycles).sum();
+        assert_eq!(trace_cycles, report.cycles);
+        let trace_macs: u64 = traces
+            .iter()
+            .flat_map(|t| t.per_pe.iter().map(|p| p.macs))
+            .sum();
+        assert_eq!(trace_macs, report.events.macs);
     }
 
     #[test]

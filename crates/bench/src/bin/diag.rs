@@ -15,15 +15,26 @@ fn main() {
         .into_iter()
         .find(|w| w.name() == which)
         .expect("workload name");
+    // Progress flows through the obs stderr sink (silenced by
+    // `SNAPEA_LOG=off`, teed to a JSONL file by `SNAPEA_LOG_FILE`); the
+    // tables below stay on stdout.
+    snapea_obs::sink::init_from_env();
     let data = datasets();
     let tw = trained_workload(w, &data);
     let refs: Vec<&LabeledImage> = data.eval.iter().take(8).collect();
     let batch = SynthShapes::batch_refs(&refs);
-    let profile = profile_network(&tw.net, &NetworkParams::new(), &batch, false);
+    let profile = {
+        let _span = snapea_obs::span!("diag/profile", w.name());
+        profile_network(&tw.net, &NetworkParams::new(), &batch, false)
+    };
     let model = EnergyModel::default();
     let wl = network_workload(w.name(), &tw.net, &batch, &profile);
-    let sn = simulate(&AccelConfig::snapea(), &model, &wl);
-    let ey = simulate(&AccelConfig::eyeriss(), &model, &wl.to_dense());
+    let (sn, ey) = {
+        let _span = snapea_obs::span!("diag/simulate", w.name());
+        let sn = simulate(&AccelConfig::snapea(), &model, &wl);
+        let ey = simulate(&AccelConfig::eyeriss(), &model, &wl.to_dense());
+        (sn, ey)
+    };
     println!(
         "{:30} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "layer", "savings%", "sn_cyc", "ey_cyc", "speedup", "idle%", "wlen"
@@ -76,4 +87,12 @@ fn main() {
         sn.speedup_over(&ey),
         sn.energy_reduction_over(&ey)
     );
+    snapea_obs::event!(
+        "diag/summary",
+        workload = w.name(),
+        savings = profile.savings(),
+        speedup = sn.speedup_over(&ey),
+        energy_reduction = sn.energy_reduction_over(&ey),
+    );
+    snapea_obs::sink::flush();
 }

@@ -83,11 +83,18 @@ fn params_path(dir: &Path, w: Workload, eps_milli: u32) -> PathBuf {
 
 /// Trains one workload (or loads it from cache). Deterministic in all inputs.
 pub fn trained_workload(w: Workload, data: &Datasets) -> TrainedWorkload {
+    let _span = snapea_obs::span!("train/workload", w.name());
     let dir = cache_dir();
     let path = model_path(&dir, w);
     if let Ok(text) = fs::read_to_string(&path) {
         if let Ok(net) = serde_json::from_str::<Graph>(&text) {
             let eval_accuracy = evaluate(&net, &data.eval, 32);
+            snapea_obs::event!(
+                "train/loaded",
+                workload = w.name(),
+                eval_accuracy = eval_accuracy,
+                cache = path.display().to_string(),
+            );
             return TrainedWorkload {
                 workload: w,
                 net,
@@ -111,6 +118,12 @@ pub fn trained_workload(w: Workload, data: &Datasets) -> TrainedWorkload {
         let _ = trainer.epoch(&mut net, &data.train, &mut rng);
     }
     let eval_accuracy = evaluate(&net, &data.eval, 32);
+    snapea_obs::event!(
+        "train/done",
+        workload = w.name(),
+        epochs = EPOCHS as u64,
+        eval_accuracy = eval_accuracy,
+    );
     let _ = fs::create_dir_all(&dir);
     if let Ok(json) = serde_json::to_string(&net) {
         let _ = fs::write(&path, json);
@@ -134,9 +147,16 @@ pub fn optimized_params(
     let path = params_path(&dir, trained.workload, eps_milli);
     if let Ok(text) = fs::read_to_string(&path) {
         if let Ok(p) = serde_json::from_str::<NetworkParams>(&text) {
+            snapea_obs::event!(
+                "optimizer/loaded",
+                workload = trained.workload.name(),
+                epsilon = epsilon,
+                cache = path.display().to_string(),
+            );
             return p;
         }
     }
+    let _span = snapea_obs::span!("optimizer/workload", trained.workload.name());
     let cfg = OptimizerConfig::with_epsilon(epsilon);
     let out = Optimizer::new(&trained.net, &data.opt, cfg).run();
     let _ = fs::create_dir_all(&dir);

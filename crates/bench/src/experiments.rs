@@ -261,6 +261,24 @@ fn overall_benefit(
     for tw in trained {
         let params = params_for(tw);
         let profile = profile_network(&tw.net, &params, &batch, false);
+        if snapea_obs::enabled() {
+            // Record which speculation mode each layer runs under for this
+            // experiment — the per-layer decision trail of the run log.
+            for (layer_id, name, p) in &profile.layers {
+                snapea_obs::event!(
+                    "optimizer/decision",
+                    experiment = id,
+                    workload = tw.workload.name(),
+                    layer = name.clone(),
+                    predictive = params
+                        .get(*layer_id)
+                        .map(|lp| lp.is_predictive())
+                        .unwrap_or(false),
+                    ops = p.total_ops(),
+                    full_macs = p.full_macs(),
+                );
+            }
+        }
         let (sn, ey) = simulate_pair(tw, &batch, &profile, &AccelConfig::snapea());
         let sp = sn.speedup_over(&ey);
         let er = sn.energy_reduction_over(&ey);

@@ -1,10 +1,11 @@
 //! A small, dependency-free argument parser: positional arguments plus
-//! `--flag value` options.
+//! `--flag value` options and declared boolean `--flag` switches.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-/// Parsed command line: a subcommand, positionals, and `--key value` options.
+/// Parsed command line: a subcommand, positionals, `--key value` options,
+/// and boolean flags declared up front via [`Args::parse_with_flags`].
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Args {
     /// The subcommand (first argument).
@@ -13,6 +14,8 @@ pub struct Args {
     pub positional: Vec<String>,
     /// `--key value` options.
     pub options: BTreeMap<String, String>,
+    /// Boolean `--flag` switches that were present.
+    pub flags: BTreeSet<String>,
 }
 
 /// Error produced when the command line is malformed.
@@ -41,14 +44,36 @@ impl Args {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
+        Self::parse_with_flags(argv, &[])
+    }
+
+    /// Parses `argv` like [`Args::parse`], but treats every `--name` listed
+    /// in `boolean_flags` as a valueless switch (recorded in [`Args::flags`])
+    /// rather than a `--key value` option. Any other dangling `--option`
+    /// still errors, so declared flags never swallow the next argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no subcommand is present or an undeclared
+    /// option is missing its value.
+    pub fn parse_with_flags<I, S>(argv: I, boolean_flags: &[&str]) -> Result<Self, ParseArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
         let mut it = argv.into_iter().map(Into::into);
         let command = it.next().ok_or_else(|| ParseArgsError {
             what: "missing subcommand".into(),
         })?;
         let mut positional = Vec::new();
         let mut options = BTreeMap::new();
+        let mut flags = BTreeSet::new();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
+                if boolean_flags.contains(&key) {
+                    flags.insert(key.to_string());
+                    continue;
+                }
                 let value = it.next().ok_or_else(|| ParseArgsError {
                     what: format!("option --{key} is missing its value"),
                 })?;
@@ -61,12 +86,18 @@ impl Args {
             command,
             positional,
             options,
+            flags,
         })
     }
 
     /// Option value, if present.
     pub fn opt(&self, key: &str) -> Option<&str> {
         self.options.get(key).map(String::as_str)
+    }
+
+    /// Whether a declared boolean flag was present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.contains(key)
     }
 
     /// Option parsed as `T`, or `default` when absent.
@@ -119,6 +150,21 @@ mod tests {
     fn rejects_missing_subcommand_and_dangling_option() {
         assert!(Args::parse(Vec::<String>::new()).is_err());
         assert!(Args::parse(["x", "--flag"]).is_err());
+    }
+
+    #[test]
+    fn declared_boolean_flags_take_no_value() {
+        let a = Args::parse_with_flags(
+            ["simulate", "--json", "model.json", "--images", "2"],
+            &["json"],
+        )
+        .unwrap();
+        assert!(a.flag("json"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.positional, vec!["model.json"]);
+        assert_eq!(a.opt("images"), Some("2"));
+        // An undeclared dangling option still errors even with flags declared.
+        assert!(Args::parse_with_flags(["x", "--other"], &["json"]).is_err());
     }
 
     #[test]

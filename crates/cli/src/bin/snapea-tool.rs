@@ -10,9 +10,10 @@ fn main() {
         print!("{}", commands::usage());
         std::process::exit(2);
     }
-    match Args::parse(argv).map_err(|e| e.to_string()).and_then(|a| {
-        commands::run(&a).map_err(|e| e.to_string())
-    }) {
+    match Args::parse_with_flags(argv, &["json"])
+        .map_err(|e| e.to_string())
+        .and_then(|a| commands::run(&a).map_err(|e| e.to_string()))
+    {
         Ok(out) => print!("{out}"),
         Err(e) => {
             eprintln!("error: {e}");

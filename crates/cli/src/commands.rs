@@ -1,5 +1,9 @@
 //! Subcommand implementations. Each returns its output as a `String` so it
 //! can be unit-tested without capturing stdout.
+//!
+//! Every subcommand honours the boolean `--json` flag (declared through
+//! [`Args::parse_with_flags`]): with it, the result is a single JSON
+//! document on stdout instead of the human-readable text.
 
 use crate::args::Args;
 use snapea::exec::LayerConfig;
@@ -14,6 +18,7 @@ use snapea_nn::data::{LabeledImage, SynthShapes};
 use snapea_nn::graph::{Graph, Op};
 use snapea_nn::train::{evaluate, TrainConfig, Trainer};
 use snapea_nn::zoo::{Workload, INPUT_SIZE};
+use snapea_obs::{Json, Report};
 use snapea_tensor::init;
 use std::error::Error;
 use std::fmt::Write as _;
@@ -50,13 +55,40 @@ pub fn train(args: &Args) -> CmdResult {
     });
     let mut rng = init::rng(0xF00D);
     let mut out = String::new();
+    let mut epoch_rows = Vec::new();
     for e in 0..epochs {
         let s = trainer.epoch(&mut net, &train_set, &mut rng);
-        writeln!(out, "epoch {e:2}: loss {:.4}, train acc {:.1}%", s.loss, s.accuracy * 100.0)?;
+        if args.flag("json") {
+            epoch_rows.push(Json::obj(vec![
+                ("epoch", Json::from(e as u64)),
+                ("loss", Json::from(s.loss)),
+                ("accuracy", Json::from(s.accuracy)),
+            ]));
+        } else {
+            writeln!(out, "epoch {e:2}: loss {:.4}, train acc {:.1}%", s.loss, s.accuracy * 100.0)?;
+        }
     }
-    writeln!(out, "eval accuracy: {:.1}%", evaluate(&net, &eval_set, 32) * 100.0)?;
-    if let Some(path) = args.opt("out") {
+    let eval_accuracy = evaluate(&net, &eval_set, 32);
+    let written = if let Some(path) = args.opt("out") {
         fs::write(path, serde_json::to_string(&net)?)?;
+        Some(path.to_string())
+    } else {
+        None
+    };
+    if args.flag("json") {
+        let mut fields = vec![
+            ("workload", Json::from(w.name())),
+            ("epochs", Json::from(epochs as u64)),
+            ("history", Json::Arr(epoch_rows)),
+            ("eval_accuracy", Json::from(eval_accuracy)),
+        ];
+        if let Some(path) = &written {
+            fields.push(("out", Json::from(path.as_str())));
+        }
+        return Ok(format!("{}\n", Json::obj(fields)));
+    }
+    writeln!(out, "eval accuracy: {:.1}%", eval_accuracy * 100.0)?;
+    if let Some(path) = written {
         writeln!(out, "model written to {path}")?;
     }
     Ok(out)
@@ -65,6 +97,39 @@ pub fn train(args: &Args) -> CmdResult {
 /// `inspect <model.json>`
 pub fn inspect(args: &Args) -> CmdResult {
     let net = load_model(args.required_positional("model.json")?)?;
+    if args.flag("json") {
+        let layers: Vec<Json> = net
+            .nodes()
+            .iter()
+            .enumerate()
+            .map(|(id, node)| {
+                let (kind, kernels, window_len) = match &node.op {
+                    Op::Conv(c) => ("conv", Some(c.c_out() as u64), Some(c.window_len() as u64)),
+                    Op::Linear(l) => ("fc", Some(l.c_out() as u64), Some(l.c_in() as u64)),
+                    other => (other.kind(), None, None),
+                };
+                let mut fields = vec![
+                    ("name", Json::from(node.name.as_str())),
+                    ("kind", Json::from(kind)),
+                ];
+                if let (Some(k), Some(wl)) = (kernels, window_len) {
+                    fields.push(("kernels", Json::from(k)));
+                    fields.push(("window_len", Json::from(wl)));
+                }
+                fields.push(("feeds_only_relu", Json::from(net.feeds_only_relu(id))));
+                Json::obj(fields)
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            ("nodes", Json::from(net.len() as u64)),
+            ("conv", Json::from(net.conv_ids().len() as u64)),
+            ("fc", Json::from(net.linear_ids().len() as u64)),
+            ("parameters", Json::from(net.param_count() as u64)),
+            ("model_size_bytes", Json::from(net.model_size_bytes() as u64)),
+            ("layers", Json::Arr(layers)),
+        ]);
+        return Ok(format!("{doc}\n"));
+    }
     let mut out = String::new();
     writeln!(
         out,
@@ -128,6 +193,27 @@ pub fn reorder(args: &Args) -> CmdResult {
     }
     let weights = conv.weight().item(kernel);
     let r = sign_reorder(weights);
+    if args.flag("json") {
+        let entries: Vec<Json> = r
+            .weights()
+            .iter()
+            .zip(r.order())
+            .map(|(&w, &i)| {
+                Json::obj(vec![
+                    ("weight", Json::from(f64::from(w))),
+                    ("index", Json::from(i as u64)),
+                ])
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            ("layer", Json::from(layer)),
+            ("kernel", Json::from(kernel as u64)),
+            ("weights", Json::from(r.len() as u64)),
+            ("neg_start", Json::from(r.neg_start() as u64)),
+            ("entries", Json::Arr(entries)),
+        ]);
+        return Ok(format!("{doc}\n"));
+    }
     let mut out = String::new();
     writeln!(
         out,
@@ -150,6 +236,39 @@ pub fn optimize(args: &Args) -> CmdResult {
     let (data, _) = synth_batch(images, 0x0071);
     let cfg = OptimizerConfig::with_epsilon(epsilon);
     let outcome = Optimizer::new(&net, &data, cfg).run();
+    let written = if let Some(path) = args.opt("out") {
+        fs::write(path, serde_json::to_string(&outcome.params)?)?;
+        Some(path.to_string())
+    } else {
+        None
+    };
+    if args.flag("json") {
+        let per_layer: Vec<Json> = outcome
+            .per_layer
+            .iter()
+            .map(|l| {
+                Json::obj(vec![
+                    ("layer", Json::from(l.name.as_str())),
+                    ("predictive", Json::from(l.predictive)),
+                    ("ops", Json::from(l.ops)),
+                    ("full_macs", Json::from(l.full_macs)),
+                ])
+            })
+            .collect();
+        let mut fields = vec![
+            ("epsilon", Json::from(epsilon)),
+            ("baseline_accuracy", Json::from(outcome.baseline_accuracy)),
+            ("final_accuracy", Json::from(outcome.final_accuracy)),
+            ("exact_ops", Json::from(outcome.exact_ops)),
+            ("final_ops", Json::from(outcome.final_ops)),
+            ("full_macs", Json::from(outcome.full_macs)),
+            ("per_layer", Json::Arr(per_layer)),
+        ];
+        if let Some(path) = &written {
+            fields.push(("out", Json::from(path.as_str())));
+        }
+        return Ok(format!("{}\n", Json::obj(fields)));
+    }
     let mut out = String::new();
     writeln!(
         out,
@@ -167,8 +286,7 @@ pub fn optimize(args: &Args) -> CmdResult {
         outcome.per_layer.iter().filter(|l| l.predictive).count(),
         outcome.per_layer.len()
     )?;
-    if let Some(path) = args.opt("out") {
-        fs::write(path, serde_json::to_string(&outcome.params)?)?;
+    if let Some(path) = written {
         writeln!(out, "parameters written to {path}")?;
     }
     Ok(out)
@@ -188,6 +306,24 @@ pub fn simulate_cmd(args: &Args) -> CmdResult {
     let wl = network_workload("model", &net, &batch, &profile);
     let sn = simulate(&AccelConfig::snapea(), &model, &wl);
     let ey = simulate(&AccelConfig::eyeriss(), &model, &wl.to_dense());
+    if args.flag("json") {
+        let side = |r: &snapea_accel::sim::SimReport| {
+            Json::obj(vec![
+                ("cycles", Json::from(r.cycles)),
+                ("energy_uj", Json::from(r.total_pj() / 1e6)),
+                ("utilization", Json::from(r.utilization())),
+            ])
+        };
+        let doc = Json::obj(vec![
+            ("images", Json::from(images as u64)),
+            ("macs_eliminated", Json::from(profile.savings())),
+            ("snapea", side(&sn)),
+            ("eyeriss", side(&ey)),
+            ("speedup", Json::from(sn.speedup_over(&ey))),
+            ("energy_reduction", Json::from(sn.energy_reduction_over(&ey))),
+        ]);
+        return Ok(format!("{doc}\n"));
+    }
     let mut out = String::new();
     writeln!(out, "conv MACs eliminated: {:.1}%", profile.savings() * 100.0)?;
     writeln!(
@@ -213,15 +349,29 @@ pub fn simulate_cmd(args: &Args) -> CmdResult {
     Ok(out)
 }
 
+/// `report <events.jsonl>`: summarises a structured run-event log written by
+/// the obs layer (e.g. `repro-results/<run>/events.jsonl`).
+pub fn report(args: &Args) -> CmdResult {
+    let path = args.required_positional("events.jsonl")?;
+    let text = fs::read_to_string(path)?;
+    let r = Report::from_jsonl(&text)?;
+    if args.flag("json") {
+        return Ok(format!("{}\n", r.to_json()));
+    }
+    Ok(r.render_text())
+}
+
 /// Usage text.
 pub fn usage() -> String {
-    "snapea-tool <command> [args]\n\
+    "snapea-tool <command> [args] [--json]\n\
      commands:\n\
        train     --workload <name> [--epochs N] [--out model.json]\n\
        inspect   <model.json>\n\
        reorder   <model.json> --layer <name> [--kernel K]\n\
        optimize  <model.json> [--epsilon 0.03] [--images N] [--out params.json]\n\
-       simulate  <model.json> [--params params.json] [--images N]\n"
+       simulate  <model.json> [--params params.json] [--images N]\n\
+       report    <events.jsonl>\n\
+     every command accepts --json to emit machine-readable output\n"
         .to_string()
 }
 
@@ -233,6 +383,7 @@ pub fn run(args: &Args) -> CmdResult {
         "reorder" => reorder(args),
         "optimize" => optimize(args),
         "simulate" => simulate_cmd(args),
+        "report" => report(args),
         "help" | "--help" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n{}", usage()).into()),
     }
@@ -312,6 +463,54 @@ mod tests {
         let out = run(&args).unwrap();
         assert!(out.contains("speedup"));
         assert!(out.contains("SnaPEA"));
+    }
+
+    #[test]
+    fn simulate_json_mode_is_parsable() {
+        let (_guard, path) = temp_model();
+        let args = Args::parse_with_flags(
+            ["simulate", path.as_str(), "--images", "1", "--json"],
+            &["json"],
+        )
+        .unwrap();
+        let out = run(&args).unwrap();
+        let doc = snapea_obs::parse(&out).expect("valid json");
+        assert!(doc.get("speedup").and_then(Json::as_f64).is_some());
+        assert!(doc.get("snapea").and_then(|s| s.get("cycles")).is_some());
+    }
+
+    #[test]
+    fn inspect_json_mode_lists_layers() {
+        let (_guard, path) = temp_model();
+        let args = Args::parse_with_flags(["inspect", path.as_str(), "--json"], &["json"]).unwrap();
+        let out = run(&args).unwrap();
+        let doc = snapea_obs::parse(&out).expect("valid json");
+        assert_eq!(doc.get("conv").and_then(Json::as_u64), Some(26));
+        assert!(!doc.get("layers").and_then(Json::as_array).unwrap().is_empty());
+    }
+
+    #[test]
+    fn report_summarises_event_log() {
+        let dir = std::env::temp_dir().join(format!("snapea-cli-report-{}", std::process::id()));
+        let _guard = tempdir::TempDirLike(dir.clone());
+        fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("events.jsonl");
+        fs::write(
+            &log,
+            concat!(
+                "{\"seq\":0,\"t_ms\":0.1,\"kind\":\"exec/layer\",\"full_macs\":100,\"performed_macs\":40}\n",
+                "{\"seq\":1,\"t_ms\":0.2,\"kind\":\"span\",\"path\":\"repro/train\",\"ms\":3.0}\n",
+            ),
+        )
+        .unwrap();
+        let path = log.to_string_lossy().into_owned();
+        let args = Args::parse(["report", path.as_str()]).unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("events: 2"));
+        assert!(out.contains("60.0% saved"));
+        let args = Args::parse_with_flags(["report", path.as_str(), "--json"], &["json"]).unwrap();
+        let doc = snapea_obs::parse(&run(&args).unwrap()).expect("valid json");
+        assert_eq!(doc.get("events").and_then(Json::as_u64), Some(2));
     }
 
     #[test]

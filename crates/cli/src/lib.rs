@@ -9,7 +9,10 @@
 //! snapea-tool reorder    model.json --layer conv1 --kernel 0
 //! snapea-tool optimize   model.json --epsilon 0.03 --out params.json
 //! snapea-tool simulate   model.json [--params params.json] [--images 8]
+//! snapea-tool report     repro-results/<run>/events.jsonl
 //! ```
+//!
+//! Every subcommand accepts `--json` for machine-readable output.
 //!
 //! This module holds the (dependency-free) argument parser and the
 //! subcommand implementations, kept as a library so they are unit-testable.

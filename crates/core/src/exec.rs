@@ -481,16 +481,64 @@ fn execute_conv_inner(
         }
     }
 
+    let profile = LayerProfile {
+        images: s.n,
+        kernels: conv.c_out(),
+        windows,
+        window_len: conv.window_len(),
+        ops,
+    };
+    record_layer_execution(&profile, if collect_stats { Some(&stats) } else { None });
     ExecResult {
         output,
-        profile: LayerProfile {
-            images: s.n,
-            kernels: conv.c_out(),
-            windows,
-            window_len: conv.window_len(),
-            ops,
-        },
+        profile,
         stats,
+    }
+}
+
+/// Charges one layer execution to the global `exec/*` metrics and, when a
+/// sink is installed, emits an `exec/layer` event. Counters are relaxed
+/// atomics charged once per layer call (never per window), and the event
+/// payload is only built behind [`snapea_obs::enabled`], keeping the
+/// disabled-path overhead within the executor bench's <2% budget.
+fn record_layer_execution(profile: &LayerProfile, stats: Option<&PredictionStats>) {
+    let performed = profile.total_ops();
+    let dense = profile.full_macs();
+    snapea_obs::counter("exec/layer_calls").inc();
+    snapea_obs::counter("exec/macs_performed").add(performed);
+    snapea_obs::counter("exec/macs_dense").add(dense);
+    if let Some(s) = stats {
+        snapea_obs::counter("exec/windows_negative").add(s.negative_windows);
+        snapea_obs::counter("exec/windows_positive").add(s.positive_windows);
+        snapea_obs::counter("exec/true_negatives").add(s.true_negatives);
+        snapea_obs::counter("exec/false_negatives").add(s.false_negatives);
+        snapea_obs::counter("exec/sign_terminations").add(s.sign_terminations);
+    }
+    if snapea_obs::enabled() {
+        if let Some(s) = stats {
+            snapea_obs::event!(
+                "exec/layer",
+                images = profile.images() as u64,
+                kernels = profile.kernels() as u64,
+                windows = profile.windows() as u64,
+                performed_macs = performed,
+                full_macs = dense,
+                savings = profile.savings(),
+                true_negative_rate = s.true_negative_rate(),
+                false_negative_rate = s.false_negative_rate(),
+                sign_terminations = s.sign_terminations,
+            );
+        } else {
+            snapea_obs::event!(
+                "exec/layer",
+                images = profile.images() as u64,
+                kernels = profile.kernels() as u64,
+                windows = profile.windows() as u64,
+                performed_macs = performed,
+                full_macs = dense,
+                savings = profile.savings(),
+            );
+        }
     }
 }
 
@@ -637,15 +685,17 @@ pub fn execute_conv_q16(
         }
     }
 
+    let profile = LayerProfile {
+        images: s.n,
+        kernels: conv.c_out(),
+        windows,
+        window_len: conv.window_len(),
+        ops,
+    };
+    record_layer_execution(&profile, None);
     ExecResult {
         output,
-        profile: LayerProfile {
-            images: s.n,
-            kernels: conv.c_out(),
-            windows,
-            window_len: conv.window_len(),
-            ops,
-        },
+        profile,
         stats: PredictionStats::default(),
     }
 }

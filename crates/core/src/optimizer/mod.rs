@@ -174,6 +174,7 @@ impl<'a> Optimizer<'a> {
 
     /// Runs all three passes and returns the outcome.
     pub fn run(&self) -> OptimizeOutcome {
+        let _run_span = snapea_obs::span!("optimizer/run");
         let refs: Vec<&LabeledImage> = self.data.iter().collect();
         let batch = SynthShapes::batch_refs(&refs);
         let cached = self.net.forward(&batch);
@@ -190,35 +191,62 @@ impl<'a> Optimizer<'a> {
         // Pass 1: kernel profiling.
         let budget = self.cfg.epsilon * self.cfg.surrogate_scale;
         let mut tables: BTreeMap<NodeId, Vec<KernelTable>> = BTreeMap::new();
-        for &l in &eligible {
-            let Op::Conv(conv) = &self.net.node(l).op else {
-                unreachable!("eligible ids are conv nodes");
-            };
-            let input = &cached[self.net.node(l).inputs[0]];
-            tables.insert(
-                l,
-                profile_layer_kernels(
+        {
+            let _span = snapea_obs::span!("optimizer/profile");
+            for &l in &eligible {
+                let Op::Conv(conv) = &self.net.node(l).op else {
+                    unreachable!("eligible ids are conv nodes");
+                };
+                let input = &cached[self.net.node(l).inputs[0]];
+                let layer_tables = profile_layer_kernels(
                     conv,
                     input,
                     &self.cfg.group_candidates,
                     &self.cfg.threshold_quantiles,
                     budget,
-                ),
-            );
+                );
+                snapea_obs::counter("optimizer/kernels_profiled")
+                    .add(layer_tables.len() as u64);
+                if snapea_obs::enabled() {
+                    let candidates: u64 =
+                        layer_tables.iter().map(|t| t.len() as u64).sum();
+                    snapea_obs::event!(
+                        "optimizer/profile",
+                        layer = self.net.node(l).name.clone(),
+                        kernels = layer_tables.len() as u64,
+                        candidates = candidates,
+                    );
+                }
+                tables.insert(l, layer_tables);
+            }
         }
 
         // Pass 2: local optimization.
         let mut options: BTreeMap<NodeId, Vec<LayerOption>> = BTreeMap::new();
-        for &l in &eligible {
-            options.insert(
-                l,
-                self.local_options(l, &tables[&l], &batch, &cached, baseline_accuracy),
-            );
+        {
+            let _span = snapea_obs::span!("optimizer/local");
+            for &l in &eligible {
+                let probes_before = snapea_obs::counter("optimizer/probes").get();
+                let opts =
+                    self.local_options(l, &tables[&l], &batch, &cached, baseline_accuracy);
+                if snapea_obs::enabled() {
+                    snapea_obs::event!(
+                        "optimizer/local",
+                        layer = self.net.node(l).name.clone(),
+                        options = opts.len() as u64,
+                        probes =
+                            snapea_obs::counter("optimizer/probes").get() - probes_before,
+                    );
+                }
+                options.insert(l, opts);
+            }
         }
 
         // Pass 3: global optimization.
-        let (current, global_iterations) =
-            self.global_pass(&options, &batch, baseline_accuracy);
+        let (current, global_iterations) = {
+            let _span = snapea_obs::span!("optimizer/global");
+            self.global_pass(&options, &batch, baseline_accuracy)
+        };
 
         // Assemble final parameters.
         let mut params = NetworkParams::new();
@@ -252,7 +280,7 @@ impl<'a> Optimizer<'a> {
             })
             .collect();
 
-        OptimizeOutcome {
+        let outcome = OptimizeOutcome {
             params,
             baseline_accuracy,
             final_accuracy,
@@ -261,7 +289,29 @@ impl<'a> Optimizer<'a> {
             full_macs: final_profile.full_macs(),
             per_layer,
             global_iterations,
+        };
+        if snapea_obs::enabled() {
+            for d in &outcome.per_layer {
+                snapea_obs::event!(
+                    "optimizer/decision",
+                    layer = d.name.clone(),
+                    predictive = d.predictive,
+                    ops = d.ops,
+                    exact_ops = d.exact_ops,
+                    full_macs = d.full_macs,
+                );
+            }
+            snapea_obs::event!(
+                "optimizer/global",
+                iterations = outcome.global_iterations as u64,
+                baseline_accuracy = outcome.baseline_accuracy,
+                final_accuracy = outcome.final_accuracy,
+                exact_ops = outcome.exact_ops,
+                final_ops = outcome.final_ops,
+                full_macs = outcome.full_macs,
+            );
         }
+        outcome
     }
 
     /// The paper's `LOCALOPTIMIZATIONPASS` for one layer.
@@ -290,6 +340,7 @@ impl<'a> Optimizer<'a> {
             }
             seen.push(params.clone());
             let err = if params.is_predictive() {
+                snapea_obs::counter("optimizer/probes").inc();
                 let mut np = NetworkParams::new();
                 np.set(layer, params.clone());
                 let spec = SpecNet::new(self.net, &np);
@@ -334,6 +385,7 @@ impl<'a> Optimizer<'a> {
         let mut current: BTreeMap<NodeId, usize> =
             options.keys().map(|&l| (l, 0usize)).collect();
         let simulate = |cur: &BTreeMap<NodeId, usize>| -> f64 {
+            snapea_obs::counter("optimizer/probes").inc();
             let mut params = NetworkParams::new();
             for (&l, &t) in cur {
                 params.set(l, options[&l][t].params.clone());

@@ -1,0 +1,139 @@
+//! Unit and property tests for [`PredictionStats::merge`], the executor's
+//! aggregation path: merging must behave like elementwise addition
+//! (commutative, associative, zero identity) and the derived rates must be
+//! the count-weighted combination of the inputs — aggregating per-layer or
+//! per-image blocks in any order may never change a reported rate.
+
+use proptest::prelude::*;
+use snapea::exec::PredictionStats;
+
+fn merged(a: &PredictionStats, b: &PredictionStats) -> PredictionStats {
+    let mut out = *a;
+    out.merge(b);
+    out
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0)
+}
+
+#[test]
+fn merge_of_zero_is_identity() {
+    let a = PredictionStats {
+        negative_windows: 10,
+        positive_windows: 30,
+        true_negatives: 7,
+        false_negatives: 3,
+        sign_terminations: 2,
+        positive_mass: 12.5,
+        squashed_mass: 0.5,
+    };
+    assert_eq!(merged(&a, &PredictionStats::default()), a);
+    assert_eq!(merged(&PredictionStats::default(), &a), a);
+}
+
+#[test]
+fn merged_rates_are_count_weighted() {
+    // Layer 1: 1/2 of negatives caught. Layer 2: 9/18. Merged: 10/20 — the
+    // weighted combination, not the mean of the per-layer rates.
+    let a = PredictionStats {
+        negative_windows: 2,
+        true_negatives: 1,
+        ..PredictionStats::default()
+    };
+    let b = PredictionStats {
+        negative_windows: 18,
+        true_negatives: 9,
+        ..PredictionStats::default()
+    };
+    let m = merged(&a, &b);
+    assert_eq!(m.true_negative_rate(), 0.5);
+    assert_eq!(m.negative_windows, 20);
+    assert_eq!(m.true_negatives, 10);
+}
+
+fn stats() -> impl Strategy<Value = PredictionStats> {
+    (
+        0u64..10_000,
+        0u64..10_000,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        0u64..10_000,
+        0.0f64..1000.0,
+        0.0f64..=1.0,
+    )
+        .prop_map(|(neg, pos, tn_frac, fn_frac, sign, mass, squash_frac)| {
+            // Derive the dependent fields from fractions so every generated
+            // block satisfies the executor's invariants (tn ≤ neg, fn ≤ pos,
+            // squashed ≤ positive mass).
+            PredictionStats {
+                negative_windows: neg,
+                positive_windows: pos,
+                true_negatives: (neg as f64 * tn_frac) as u64,
+                false_negatives: (pos as f64 * fn_frac) as u64,
+                sign_terminations: sign,
+                positive_mass: mass,
+                squashed_mass: mass * squash_frac,
+            }
+        })
+}
+
+proptest! {
+    /// `a.merge(b)` equals `b.merge(a)` field for field.
+    #[test]
+    fn merge_is_commutative(a in stats(), b in stats()) {
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    /// `(a ∪ b) ∪ c` equals `a ∪ (b ∪ c)` on the integer fields exactly and
+    /// on the mass fields within float tolerance.
+    #[test]
+    fn merge_is_associative(a in stats(), b in stats(), c in stats()) {
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(left.negative_windows, right.negative_windows);
+        prop_assert_eq!(left.positive_windows, right.positive_windows);
+        prop_assert_eq!(left.true_negatives, right.true_negatives);
+        prop_assert_eq!(left.false_negatives, right.false_negatives);
+        prop_assert_eq!(left.sign_terminations, right.sign_terminations);
+        prop_assert!(close(left.positive_mass, right.positive_mass));
+        prop_assert!(close(left.squashed_mass, right.squashed_mass));
+    }
+
+    /// The merged rates equal the count-weighted combination of the inputs
+    /// (so aggregation can never bias a rate), and the structural invariants
+    /// survive the merge.
+    #[test]
+    fn rates_preserved_under_aggregation(a in stats(), b in stats()) {
+        let m = merged(&a, &b);
+
+        let neg = a.negative_windows + b.negative_windows;
+        if neg > 0 {
+            let expect = (a.true_negatives + b.true_negatives) as f64 / neg as f64;
+            prop_assert!(close(m.true_negative_rate(), expect));
+        } else {
+            prop_assert_eq!(m.true_negative_rate(), 0.0);
+        }
+
+        let pos = a.positive_windows + b.positive_windows;
+        if pos > 0 {
+            let expect = (a.false_negatives + b.false_negatives) as f64 / pos as f64;
+            prop_assert!(close(m.false_negative_rate(), expect));
+        } else {
+            prop_assert_eq!(m.false_negative_rate(), 0.0);
+        }
+
+        // A weighted combination stays inside the per-block range.
+        let lo = a.true_negative_rate().min(b.true_negative_rate());
+        let hi = a.true_negative_rate().max(b.true_negative_rate());
+        if a.negative_windows > 0 && b.negative_windows > 0 {
+            prop_assert!(m.true_negative_rate() >= lo - 1e-12);
+            prop_assert!(m.true_negative_rate() <= hi + 1e-12);
+        }
+
+        prop_assert!(m.true_negatives <= m.negative_windows);
+        prop_assert!(m.false_negatives <= m.positive_windows);
+        prop_assert!(m.squashed_mass <= m.positive_mass + 1e-9);
+        prop_assert!(m.squashed_mass_fraction() <= 1.0 + 1e-12);
+    }
+}

@@ -142,13 +142,17 @@ impl Trainer {
     }
 
     /// Runs one full epoch over `data` (shuffled with `rng`), returning the
-    /// epoch statistics.
+    /// epoch statistics. Each epoch charges the `train/*` metrics and emits
+    /// a `train/epoch` event (loss, accuracy, throughput) when an obs sink
+    /// is installed.
     pub fn epoch(
         &mut self,
         net: &mut Graph,
         data: &[LabeledImage],
         rng: &mut StdRng,
     ) -> EpochStats {
+        let _span = snapea_obs::span!("train/epoch");
+        let started = std::time::Instant::now();
         let mut order: Vec<usize> = (0..data.len()).collect();
         order.shuffle(rng);
         let mut total_loss = 0.0f64;
@@ -163,10 +167,25 @@ impl Trainer {
             total_correct += acc * labels.len() as f64;
             seen += labels.len();
         }
-        EpochStats {
+        let stats = EpochStats {
             loss: total_loss / seen.max(1) as f64,
             accuracy: total_correct / seen.max(1) as f64,
+        };
+        snapea_obs::counter("train/epochs").inc();
+        snapea_obs::counter("train/images").add(seen as u64);
+        if snapea_obs::enabled() {
+            let secs = started.elapsed().as_secs_f64();
+            snapea_obs::event!(
+                "train/epoch",
+                epoch = snapea_obs::counter("train/epochs").get(),
+                loss = stats.loss,
+                accuracy = stats.accuracy,
+                images = seen as u64,
+                ms = secs * 1e3,
+                images_per_s = if secs > 0.0 { seen as f64 / secs } else { 0.0 },
+            );
         }
+        stats
     }
 }
 

@@ -1,0 +1,300 @@
+//! The global metrics registry: counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Metrics are **always on**: increments are relaxed atomic operations with
+//! no branching on sink state and no allocation, so the executor's hot path
+//! can charge its MAC counters unconditionally (the <2% overhead budget of
+//! the bench gate). Instruments are interned once by name and live for the
+//! program's lifetime; hot call sites should cache the returned `&'static`
+//! reference (e.g. in a `OnceLock`) instead of re-looking it up.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `v` (relaxed).
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Increments by one (relaxed).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge (relaxed).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram with fixed, caller-supplied bucket upper bounds.
+///
+/// `bounds` are inclusive upper edges; one implicit overflow bucket catches
+/// everything above the last bound. The sum is accumulated in nanos-style
+/// fixed point (×1e6) so it stays an atomic integer.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    /// Total observations.
+    count: AtomicU64,
+    /// Sum of observations, scaled by 1e6 and rounded.
+    sum_micro: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive upper bounds (must be
+    /// sorted ascending).
+    pub fn new(bounds: Vec<f64>) -> Self {
+        let n = bounds.len() + 1;
+        Self {
+            bounds,
+            counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_micro: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation (relaxed atomics, no allocation).
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let micro = (v.max(0.0) * 1e6).round() as u64;
+        self.sum_micro.fetch_add(micro, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum_micro.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Per-bucket counts, one per bound plus the overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// The configured bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+}
+
+#[derive(Default)]
+struct Instruments {
+    counters: BTreeMap<String, &'static Counter>,
+    gauges: BTreeMap<String, &'static Gauge>,
+    histograms: BTreeMap<String, &'static Histogram>,
+}
+
+/// The process-wide registry of named instruments.
+pub struct Registry {
+    inner: Mutex<Instruments>,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Self {
+            inner: Mutex::new(Instruments::default()),
+        }
+    }
+
+    /// Interns (or retrieves) the counter `name`.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        if let Some(c) = g.counters.get(name) {
+            return c;
+        }
+        let c: &'static Counter = Box::leak(Box::new(Counter::default()));
+        g.counters.insert(name.to_string(), c);
+        c
+    }
+
+    /// Interns (or retrieves) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        if let Some(v) = g.gauges.get(name) {
+            return v;
+        }
+        let v: &'static Gauge = Box::leak(Box::new(Gauge::default()));
+        g.gauges.insert(name.to_string(), v);
+        v
+    }
+
+    /// Interns (or retrieves) the histogram `name` with `bounds` (bounds are
+    /// fixed at first registration).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> &'static Histogram {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        if let Some(h) = g.histograms.get(name) {
+            return h;
+        }
+        let h: &'static Histogram = Box::leak(Box::new(Histogram::new(bounds.to_vec())));
+        g.histograms.insert(name.to_string(), h);
+        h
+    }
+
+    /// Snapshot of every instrument as a JSON object (counters and gauges as
+    /// scalars, histograms as `{count, sum, mean}`).
+    pub fn snapshot(&self) -> Json {
+        let g = self.inner.lock().expect("registry poisoned");
+        let mut pairs: Vec<(String, Json)> = Vec::new();
+        for (name, c) in &g.counters {
+            pairs.push((name.clone(), Json::U64(c.get())));
+        }
+        for (name, v) in &g.gauges {
+            pairs.push((name.clone(), Json::F64(v.get())));
+        }
+        for (name, h) in &g.histograms {
+            pairs.push((
+                name.clone(),
+                Json::obj(vec![
+                    ("count", Json::U64(h.count())),
+                    ("sum", Json::F64(h.sum())),
+                    ("mean", Json::F64(h.mean())),
+                ]),
+            ));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Resets nothing — instruments are monotonic for the process lifetime —
+    /// but reads a single counter for tests and reports.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        let g = self.inner.lock().expect("registry poisoned");
+        g.counters.get(name).map(|c| c.get())
+    }
+}
+
+/// The global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Shorthand for `registry().counter(name)`.
+pub fn counter(name: &str) -> &'static Counter {
+    registry().counter(name)
+}
+
+/// Shorthand for `registry().gauge(name)`.
+pub fn gauge(name: &str) -> &'static Gauge {
+    registry().gauge(name)
+}
+
+/// Shorthand for `registry().histogram(name, bounds)`.
+pub fn histogram(name: &str, bounds: &[f64]) -> &'static Histogram {
+    registry().histogram(name, bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_intern_and_accumulate() {
+        let a = counter("test/metrics/a");
+        let b = counter("test/metrics/a");
+        assert!(std::ptr::eq(a, b), "same name interns to same instrument");
+        let before = a.get();
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), before + 4);
+    }
+
+    #[test]
+    fn gauges_hold_last_value() {
+        let g = gauge("test/metrics/g");
+        g.set(1.25);
+        assert_eq!(g.get(), 1.25);
+        g.set(-2.0);
+        assert_eq!(g.get(), -2.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let h = Histogram::new(vec![1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 50.0, 500.0, 0.5] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 556.0).abs() < 1e-3);
+        assert!((h.mean() - 111.2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn snapshot_contains_registered_instruments() {
+        counter("test/metrics/snap").add(7);
+        gauge("test/metrics/snapg").set(0.5);
+        histogram("test/metrics/snaph", &[1.0]).observe(0.25);
+        let snap = registry().snapshot();
+        assert!(snap.get("test/metrics/snap").and_then(Json::as_u64).unwrap_or(0) >= 7);
+        assert_eq!(
+            snap.get("test/metrics/snapg").and_then(Json::as_f64),
+            Some(0.5)
+        );
+        assert!(snap.get("test/metrics/snaph").and_then(|h| h.get("count")).is_some());
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let c = counter("test/metrics/threads");
+        let before = c.get();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), before + 4000);
+    }
+}

@@ -1,0 +1,150 @@
+//! Hierarchical span timers.
+//!
+//! A span measures the wall time of a scope and knows its position in the
+//! tree of enclosing spans: entering a span pushes its name onto a
+//! thread-local path stack, so a span opened as `span!("optimizer/local")`
+//! inside `span!("optimizer")` records the full path
+//! `optimizer > optimizer/local`. On drop the span charges its elapsed time
+//! to the per-path duration/count counters in the [`crate::metrics`]
+//! registry and, when a sink is installed, emits a `span` event carrying the
+//! path, the user-supplied detail string, and the elapsed milliseconds.
+
+use crate::metrics;
+use crate::sink;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static PATH: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one timed scope. Create with [`enter`] or the
+/// [`span!`](crate::span!) macro; the timing is recorded when it drops.
+pub struct SpanGuard {
+    name: String,
+    detail: Option<String>,
+    start: Instant,
+    depth: usize,
+}
+
+/// Opens a span named `name` (use `/`-separated names such as
+/// `"optimizer/layer"` — the separator is purely conventional; nesting
+/// comes from scope, not from the name).
+pub fn enter(name: &str) -> SpanGuard {
+    enter_detail(name, None)
+}
+
+/// Opens a span with an additional free-form detail string (e.g. the layer
+/// name) that is attached to the emitted event but not to the metric path.
+pub fn enter_detail(name: &str, detail: Option<String>) -> SpanGuard {
+    let depth = PATH.with(|p| {
+        let mut p = p.borrow_mut();
+        p.push(name.to_string());
+        p.len()
+    });
+    SpanGuard {
+        name: name.to_string(),
+        detail,
+        start: Instant::now(),
+        depth,
+    }
+}
+
+/// The current span path on this thread, joined with `" > "` (empty string
+/// at top level).
+pub fn current_path() -> String {
+    PATH.with(|p| p.borrow().join(" > "))
+}
+
+impl SpanGuard {
+    /// Elapsed time so far, in milliseconds.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        let path = PATH.with(|p| {
+            let mut p = p.borrow_mut();
+            // Unwind to this guard's depth even if inner guards leaked
+            // (e.g. due to a panic being caught above an inner span).
+            p.truncate(self.depth);
+            let joined = p.join(" > ");
+            p.pop();
+            joined
+        });
+        metrics::counter(&format!("span/{}/ns", self.name)).add(elapsed.as_nanos() as u64);
+        metrics::counter(&format!("span/{}/count", self.name)).inc();
+        if sink::enabled() {
+            let ms = elapsed.as_secs_f64() * 1e3;
+            let mut fields = vec![
+                ("path".to_string(), crate::json::Json::from(path)),
+                ("depth".to_string(), crate::json::Json::from(self.depth as u64)),
+                ("ms".to_string(), crate::json::Json::from(ms)),
+            ];
+            if let Some(d) = self.detail.take() {
+                fields.push(("detail".to_string(), crate::json::Json::from(d)));
+            }
+            sink::emit("span", fields);
+        }
+    }
+}
+
+/// Opens a [`SpanGuard`] for the enclosing scope.
+///
+/// ```
+/// # use snapea_obs::span;
+/// let _s = span!("optimizer/layer");           // timed scope
+/// let _t = span!("optimizer/layer", "conv1");  // with a detail string
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::enter($name)
+    };
+    ($name:expr, $detail:expr) => {
+        $crate::span::enter_detail($name, Some(($detail).to_string()))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_time_and_count() {
+        {
+            let _s = enter("test/span/outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let ns = metrics::registry()
+            .counter_value("span/test/span/outer/ns")
+            .unwrap_or(0);
+        let count = metrics::registry()
+            .counter_value("span/test/span/outer/count")
+            .unwrap_or(0);
+        assert!(ns >= 1_000_000, "expected >=1ms recorded, got {ns}ns");
+        assert!(count >= 1);
+    }
+
+    #[test]
+    fn nesting_builds_paths_from_scopes() {
+        let _a = enter("test/span/parent");
+        assert_eq!(current_path(), "test/span/parent");
+        {
+            let _b = enter("test/span/child");
+            assert_eq!(current_path(), "test/span/parent > test/span/child");
+        }
+        assert_eq!(current_path(), "test/span/parent");
+    }
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let s = enter("test/span/elapsed");
+        let a = s.elapsed_ms();
+        let b = s.elapsed_ms();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything below must pass before a change lands.
+#
+#   ./scripts/check.sh
+#
+# Offline by design — the workspace has no network access in CI, so every
+# cargo invocation runs with --offline against the local registry cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test --workspace -q --offline
+
+echo "==> cargo clippy --offline -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "OK: build, tests, and clippy all clean."

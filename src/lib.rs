@@ -4,6 +4,7 @@
 //! use one import root:
 //!
 //! * [`tensor`] — dense tensors, fixed point, initializers;
+//! * [`obs`] — metrics, span timers and the structured run-event log;
 //! * [`nn`] — the CNN substrate (layers, graphs, training, dataset, zoo);
 //! * [`core`] — the SnaPEA contribution (reordering, PAU, executor,
 //!   Algorithm-1 optimizer);
@@ -29,4 +30,5 @@
 pub use snapea as core;
 pub use snapea_accel as accel;
 pub use snapea_nn as nn;
+pub use snapea_obs as obs;
 pub use snapea_tensor as tensor;
