@@ -1,0 +1,257 @@
+//! Wall-clock benchmark of the parallel execution layer.
+//!
+//! ```text
+//! cargo run --release -p snapea-bench --bin perfbench              # full shapes
+//! cargo run --release -p snapea-bench --bin perfbench -- --smoke  # tiny, seconds
+//! cargo run --release -p snapea-bench --bin perfbench -- --threads 8
+//! ```
+//!
+//! Times the four parallelised hot paths — conv forward, executor exact,
+//! executor predictive (with stats), and one optimizer profiling pass — at
+//! `SNAPEA_THREADS=1` versus `--threads N` (default: the pool's resolved
+//! thread count), verifies the outputs are **bit-identical** across thread
+//! counts, and writes median-of-k wall times plus speedups to
+//! `BENCH_parallel.json`. A GEMM section compares the dense `matmul` kernel
+//! against `matmul_sparse_lhs` on dense and half-zero LHS matrices, which is
+//! the before/after number justifying the removal of the zero-skip branch
+//! from the dense path.
+//!
+//! Usually invoked through `scripts/bench.sh`.
+
+use snapea::exec::{execute_conv, execute_conv_stats, ExecResult, LayerConfig};
+use snapea::optimizer::profiling::profile_layer_kernels;
+use snapea::KernelParams;
+use snapea_nn::ops::Conv2d;
+use snapea_obs::Json;
+use snapea_tensor::im2col::ConvGeom;
+use snapea_tensor::{init, par, Shape2, Shape4, Tensor2, Tensor4};
+use std::time::Instant;
+
+struct Args {
+    smoke: bool,
+    threads: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        threads: par::threads(),
+        out: "BENCH_parallel.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads takes a positive integer");
+            }
+            "--out" => args.out = it.next().expect("--out takes a path"),
+            other => {
+                eprintln!("perfbench: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args.threads = args.threads.max(1);
+    args
+}
+
+/// Median wall time of `reps` runs of `f`, in milliseconds. The first result
+/// is returned so callers can compare outputs across thread counts.
+fn time_median<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut out = None;
+    let mut times: Vec<f64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+        out.get_or_insert(r);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    (times[times.len() / 2], out.expect("at least one rep"))
+}
+
+fn exec_results_identical(a: &ExecResult, b: &ExecResult) -> bool {
+    a.output.as_slice() == b.output.as_slice()
+        && a.profile.ops_slice() == b.profile.ops_slice()
+        && a.stats == b.stats
+}
+
+/// Times `f` at 1 thread and at `threads`, checks the outputs agree via
+/// `same`, and returns the JSON record for the bench table.
+fn bench_pair<R>(
+    name: &str,
+    detail: &str,
+    reps: usize,
+    threads: usize,
+    mut f: impl FnMut() -> R,
+    same: impl Fn(&R, &R) -> bool,
+) -> Json {
+    par::set_threads(1);
+    let (serial_ms, serial_out) = time_median(reps, &mut f);
+    par::set_threads(threads);
+    let (parallel_ms, parallel_out) = time_median(reps, &mut f);
+    let identical = same(&serial_out, &parallel_out);
+    let speedup = serial_ms / parallel_ms;
+    println!(
+        "{name:<22} {detail:<34} 1t {serial_ms:8.2} ms   {threads}t {parallel_ms:8.2} ms   \
+         speedup {speedup:4.2}x   bit-identical: {identical}"
+    );
+    assert!(identical, "{name}: outputs differ across thread counts");
+    Json::Obj(vec![
+        ("name".to_string(), name.into()),
+        ("detail".to_string(), detail.into()),
+        ("serial_ms".to_string(), serial_ms.into()),
+        ("parallel_ms".to_string(), parallel_ms.into()),
+        ("speedup".to_string(), speedup.into()),
+        ("bit_identical".to_string(), identical.into()),
+    ])
+}
+
+/// Deterministic LHS with `zero_frac` of its entries exactly zero —
+/// post-ReLU-style sparsity for the GEMM branch comparison.
+fn sparse_lhs(shape: Shape2, zero_frac: f64, seed: u64) -> Tensor2 {
+    let mut state = seed;
+    Tensor2::from_fn(shape, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = (state >> 33) as f64 / (1u64 << 31) as f64;
+        if u < zero_frac {
+            0.0
+        } else {
+            (u * 2.0 - 1.0) as f32
+        }
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let reps = if args.smoke { 3 } else { 5 };
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "perfbench: threads 1 vs {} (available_parallelism {avail}), {} shapes, {reps} reps",
+        args.threads,
+        if args.smoke { "smoke" } else { "full" },
+    );
+
+    // Workload: one conv layer of VGG-ish proportions (smoke: tiny).
+    let (batch, c_in, c_out, hw) = if args.smoke { (2, 4, 8, 12) } else { (8, 16, 32, 32) };
+    let mut rng = init::rng(7);
+    let conv = Conv2d::new(c_in, c_out, ConvGeom::square(3, 1, 1), &mut rng);
+    let input = init::uniform4(Shape4::new(batch, c_in, hw, hw), 1.0, &mut rng).map(f32::abs);
+    let exact_cfg = LayerConfig::exact(&conv);
+    let pred_cfg = LayerConfig::predictive_uniform(&conv, KernelParams::new(0.05, 4));
+    // Profiling scans every (kernel, N, image, window) tuple; keep the image
+    // set small so the full run stays minutes-not-hours at 1 thread.
+    let prof_images = if args.smoke { 1 } else { 2 };
+    let prof_input = init::uniform4(
+        Shape4::new(prof_images, c_in, hw, hw),
+        1.0,
+        &mut init::rng(11),
+    )
+    .map(f32::abs);
+    let detail = format!("n{batch} c{c_in}->{c_out} {hw}x{hw} k3");
+
+    let benches = vec![
+        bench_pair(
+            "conv_forward",
+            &detail,
+            reps,
+            args.threads,
+            || conv.forward(&input),
+            |a: &Tensor4, b: &Tensor4| a.as_slice() == b.as_slice(),
+        ),
+        bench_pair(
+            "conv_backward",
+            &detail,
+            reps,
+            args.threads,
+            || {
+                let go = Tensor4::full(conv.out_shape(input.shape()), 0.5);
+                conv.backward(&input, &go)
+            },
+            |a, b| {
+                a.0.as_slice() == b.0.as_slice()
+                    && a.1.as_slice() == b.1.as_slice()
+                    && a.2 == b.2
+            },
+        ),
+        bench_pair(
+            "executor_exact",
+            &detail,
+            reps,
+            args.threads,
+            || execute_conv(&conv, &input, &exact_cfg),
+            exec_results_identical,
+        ),
+        bench_pair(
+            "executor_predictive",
+            &detail,
+            reps,
+            args.threads,
+            || execute_conv_stats(&conv, &input, &pred_cfg),
+            exec_results_identical,
+        ),
+        bench_pair(
+            "optimizer_profiling",
+            &format!("n{prof_images} c{c_in}->{c_out} {hw}x{hw} k3"),
+            reps,
+            args.threads,
+            || profile_layer_kernels(&conv, &prof_input, &[1, 2, 4, 8], &[0.25, 0.5, 0.9], 1.0),
+            |a, b| a == b,
+        ),
+    ];
+
+    // GEMM branch comparison (serial, to isolate the per-element zero test
+    // from scheduling effects): dense LHS and a half-zero LHS.
+    par::set_threads(1);
+    let (gm, gk, gn) = if args.smoke { (32, 64, 128) } else { (128, 288, 1024) };
+    let rhs = sparse_lhs(Shape2::new(gk, gn), 0.0, 3);
+    let mut gemm_rows: Vec<Json> = Vec::new();
+    for (label, zero_frac) in [("dense_lhs", 0.0), ("half_zero_lhs", 0.5)] {
+        let lhs = sparse_lhs(Shape2::new(gm, gk), zero_frac, 5);
+        let (dense_ms, dense_out) = time_median(reps, || lhs.matmul(&rhs).unwrap());
+        let (skip_ms, skip_out) = time_median(reps, || lhs.matmul_sparse_lhs(&rhs).unwrap());
+        assert_eq!(dense_out, skip_out, "gemm variants disagree ({label})");
+        println!(
+            "gemm {label:<18} {gm}x{gk}x{gn}  dense {dense_ms:8.2} ms   zero-skip {skip_ms:8.2} ms"
+        );
+        gemm_rows.push(Json::Obj(vec![
+            ("lhs".to_string(), label.into()),
+            ("zero_frac".to_string(), zero_frac.into()),
+            ("shape".to_string(), format!("{gm}x{gk}x{gn}").into()),
+            ("matmul_ms".to_string(), dense_ms.into()),
+            ("matmul_sparse_lhs_ms".to_string(), skip_ms.into()),
+        ]));
+    }
+    par::set_threads(args.threads);
+
+    let report = Json::Obj(vec![
+        ("generated_by".to_string(), "perfbench".into()),
+        (
+            "git_rev".to_string(),
+            snapea_obs::run::git_rev(std::path::Path::new("."))
+                .map(Json::from)
+                .unwrap_or(Json::Null),
+        ),
+        ("smoke".to_string(), args.smoke.into()),
+        ("reps".to_string(), reps.into()),
+        ("threads_serial".to_string(), 1u64.into()),
+        ("threads_parallel".to_string(), args.threads.into()),
+        ("available_parallelism".to_string(), avail.into()),
+        ("benches".to_string(), Json::Arr(benches)),
+        ("gemm".to_string(), Json::Arr(gemm_rows)),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, format!("{report}\n")) {
+        eprintln!("perfbench: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", args.out);
+}

@@ -645,13 +645,13 @@ pub fn fig12(
         let ey = simulate(&AccelConfig::eyeriss(), &model, &wl.to_dense());
         let mut cells = vec![tw.workload.name().to_string()];
         let mut series = Vec::new();
-        for (i, (num, den, label)) in scales.iter().enumerate() {
+        for (i, (num, den, _label)) in scales.iter().enumerate() {
             let cfg = AccelConfig::snapea_lanes_scaled(*num, *den);
             let sn = simulate(&cfg, &model, &wl);
             let sp = sn.speedup_over(&ey);
             cells.push(ratio(sp));
             per_scale[i].push(sp);
-            series.push(json!({"lanes": label, "speedup": sp}));
+            series.push(json!({"lanes": _label, "speedup": sp}));
         }
         t.row(cells);
         rows.push(json!({"network": tw.workload.name(), "series": series}));

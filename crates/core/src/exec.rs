@@ -443,41 +443,59 @@ fn execute_conv_inner(
     let mut ops = vec![0u32; s.n * conv.c_out() * windows];
     let mut stats = PredictionStats::default();
 
-    for n in 0..s.n {
-        let item = input.item(n);
-        for (k, kexec) in cfg.kernels.iter().enumerate() {
-            let bias = conv.bias()[k];
-            let out_base = out_shape.offset(n, k, 0, 0);
-            let ops_base = (n * conv.c_out() + k) * windows;
-            for w in 0..windows {
-                let taps = gather.window(w);
-                let r = run_window(kexec, taps, item, bias);
-                output.as_mut_slice()[out_base + w] = r.output;
-                ops[ops_base + w] = r.ops;
-                if collect_stats {
-                    let full = full_window_value(kexec, taps, item, bias);
-                    if full < 0.0 {
-                        stats.negative_windows += 1;
-                    } else {
-                        stats.positive_windows += 1;
-                        stats.positive_mass += full as f64;
-                    }
-                    match r.termination {
-                        Some(TerminationKind::Predicted) => {
-                            if full < 0.0 {
-                                stats.true_negatives += 1;
-                            } else {
-                                stats.false_negatives += 1;
-                                stats.squashed_mass += full.max(0.0) as f64;
+    // One task per (image, kernel) pair. Flat pair index `n * c_out + k`
+    // addresses both the output plane (`offset(n, k, 0, 0)` = pair *
+    // windows) and the ops layout, so zipping the two `windows`-sized chunk
+    // iterators hands every task its disjoint output/ops slices. Each pair's
+    // stats accumulate privately and merge in ascending pair order — the
+    // same grouping for any thread count, so the f64 masses are
+    // bit-identical whether the pairs ran on one worker or eight.
+    if windows > 0 {
+        let pairs: Vec<(&mut [f32], &mut [u32])> = output
+            .as_mut_slice()
+            .chunks_mut(windows)
+            .zip(ops.chunks_mut(windows))
+            .collect();
+        let per_pair: Vec<PredictionStats> =
+            snapea_tensor::par::run_tasks(pairs, |pair, (out_slice, ops_slice)| {
+                let (n, k) = (pair / conv.c_out(), pair % conv.c_out());
+                let item = input.item(n);
+                let kexec = &cfg.kernels[k];
+                let bias = conv.bias()[k];
+                let mut st = PredictionStats::default();
+                for w in 0..windows {
+                    let taps = gather.window(w);
+                    let r = run_window(kexec, taps, item, bias);
+                    out_slice[w] = r.output;
+                    ops_slice[w] = r.ops;
+                    if collect_stats {
+                        let full = full_window_value(kexec, taps, item, bias);
+                        if full < 0.0 {
+                            st.negative_windows += 1;
+                        } else {
+                            st.positive_windows += 1;
+                            st.positive_mass += full as f64;
+                        }
+                        match r.termination {
+                            Some(TerminationKind::Predicted) => {
+                                if full < 0.0 {
+                                    st.true_negatives += 1;
+                                } else {
+                                    st.false_negatives += 1;
+                                    st.squashed_mass += full.max(0.0) as f64;
+                                }
                             }
+                            Some(TerminationKind::SignCheck) => {
+                                st.sign_terminations += 1;
+                            }
+                            None => {}
                         }
-                        Some(TerminationKind::SignCheck) => {
-                            stats.sign_terminations += 1;
-                        }
-                        None => {}
                     }
                 }
-            }
+                st
+            });
+        for st in &per_pair {
+            stats.merge(st);
         }
     }
 

@@ -136,10 +136,12 @@ pub fn profile_layer_kernels(
     let images = s.n;
     let window_len = conv.window_len();
 
-    let mut tables = Vec::with_capacity(conv.c_out());
-    let mut scans: Vec<WindowScan> = Vec::with_capacity(images * windows);
-
-    for k in 0..conv.c_out() {
+    // Kernels are profiled in isolation, so the candidate scans — the
+    // optimizer's dominant loop — fan out one task per kernel; the result
+    // vector preserves kernel order and each kernel's numbers never depend
+    // on the thread count.
+    snapea_tensor::par::parallel_map(conv.c_out(), 1, |k| {
+        let mut scans: Vec<WindowScan> = Vec::with_capacity(images * windows);
         let weights = conv.weight().item(k);
         let bias = conv.bias()[k];
         let mut candidates: Vec<KernelCandidate> = Vec::new();
@@ -217,9 +219,8 @@ pub fn profile_layer_kernels(
         }
 
         candidates.sort_by_key(|c| c.ops);
-        tables.push(KernelTable { candidates });
-    }
-    tables
+        KernelTable { candidates }
+    })
 }
 
 #[cfg(test)]

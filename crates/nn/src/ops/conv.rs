@@ -1,7 +1,7 @@
 //! 2-D convolution layer (im2col fast path).
 
 use serde::{Deserialize, Serialize};
-use snapea_tensor::im2col::{col2im, im2col, ConvGeom};
+use snapea_tensor::im2col::{col2im_item, im2col, ConvGeom};
 use snapea_tensor::{init, Shape2, Shape4, Tensor2, Tensor4};
 
 /// A 2-D convolution layer with bias.
@@ -119,6 +119,11 @@ impl Conv2d {
 
     /// Forward pass.
     ///
+    /// Batch items are independent, so they are dispatched across the
+    /// [`snapea_tensor::par`] pool (each worker owns one item's disjoint
+    /// output slice); with a single item the inner GEMM parallelises over
+    /// output rows instead. Results are bit-identical for any thread count.
+    ///
     /// # Panics
     ///
     /// Panics if `input.shape().c != self.c_in()`.
@@ -127,11 +132,19 @@ impl Conv2d {
         let out_shape = self.out_shape(input.shape());
         let wmat = self.weight_matrix();
         let mut out = Tensor4::zeros(out_shape);
-        for n in 0..input.shape().n {
+        let item_len = out_shape.item_len();
+        if item_len == 0 {
+            return out;
+        }
+        let plane = out_shape.plane_len();
+        let items: Vec<(usize, &mut [f32])> = out
+            .as_mut_slice()
+            .chunks_mut(item_len)
+            .enumerate()
+            .collect();
+        snapea_tensor::par::run_tasks(items, |_, (n, dst)| {
             let cols = im2col(input, n, self.geom);
             let prod = wmat.matmul(&cols).expect("im2col shape is consistent");
-            let dst = out.item_mut(n);
-            let plane = out_shape.plane_len();
             for co in 0..out_shape.c {
                 let row = prod.row(co);
                 let b = self.bias[co];
@@ -139,38 +152,61 @@ impl Conv2d {
                     *d = v + b;
                 }
             }
-        }
+        });
         out
     }
 
     /// Backward pass: given the layer input and the gradient of the loss with
     /// respect to the output, returns `(grad_input, grad_weight, grad_bias)`.
+    ///
+    /// Each batch item's `(dW, db, dIn)` contribution is computed on the
+    /// [`snapea_tensor::par`] pool (workers own disjoint `grad_input` item
+    /// slices); the weight and bias gradients are then merged on the calling
+    /// thread in ascending item order, so the reduction is bit-identical for
+    /// any thread count.
     pub fn backward(&self, input: &Tensor4, grad_out: &Tensor4) -> (Tensor4, Tensor4, Vec<f32>) {
-        let out_shape = self.out_shape(input.shape());
+        let in_shape = input.shape();
+        let out_shape = self.out_shape(in_shape);
         assert_eq!(grad_out.shape(), out_shape, "conv grad_out shape");
         let wmat = self.weight_matrix();
         let plane = out_shape.plane_len();
-        let mut grad_in = Tensor4::zeros(input.shape());
+        let mut grad_in = Tensor4::zeros(in_shape);
         let mut grad_w = Tensor2::zeros(Shape2::new(self.c_out(), self.window_len()));
         let mut grad_b = vec![0.0f32; self.c_out()];
-        for n in 0..input.shape().n {
-            let cols = im2col(input, n, self.geom);
-            // grad_out for this item as [c_out, oh*ow]
-            let go = Tensor2::from_vec(
-                Shape2::new(out_shape.c, plane),
-                grad_out.item(n).to_vec(),
-            )
-            .expect("contiguous item");
-            // dW += dOut × colsᵀ
-            let dw = go.matmul_t(&cols).expect("shapes agree");
-            grad_w.add_assign(&dw).expect("same shape");
-            // db += row sums of dOut
-            for (co, g) in grad_b.iter_mut().enumerate() {
-                *g += go.row(co).iter().sum::<f32>();
+        let in_item = in_shape.item_len();
+        if in_shape.n > 0 && in_item > 0 {
+            let items: Vec<(usize, &mut [f32])> = grad_in
+                .as_mut_slice()
+                .chunks_mut(in_item)
+                .enumerate()
+                .collect();
+            let per_item: Vec<(Tensor2, Vec<f32>)> =
+                snapea_tensor::par::run_tasks(items, |_, (n, gi_item)| {
+                    let cols = im2col(input, n, self.geom);
+                    // grad_out for this item as [c_out, oh*ow]
+                    let go = Tensor2::from_vec(
+                        Shape2::new(out_shape.c, plane),
+                        grad_out.item(n).to_vec(),
+                    )
+                    .expect("contiguous item");
+                    // dW contribution: dOut × colsᵀ
+                    let dw = go.matmul_t(&cols).expect("shapes agree");
+                    // db contribution: row sums of dOut
+                    let db: Vec<f32> = (0..out_shape.c)
+                        .map(|co| go.row(co).iter().sum::<f32>())
+                        .collect();
+                    // dIn = Wᵀ × dOut, scattered through col2im into this
+                    // item's disjoint slice
+                    let dcols = wmat.t_matmul(&go).expect("shapes agree");
+                    col2im_item(&dcols, gi_item, in_shape.c, in_shape.h, in_shape.w, self.geom);
+                    (dw, db)
+                });
+            for (dw, db) in per_item {
+                grad_w.add_assign(&dw).expect("same shape");
+                for (g, d) in grad_b.iter_mut().zip(db) {
+                    *g += d;
+                }
             }
-            // dIn = Wᵀ × dOut, scattered through col2im
-            let dcols = wmat.t_matmul(&go).expect("shapes agree");
-            col2im(&dcols, &mut grad_in, n, self.geom);
         }
         let grad_w4 = Tensor4::from_vec(self.weight.shape(), grad_w.into_vec())
             .expect("weight layout is contiguous");

@@ -59,6 +59,22 @@ fn unix_now() -> u64 {
         .unwrap_or(0)
 }
 
+/// The worker-pool thread count this process runs with, resolved the same
+/// way as `snapea_tensor::par::threads` (`SNAPEA_THREADS`, else available
+/// parallelism) — duplicated here because obs sits below the tensor crate.
+/// Recorded in every manifest so perf numbers stay attributable; callers
+/// that override the pool at runtime should `set("threads", ...)` instead.
+pub fn env_threads() -> u64 {
+    if let Ok(v) = std::env::var("SNAPEA_THREADS") {
+        if let Ok(n) = v.trim().parse::<u64>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
+}
+
 /// Starts a run named after the current time and pid under `results_root`
 /// (conventionally `repro-results/`), installing a [`FileSink`] for
 /// `events.jsonl`. Returns the handle, or `None` when the directory or the
@@ -121,6 +137,9 @@ impl RunHandle {
             ("started_unix".to_string(), Json::U64(self.started_unix)),
             ("elapsed_s".to_string(), Json::F64(elapsed_s)),
         ];
+        if !self.fields.iter().any(|(k, _)| k == "threads") {
+            pairs.push(("threads".to_string(), Json::U64(env_threads())));
+        }
         pairs.extend(self.fields);
         pairs.push(("metrics".to_string(), metrics::registry().snapshot()));
         let manifest = Json::Obj(pairs);
@@ -179,6 +198,10 @@ mod tests {
         )
         .expect("manifest parses");
         assert!(manifest.get("elapsed_s").and_then(Json::as_f64).is_some());
+        assert!(
+            manifest.get("threads").and_then(Json::as_u64).unwrap_or(0) >= 1,
+            "manifest records the thread count"
+        );
         let exps = manifest
             .get("experiments")
             .and_then(Json::as_array)

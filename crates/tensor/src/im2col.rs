@@ -89,28 +89,49 @@ pub fn im2col(input: &Tensor4, n: usize, geom: ConvGeom) -> Tensor2 {
 /// Panics if `cols` has the wrong shape for `(grad_input.shape(), geom)`.
 pub fn col2im(cols: &Tensor2, grad_input: &mut Tensor4, n: usize, geom: ConvGeom) {
     let s = grad_input.shape();
-    let (oh, ow) = (geom.out_h(s.h), geom.out_w(s.w));
+    col2im_item(cols, grad_input.item_mut(n), s.c, s.h, s.w, geom);
+}
+
+/// [`col2im`] operating on a single batch item's flat `[c × h × w]` slice —
+/// the form used by the parallel convolution backward pass, where each
+/// worker owns one item's disjoint `grad_input` slice.
+///
+/// # Panics
+///
+/// Panics if `grad_item.len() != c * h * w` or `cols` has the wrong shape
+/// for `(c, h, w, geom)`.
+pub fn col2im_item(
+    cols: &Tensor2,
+    grad_item: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: ConvGeom,
+) {
+    let (oh, ow) = (geom.out_h(h), geom.out_w(w));
+    assert_eq!(grad_item.len(), c * h * w, "col2im: item slice length");
     assert_eq!(
         cols.shape(),
-        Shape2::new(s.c * geom.kh * geom.kw, oh * ow),
+        Shape2::new(c * geom.kh * geom.kw, oh * ow),
         "col2im: patch matrix shape mismatch"
     );
-    for c in 0..s.c {
+    for ci in 0..c {
         for ky in 0..geom.kh {
             for kx in 0..geom.kw {
-                let row = (c * geom.kh + ky) * geom.kw + kx;
+                let row = (ci * geom.kh + ky) * geom.kw + kx;
                 let src = cols.row(row);
                 for oy in 0..oh {
                     let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
-                    if iy < 0 || iy >= s.h as isize {
+                    if iy < 0 || iy >= h as isize {
                         continue;
                     }
                     for ox in 0..ow {
                         let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
-                        if ix < 0 || ix >= s.w as isize {
+                        if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        grad_input[(n, c, iy as usize, ix as usize)] += src[oy * ow + ox];
+                        grad_item[(ci * h + iy as usize) * w + ix as usize] +=
+                            src[oy * ow + ox];
                     }
                 }
             }

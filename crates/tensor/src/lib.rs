@@ -10,8 +10,12 @@
 //! * [`init`] — deterministic, seeded weight initializers.
 //! * [`q16`] — 16-bit fixed-point arithmetic mirroring the paper's 16-bit
 //!   fixed-point processing engines (Table II of the paper).
+//! * [`par`] — the scoped worker pool behind every parallel hot path in the
+//!   workspace (`SNAPEA_THREADS` knob; results are bit-identical for any
+//!   thread count).
 //!
-//! Everything is deterministic: no global RNG state, no wall-clock.
+//! Everything is deterministic: no global RNG state, and no wall-clock in
+//! any numeric path (the pool reads the clock only for its metrics).
 //!
 //! # Examples
 //!
@@ -33,6 +37,7 @@ mod tensor4;
 
 pub mod im2col;
 pub mod init;
+pub mod par;
 pub mod q16;
 
 pub use matrix::Tensor2;

@@ -4,6 +4,14 @@ use crate::{Shape2, ShapeError};
 use serde::{Deserialize, Serialize};
 use std::ops::{Index, IndexMut};
 
+/// Output columns per GEMM tile: 4096 f32 = 16 KiB, so an output tile stays
+/// L1-resident while `k` streams through for very wide outputs. Every shape
+/// this workspace produces (`out_h × out_w` columns) fits a single tile —
+/// perfbench showed a smaller tile (512) costs ~40% on the repo's GEMM
+/// shapes by breaking the streaming access to `rhs`, so the tile only
+/// engages where out rows genuinely exceed L1.
+const GEMM_COL_TILE: usize = 4096;
+
 /// A dense, row-major `f32` matrix.
 ///
 /// Used by fully-connected layers, the im2col convolution path, and the
@@ -118,6 +126,12 @@ impl Tensor2 {
 
     /// Matrix product `self × rhs`.
     ///
+    /// Row-partitioned across the [`crate::par`] pool (each worker owns a
+    /// disjoint block of output rows) with column tiling so the output tile
+    /// stays cache-resident while `k` streams through. Every output element
+    /// accumulates in ascending-`k` order regardless of thread count or
+    /// tiling, so the result is bit-identical to the naive serial ikj loop.
+    ///
     /// # Errors
     ///
     /// Returns a [`ShapeError`] if `self.cols != rhs.rows`.
@@ -130,7 +144,61 @@ impl Tensor2 {
         }
         let (m, k, n) = (self.shape.rows, self.shape.cols, rhs.shape.cols);
         let mut out = Tensor2::zeros(Shape2::new(m, n));
-        // ikj loop order keeps the inner loop contiguous over both rhs and out.
+        if m == 0 || n == 0 {
+            return Ok(out);
+        }
+        let chunk = crate::par::chunk_hint(m);
+        let row_blocks: Vec<(usize, &mut [f32])> = out
+            .data
+            .chunks_mut(chunk * n)
+            .enumerate()
+            .map(|(ci, slab)| (ci * chunk, slab))
+            .collect();
+        crate::par::run_tasks(row_blocks, |_, (row0, slab)| {
+            for (di, out_row) in slab.chunks_mut(n).enumerate() {
+                let a_row = self.row(row0 + di);
+                for j0 in (0..n).step_by(GEMM_COL_TILE) {
+                    let j1 = (j0 + GEMM_COL_TILE).min(n);
+                    let out_tile = &mut out_row[j0..j1];
+                    for (p, &a) in a_row.iter().enumerate().take(k) {
+                        let b_tile = &rhs.row(p)[j0..j1];
+                        for (o, &b) in out_tile.iter_mut().zip(b_tile.iter()) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        });
+        Ok(out)
+    }
+
+    /// Matrix product `self × rhs` that skips zero entries of the LHS.
+    ///
+    /// For finite inputs this returns the same values as [`Tensor2::matmul`]
+    /// (the skipped contributions are exact zeros). The `gemm` section of
+    /// `BENCH_parallel.json` records the trade: on a dense LHS the branch is
+    /// perfectly predicted and costs nothing, but it makes wall time depend
+    /// on the data, and it only pays off when the LHS is *proven* sparse
+    /// (~1.8× on a half-zero, post-ReLU-style LHS). The default [`matmul`]
+    /// stays branch-free, parallel, and data-independent; reach for this
+    /// variant explicitly where sparsity is established — and remember that
+    /// computation-skipping for the SnaPEA data path itself lives in the
+    /// executor, not the tensor crate. Serial.
+    ///
+    /// [`matmul`]: Tensor2::matmul
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `self.cols != rhs.rows`.
+    pub fn matmul_sparse_lhs(&self, rhs: &Tensor2) -> Result<Tensor2, ShapeError> {
+        if self.shape.cols != rhs.shape.rows {
+            return Err(ShapeError::new(format!(
+                "matmul_sparse_lhs: {} × {}",
+                self.shape, rhs.shape
+            )));
+        }
+        let (m, k, n) = (self.shape.rows, self.shape.cols, rhs.shape.cols);
+        let mut out = Tensor2::zeros(Shape2::new(m, n));
         for i in 0..m {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
@@ -149,6 +217,10 @@ impl Tensor2 {
 
     /// Matrix product `selfᵀ × rhs` without materialising the transpose.
     ///
+    /// Parallelised over blocks of output rows (columns of `self`); each
+    /// element accumulates in ascending-`k` order, so results are
+    /// bit-identical for any thread count.
+    ///
     /// # Errors
     ///
     /// Returns a [`ShapeError`] if `self.rows != rhs.rows`.
@@ -161,23 +233,36 @@ impl Tensor2 {
         }
         let (m, k, n) = (self.shape.cols, self.shape.rows, rhs.shape.cols);
         let mut out = Tensor2::zeros(Shape2::new(m, n));
-        for p in 0..k {
-            let a_row = self.row(p);
-            let b_row = rhs.row(p);
-            for (i, &a) in a_row.iter().enumerate().take(m) {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+        if m == 0 || n == 0 {
+            return Ok(out);
+        }
+        let chunk = crate::par::chunk_hint(m);
+        let row_blocks: Vec<(usize, &mut [f32])> = out
+            .data
+            .chunks_mut(chunk * n)
+            .enumerate()
+            .map(|(ci, slab)| (ci * chunk, slab))
+            .collect();
+        crate::par::run_tasks(row_blocks, |_, (row0, slab)| {
+            for p in 0..k {
+                let a_row = self.row(p);
+                let b_row = rhs.row(p);
+                for (di, out_row) in slab.chunks_mut(n).enumerate() {
+                    let a = a_row[row0 + di];
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         Ok(out)
     }
 
     /// Matrix product `self × rhsᵀ` without materialising the transpose.
+    ///
+    /// Parallelised over blocks of output rows; each element is a single
+    /// ascending-`k` dot product, so results are bit-identical for any
+    /// thread count.
     ///
     /// # Errors
     ///
@@ -191,18 +276,29 @@ impl Tensor2 {
         }
         let (m, n) = (self.shape.rows, rhs.shape.rows);
         let mut out = Tensor2::zeros(Shape2::new(m, n));
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate().take(n) {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
+        if m == 0 || n == 0 {
+            return Ok(out);
         }
+        let chunk = crate::par::chunk_hint(m);
+        let row_blocks: Vec<(usize, &mut [f32])> = out
+            .data
+            .chunks_mut(chunk * n)
+            .enumerate()
+            .map(|(ci, slab)| (ci * chunk, slab))
+            .collect();
+        crate::par::run_tasks(row_blocks, |_, (row0, slab)| {
+            for (di, out_row) in slab.chunks_mut(n).enumerate() {
+                let a_row = self.row(row0 + di);
+                for (j, o) in out_row.iter_mut().enumerate().take(n) {
+                    let b_row = rhs.row(j);
+                    let mut acc = 0.0;
+                    for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            }
+        });
         Ok(out)
     }
 
@@ -308,6 +404,95 @@ mod tests {
         let slow = a.matmul(&c.transpose()).unwrap();
         for (x, y) in fast.iter().zip(slow.iter()) {
             assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    /// Naive triple loop accumulating in ascending-k order — the reference
+    /// the parallel kernels must match bit-for-bit.
+    fn naive_matmul(a: &Tensor2, b: &Tensor2) -> Tensor2 {
+        let (m, k, n) = (a.shape().rows, a.shape().cols, b.shape().cols);
+        let mut out = Tensor2::zeros(Shape2::new(m, n));
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[(i, p)] * b[(p, j)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Deterministic pseudo-random matrix with a sprinkling of exact zeros.
+    fn lcg_mat(rows: usize, cols: usize, seed: &mut u64) -> Tensor2 {
+        Tensor2::from_fn(Shape2::new(rows, cols), |_, _| {
+            *seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if (*seed >> 20).is_multiple_of(5) {
+                0.0
+            } else {
+                ((*seed >> 33) as f32 / (1u64 << 31) as f32) * 4.0 - 2.0
+            }
+        })
+    }
+
+    #[test]
+    fn matmul_is_bit_identical_across_thread_counts() {
+        let prev = crate::par::threads();
+        let mut seed = 0x5EED_0001_u64;
+        // The last shape exceeds GEMM_COL_TILE to exercise multi-tile rows.
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 4), (17, 9, 23), (9, 8, GEMM_COL_TILE + 5)] {
+            let a = lcg_mat(m, k, &mut seed);
+            let b = lcg_mat(k, n, &mut seed);
+            let reference = naive_matmul(&a, &b);
+            for t in [1, 2, 4, 7] {
+                crate::par::set_threads(t);
+                assert_eq!(a.matmul(&b).unwrap(), reference, "m={m} k={k} n={n} t={t}");
+            }
+            assert_eq!(a.matmul_sparse_lhs(&b).unwrap(), reference);
+        }
+        crate::par::set_threads(prev);
+    }
+
+    #[test]
+    fn transposed_products_are_bit_identical_across_thread_counts() {
+        let prev = crate::par::threads();
+        let mut seed = 0x5EED_0002_u64;
+        for &(m, k, n) in &[(2, 3, 2), (19, 11, 13), (40, 24, 31)] {
+            let a = lcg_mat(k, m, &mut seed); // for t_matmul: aᵀ is m×k
+            let b = lcg_mat(k, n, &mut seed);
+            let c = lcg_mat(n, k, &mut seed); // for matmul_t: a2 × cᵀ
+            let a2 = lcg_mat(m, k, &mut seed);
+            crate::par::set_threads(1);
+            let serial_t = a.t_matmul(&b).unwrap();
+            let serial_mt = a2.matmul_t(&c).unwrap();
+            for t in [2, 4, 7] {
+                crate::par::set_threads(t);
+                assert_eq!(a.t_matmul(&b).unwrap(), serial_t, "t_matmul t={t}");
+                assert_eq!(a2.matmul_t(&c).unwrap(), serial_mt, "matmul_t t={t}");
+            }
+        }
+        crate::par::set_threads(prev);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_parallel_matmul_equals_serial_reference(
+            m in 1usize..8,
+            k in 1usize..8,
+            n in 1usize..8,
+            raw_seed in 0u64..1024,
+        ) {
+            let mut seed = raw_seed.wrapping_mul(0x9E37_79B9).wrapping_add(1);
+            let a = lcg_mat(m, k, &mut seed);
+            let b = lcg_mat(k, n, &mut seed);
+            let prev = crate::par::threads();
+            crate::par::set_threads(4);
+            let got = a.matmul(&b).unwrap();
+            crate::par::set_threads(prev);
+            proptest::prop_assert_eq!(got, naive_matmul(&a, &b));
         }
     }
 

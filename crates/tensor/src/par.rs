@@ -1,0 +1,294 @@
+//! Scoped worker pool shared by every hot path of the reproduction.
+//!
+//! The pool is deliberately tiny: no persistent threads, no channels, no
+//! unsafe. Every invocation opens a [`std::thread::scope`], the workers pull
+//! task indices from a shared queue (dynamic scheduling, so uneven task
+//! costs — e.g. predictive windows that terminate at different depths —
+//! still balance), and results are returned **in task order** so callers
+//! observe the same values regardless of how work was interleaved.
+//!
+//! ## Determinism contract
+//!
+//! Parallel callers in this workspace follow two rules, and the pool is
+//! shaped to make them easy:
+//!
+//! 1. **Ownership-partitioned writes** — each task owns a disjoint `&mut`
+//!    slice of the output (rows of a matrix, batch items of a tensor,
+//!    `(image, kernel)` planes of an executor run). Safe Rust enforces the
+//!    disjointness; no task ever observes another task's writes.
+//! 2. **Deterministic reduction order** — floating-point reductions are
+//!    merged on the caller's thread in ascending task order, with task
+//!    boundaries chosen independently of the thread count.
+//!
+//! Under those rules every result is bit-identical for any thread count,
+//! and `SNAPEA_THREADS=1` executes the exact serial loop (tasks run inline
+//! on the caller's thread in ascending order, no queue, no spawns).
+//!
+//! ## Configuration
+//!
+//! The thread count comes from the `SNAPEA_THREADS` environment variable
+//! (clamped to ≥ 1), defaulting to [`std::thread::available_parallelism`].
+//! It is resolved once and cached; [`set_threads`] overrides it at runtime
+//! (used by benches and determinism tests).
+//!
+//! Nested parallelism is flattened: a pool worker that itself calls into
+//! the pool runs its tasks inline, so a parallel `Conv2d::forward` over
+//! batch items never multiplies into a parallel `matmul` per item.
+//!
+//! ## Observability
+//!
+//! Each multi-threaded invocation charges `par/invocations`, `par/tasks`,
+//! and per-worker busy time (`par/busy_ns`) into the [`snapea_obs`] metrics
+//! registry, and sets the `par/imbalance` gauge (`1 − min/max` worker busy
+//! time — 0.0 is a perfectly balanced dispatch).
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Cached thread count; 0 means "not resolved yet".
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True on pool worker threads: nested pool calls run inline.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn resolve_threads() -> usize {
+    if let Ok(v) = std::env::var("SNAPEA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The pool's thread count: `SNAPEA_THREADS` if set (≥ 1), otherwise the
+/// machine's available parallelism. Resolved once and cached; override with
+/// [`set_threads`].
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => {
+            let n = resolve_threads();
+            THREADS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Overrides the pool's thread count for the rest of the process (clamped
+/// to ≥ 1). Because every parallel caller is deterministic by construction,
+/// changing the thread count never changes results — only wall time.
+pub fn set_threads(n: usize) {
+    THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Runs `f(index, task)` for every task and returns the results **in task
+/// order**.
+///
+/// With one thread (or one task, or when called from inside another pool
+/// task) this is exactly `tasks.into_iter().enumerate().map(f).collect()`
+/// on the caller's thread. Otherwise `min(threads(), tasks.len())` scoped
+/// workers pull tasks from a shared queue; a task that owns a `&mut` slice
+/// of some output writes it in place, and the returned values are reordered
+/// into task order before the call returns.
+///
+/// Panics in `f` propagate to the caller (the scope joins all workers
+/// first).
+pub fn run_tasks<T, R, F>(tasks: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let nested = IN_WORKER.with(Cell::get);
+    let workers = if nested { 1 } else { threads().min(tasks.len()) };
+    if workers <= 1 {
+        return tasks.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let n_tasks = tasks.len();
+    snapea_obs::counter("par/invocations").inc();
+    snapea_obs::counter("par/tasks").add(n_tasks as u64);
+
+    let queue: Mutex<VecDeque<(usize, T)>> =
+        Mutex::new(tasks.into_iter().enumerate().collect());
+    let mut slots: Vec<Option<R>> = (0..n_tasks).map(|_| None).collect();
+    let mut busy_ns: Vec<u64> = Vec::with_capacity(workers);
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    IN_WORKER.with(|w| w.set(true));
+                    let started = Instant::now();
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let next = queue.lock().expect("pool queue poisoned").pop_front();
+                        let Some((i, t)) = next else { break };
+                        done.push((i, f(i, t)));
+                    }
+                    (done, started.elapsed().as_nanos() as u64)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (done, ns) = h.join().expect("pool worker panicked");
+            busy_ns.push(ns);
+            for (i, r) in done {
+                slots[i] = Some(r);
+            }
+        }
+    });
+
+    let max = busy_ns.iter().copied().max().unwrap_or(0);
+    let min = busy_ns.iter().copied().min().unwrap_or(0);
+    snapea_obs::counter("par/busy_ns").add(busy_ns.iter().sum::<u64>());
+    snapea_obs::gauge("par/workers").set(workers as f64);
+    snapea_obs::gauge("par/imbalance").set(if max == 0 {
+        0.0
+    } else {
+        1.0 - min as f64 / max as f64
+    });
+
+    slots
+        .into_iter()
+        .map(|r| r.expect("every task produced a result"))
+        .collect()
+}
+
+/// Splits `0..n` into contiguous chunks of `chunk` indices (the last chunk
+/// may be shorter) and runs `f(chunk_index, range)` for each, returning the
+/// results in chunk order.
+///
+/// Chunk boundaries depend only on `n` and `chunk` — never on the thread
+/// count — so reductions merged in chunk order are thread-count invariant.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`.
+pub fn parallel_map_chunks<R, F>(n: usize, chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, Range<usize>) -> R + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let ranges: Vec<Range<usize>> = (0..n)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(n))
+        .collect();
+    run_tasks(ranges, f)
+}
+
+/// Runs `f(i)` for every `i` in `0..n`, dispatched in chunks of `chunk`
+/// indices. `f` must only perform independent work (interior mutability,
+/// disjoint outputs resolved by index); no result is collected.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`.
+pub fn parallel_for<F>(n: usize, chunk: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    parallel_map_chunks(n, chunk, |_, range| range.for_each(&f));
+}
+
+/// Maps `f` over `0..n` returning the results in index order, dispatched in
+/// chunks of `chunk` indices.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`.
+pub fn parallel_map<R, F>(n: usize, chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let nested: Vec<Vec<R>> =
+        parallel_map_chunks(n, chunk, |_, range| range.map(&f).collect());
+    let mut out = Vec::with_capacity(n);
+    for v in nested {
+        out.extend(v);
+    }
+    out
+}
+
+/// A chunk size that yields a few tasks per worker (for callers whose
+/// results are order-insensitive or merged per fixed boundaries anyway):
+/// `ceil(n / (4 × threads))`, at least 1. Smaller chunks balance better;
+/// larger chunks amortise queue traffic — 4 tasks per worker is a
+/// reasonable middle for the coarse tasks this workspace dispatches.
+pub fn chunk_hint(n: usize) -> usize {
+    n.div_ceil(4 * threads().max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let tasks: Vec<usize> = (0..97).collect();
+        let out = run_tasks(tasks, |i, t| {
+            assert_eq!(i, t);
+            i * 3
+        });
+        assert_eq!(out, (0..97).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        let out = parallel_map(23, 4, |i| i as i64 - 5);
+        assert_eq!(out, (0..23).map(|i| i as i64 - 5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_cover_range_exactly_once() {
+        let ranges = parallel_map_chunks(10, 3, |_, r| r);
+        assert_eq!(ranges, vec![0..3, 3..6, 6..9, 9..10]);
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        let hits: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(50, 7, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        // A pool task that calls back into the pool must not deadlock or
+        // oversubscribe; the nested call runs serially on the worker.
+        let out = run_tasks(vec![(); 8], |i, ()| {
+            let inner = parallel_map(4, 1, move |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(out.len(), 8);
+        assert_eq!(out[2], 2 * 10 * 4 + 6);
+    }
+
+    #[test]
+    fn empty_and_single_task_edges() {
+        let empty: Vec<u8> = run_tasks(Vec::<u8>::new(), |_, t| t);
+        assert!(empty.is_empty());
+        assert_eq!(run_tasks(vec![41], |_, t| t + 1), vec![42]);
+    }
+
+    #[test]
+    fn chunk_hint_is_positive_and_covers() {
+        assert_eq!(chunk_hint(0), 1);
+        for n in [1, 7, 1000] {
+            let c = chunk_hint(n);
+            assert!(c >= 1 && c <= n.max(1));
+        }
+    }
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Perf benchmark harness: times the parallel hot paths (conv forward/backward,
+# executor exact + predictive, optimizer profiling) at SNAPEA_THREADS=1 versus
+# N, verifies bit-identical outputs, and writes BENCH_parallel.json.
+#
+#   ./scripts/bench.sh                 # full shapes, BENCH_parallel.json
+#   ./scripts/bench.sh --smoke         # tiny shapes (seconds), same checks
+#   ./scripts/bench.sh --threads 8     # pin the parallel thread count
+#
+# Offline by design, like scripts/check.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p snapea-bench --bin perfbench --offline
+exec target/release/perfbench "$@"

@@ -11,10 +11,18 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline"
 cargo build --workspace --release --offline
 
-echo "==> cargo test -q --offline"
-cargo test --workspace -q --offline
+# The worker pool must produce bit-identical results at any thread count, so
+# the whole suite runs serial and at 4 threads.
+echo "==> cargo test -q --offline (SNAPEA_THREADS=1)"
+SNAPEA_THREADS=1 cargo test --workspace -q --offline
+
+echo "==> cargo test -q --offline (SNAPEA_THREADS=4)"
+SNAPEA_THREADS=4 cargo test --workspace -q --offline
 
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "OK: build, tests, and clippy all clean."
+echo "==> scripts/bench.sh --smoke"
+./scripts/bench.sh --smoke --out /tmp/BENCH_parallel.smoke.json
+
+echo "OK: build, tests (1 and 4 threads), clippy, and bench smoke all clean."

@@ -1,0 +1,78 @@
+//! Thread-count invariance: every parallelised path must produce
+//! bit-identical results whether the worker pool runs 1 thread or 4.
+//!
+//! The guarantees under test are the two rules of the threading model
+//! (DESIGN.md): workers only write ownership-partitioned disjoint slices,
+//! and floating-point reductions merge in an order fixed independently of
+//! the thread count. `SNAPEA_THREADS=1` is additionally the exact serial
+//! loop, so these tests pin parallel runs to serial results bit-for-bit.
+
+use snapea_suite::core::exec::{execute_conv_stats, LayerConfig};
+use snapea_suite::core::optimizer::profiling::profile_layer_kernels;
+use snapea_suite::core::params::KernelParams;
+use snapea_suite::nn::ops::Conv2d;
+use snapea_suite::tensor::im2col::ConvGeom;
+use snapea_suite::tensor::{init, par, Shape4, Tensor4};
+
+/// Seeded mini-net layer: enough images/kernels/windows that 4 workers all
+/// get work, small enough to run in the tier-1 gate.
+fn mini_layer() -> (Conv2d, Tensor4) {
+    let mut rng = init::rng(42);
+    let conv = Conv2d::new(3, 6, ConvGeom::square(3, 1, 1), &mut rng);
+    let input = init::uniform4(Shape4::new(4, 3, 9, 9), 1.0, &mut rng).map(f32::abs);
+    (conv, input)
+}
+
+/// Runs `f` at 1 and 4 threads and hands both results to `check`.
+fn at_both_threads<R>(mut f: impl FnMut() -> R) -> (R, R) {
+    let prev = par::threads();
+    par::set_threads(1);
+    let serial = f();
+    par::set_threads(4);
+    let parallel = f();
+    par::set_threads(prev);
+    (serial, parallel)
+}
+
+#[test]
+fn conv_forward_is_bit_identical_across_thread_counts() {
+    let (conv, input) = mini_layer();
+    let (serial, parallel) = at_both_threads(|| conv.forward(&input));
+    assert_eq!(serial.as_slice(), parallel.as_slice());
+}
+
+#[test]
+fn conv_backward_is_bit_identical_across_thread_counts() {
+    let (conv, input) = mini_layer();
+    let grad_out = init::uniform4(conv.out_shape(input.shape()), 1.0, &mut init::rng(7));
+    let ((gi1, gw1, gb1), (gi4, gw4, gb4)) =
+        at_both_threads(|| conv.backward(&input, &grad_out));
+    assert_eq!(gi1.as_slice(), gi4.as_slice(), "grad_input");
+    assert_eq!(gw1.as_slice(), gw4.as_slice(), "grad_weight");
+    assert_eq!(gb1, gb4, "grad_bias");
+}
+
+#[test]
+fn executor_stats_are_bit_identical_across_thread_counts() {
+    let (conv, input) = mini_layer();
+    for cfg in [
+        LayerConfig::exact(&conv),
+        LayerConfig::predictive_uniform(&conv, KernelParams::new(0.05, 4)),
+    ] {
+        let (serial, parallel) = at_both_threads(|| execute_conv_stats(&conv, &input, &cfg));
+        assert_eq!(serial.output.as_slice(), parallel.output.as_slice());
+        assert_eq!(serial.profile, parallel.profile);
+        // PredictionStats carries f64 masses: per-pair accumulation merged
+        // in pair order makes even those bit-identical.
+        assert_eq!(serial.stats, parallel.stats);
+    }
+}
+
+#[test]
+fn optimizer_profiling_is_bit_identical_across_thread_counts() {
+    let (conv, input) = mini_layer();
+    let (serial, parallel) = at_both_threads(|| {
+        profile_layer_kernels(&conv, &input, &[1, 2, 4], &[0.25, 0.5, 0.9], 1.0)
+    });
+    assert_eq!(serial, parallel);
+}
