@@ -1,0 +1,523 @@
+//! Deliberately-naive reference implementations.
+//!
+//! Everything here is written from the paper's definitions (and the
+//! workspace's documented layout conventions) using direct coordinate
+//! loops: no im2col, no GEMM, no worker pool, no `GatherTable`. The window
+//! walk re-derives the sign/predictive weight ordering and the PAU decision
+//! rule from their specifications so the executor's output can be pinned
+//! **bit-for-bit** — the oracle performs the identical sequence of `f32`
+//! operations, arrived at through independent code.
+//!
+//! Layout conventions relied on (all documented on the fast-path types):
+//!
+//! * activations and conv weights are dense row-major NCHW; a kernel's flat
+//!   weight index is `(c * kh + ky) * kw + kx`;
+//! * output extents are `(d + 2·pad).saturating_sub(k) / stride + 1` for
+//!   convolutions (a kernel larger than the padded input still produces one
+//!   all-padding window) and `0` when `d + 2·pad < k` for pooling;
+//! * max-pool treats padding as absent (first maximum wins; an all-padding
+//!   window outputs 0 with argmax `u32::MAX`), average-pool divides by the
+//!   full window area.
+
+use snapea::params::{KernelMode, LayerParams};
+use snapea_tensor::{ConvGeom, Shape4, Tensor2, Tensor4};
+
+/// Convolution output extent along one dimension.
+pub fn conv_out_dim(d: usize, k: usize, stride: usize, pad: usize) -> usize {
+    (d + 2 * pad).saturating_sub(k) / stride + 1
+}
+
+/// Pooling output extent along one dimension (0 when the padded input is
+/// smaller than the window).
+pub fn pool_out_dim(d: usize, k: usize, stride: usize, pad: usize) -> usize {
+    let padded = d + 2 * pad;
+    if padded < k {
+        0
+    } else {
+        (padded - k) / stride + 1
+    }
+}
+
+/// MAC count of a dense convolution over `input` (no skipping of any kind).
+pub fn dense_macs(input: Shape4, c_out: usize, geom: ConvGeom) -> u64 {
+    let oh = conv_out_dim(input.h, geom.kh, geom.stride, geom.pad);
+    let ow = conv_out_dim(input.w, geom.kw, geom.stride, geom.pad);
+    (input.n * c_out * oh * ow * input.c * geom.kh * geom.kw) as u64
+}
+
+/// Direct 7-loop convolution: `n, o, oy, ox, c, ky, kx`, accumulating in
+/// `f32` with the bias added first. Padding contributes nothing.
+pub fn conv_dense(weight: &Tensor4, bias: &[f32], geom: ConvGeom, input: &Tensor4) -> Tensor4 {
+    let s = input.shape();
+    let ws = weight.shape();
+    assert_eq!(ws.c, s.c, "kernel channels match input channels");
+    assert_eq!(bias.len(), ws.n, "one bias per kernel");
+    let oh = conv_out_dim(s.h, geom.kh, geom.stride, geom.pad);
+    let ow = conv_out_dim(s.w, geom.kw, geom.stride, geom.pad);
+    let mut out = Tensor4::zeros(Shape4::new(s.n, ws.n, oh, ow));
+    for n in 0..s.n {
+        for o in 0..ws.n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias[o];
+                    for c in 0..s.c {
+                        for ky in 0..geom.kh {
+                            for kx in 0..geom.kw {
+                                let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                                let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                                if iy >= 0
+                                    && ix >= 0
+                                    && (iy as usize) < s.h
+                                    && (ix as usize) < s.w
+                                {
+                                    acc += input[(n, c, iy as usize, ix as usize)]
+                                        * weight[(o, c, ky, kx)];
+                                }
+                            }
+                        }
+                    }
+                    out[(n, o, oy, ox)] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Element-wise rectifier.
+pub fn relu(t: &Tensor4) -> Tensor4 {
+    let mut out = t.clone();
+    for v in out.as_mut_slice() {
+        *v = v.max(0.0);
+    }
+    out
+}
+
+/// Naive max pooling (Caffe semantics; see module docs). Returns the output
+/// and the argmax map (linear input offsets, `u32::MAX` for all-padding
+/// windows).
+pub fn maxpool(input: &Tensor4, k: usize, stride: usize, pad: usize) -> (Tensor4, Vec<u32>) {
+    let s = input.shape();
+    let (oh, ow) = (pool_out_dim(s.h, k, stride, pad), pool_out_dim(s.w, k, stride, pad));
+    let mut out = Tensor4::zeros(Shape4::new(s.n, s.c, oh, ow));
+    let mut arg = Vec::with_capacity(s.n * s.c * oh * ow);
+    for n in 0..s.n {
+        for c in 0..s.c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_off = u32::MAX;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if iy < 0 || ix < 0 || iy as usize >= s.h || ix as usize >= s.w {
+                                continue;
+                            }
+                            let v = input[(n, c, iy as usize, ix as usize)];
+                            if v > best {
+                                best = v;
+                                best_off = s.offset(n, c, iy as usize, ix as usize) as u32;
+                            }
+                        }
+                    }
+                    out[(n, c, oy, ox)] = if best_off == u32::MAX { 0.0 } else { best };
+                    arg.push(best_off);
+                }
+            }
+        }
+    }
+    (out, arg)
+}
+
+/// Naive average pooling: padding counts as zero, the divisor is always the
+/// full `k × k` window area.
+pub fn avgpool(input: &Tensor4, k: usize, stride: usize, pad: usize) -> Tensor4 {
+    let s = input.shape();
+    let (oh, ow) = (pool_out_dim(s.h, k, stride, pad), pool_out_dim(s.w, k, stride, pad));
+    let mut out = Tensor4::zeros(Shape4::new(s.n, s.c, oh, ow));
+    for n in 0..s.n {
+        for c in 0..s.c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if iy >= 0 && ix >= 0 && (iy as usize) < s.h && (ix as usize) < s.w {
+                                acc += input[(n, c, iy as usize, ix as usize)];
+                            }
+                        }
+                    }
+                    out[(n, c, oy, ox)] = acc / (k * k) as f32;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Naive fully-connected forward: `y[n][o] = b[o] + Σ_i W[o][i]·x[n][i]`.
+pub fn fc(weight: &Tensor2, bias: &[f32], input: &Tensor4) -> Tensor4 {
+    let s = input.shape();
+    let (rows, cols) = (weight.shape().rows, weight.shape().cols);
+    assert_eq!(s.item_len(), cols, "input features match weight columns");
+    assert_eq!(bias.len(), rows, "one bias per output feature");
+    let mut out = Tensor4::zeros(Shape4::new(s.n, rows, 1, 1));
+    for n in 0..s.n {
+        let x = input.item(n);
+        for o in 0..rows {
+            let mut acc = bias[o];
+            for (i, &xv) in x.iter().enumerate() {
+                acc += weight[(o, i)] * xv;
+            }
+            out[(n, o, 0, 0)] = acc;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Independent SnaPEA window walk
+// ---------------------------------------------------------------------------
+
+/// Why the oracle walk stopped early (mirrors the paper's two termination
+/// mechanisms; independent of `snapea::TerminationKind`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleTermination {
+    /// Speculative threshold check fired after the speculative MACs.
+    Predicted,
+    /// Sign check fired in the trailing negative-weight region.
+    SignCheck,
+}
+
+/// One kernel's execution order, re-derived from the reordering spec.
+#[derive(Debug, Clone)]
+pub struct OracleOrder {
+    /// Original weight index at each execution position.
+    pub order: Vec<usize>,
+    /// Speculative prefix length (0 = exact mode).
+    pub spec_len: usize,
+    /// Position where the trailing negative region begins.
+    pub neg_start: usize,
+    /// Speculative threshold (ignored when `spec_len == 0`).
+    pub threshold: f32,
+}
+
+/// Ascending `(value, index)` comparison per the reordering spec's
+/// `partial_cmp`-plus-index tie-break (NaN-free weights; `-0.0` and `0.0`
+/// compare equal and fall through to the index).
+fn by_value(weights: &[f32]) -> impl Fn(&usize, &usize) -> std::cmp::Ordering + '_ {
+    |&a, &b| {
+        weights[a]
+            .partial_cmp(&weights[b])
+            .expect("oracle weights are never NaN")
+            .then(a.cmp(&b))
+    }
+}
+
+/// Exact-mode order: non-negative weights in original order, then negative
+/// weights ascending by value (descending magnitude), ties by index.
+pub fn exact_order(weights: &[f32]) -> OracleOrder {
+    let mut order: Vec<usize> = (0..weights.len()).filter(|&i| weights[i] >= 0.0).collect();
+    let neg_start = order.len();
+    let mut negs: Vec<usize> = (0..weights.len()).filter(|&i| weights[i] < 0.0).collect();
+    negs.sort_by(by_value(weights));
+    order.extend(negs);
+    OracleOrder {
+        order,
+        spec_len: 0,
+        neg_start,
+        threshold: 0.0,
+    }
+}
+
+/// Predictive-mode order: sort ascending by value, split into `groups`
+/// near-equal contiguous chunks (`lo = g·len/groups`, `hi = (g+1)·len/groups`),
+/// take each chunk's largest-magnitude member (ties to the higher index) as
+/// the speculative prefix, then the remaining weights positive-first as in
+/// [`exact_order`].
+///
+/// # Panics
+///
+/// Panics if `groups` is zero or exceeds the weight count.
+pub fn predictive_order(weights: &[f32], groups: usize, threshold: f32) -> OracleOrder {
+    let len = weights.len();
+    assert!(groups >= 1 && groups <= len, "1 <= groups <= weight count");
+    let mut sorted: Vec<usize> = (0..len).collect();
+    sorted.sort_by(by_value(weights));
+    let mut spec = Vec::with_capacity(groups);
+    for g in 0..groups {
+        let lo = g * len / groups;
+        let hi = ((g + 1) * len / groups).max(lo + 1);
+        let mut pick = sorted[lo];
+        for &i in &sorted[lo..hi] {
+            let better = weights[i].abs() > weights[pick].abs()
+                || (weights[i].abs() == weights[pick].abs() && i > pick);
+            if better {
+                pick = i;
+            }
+        }
+        spec.push(pick);
+    }
+    let mut order = spec.clone();
+    for (i, &w) in weights.iter().enumerate() {
+        if w >= 0.0 && !spec.contains(&i) {
+            order.push(i);
+        }
+    }
+    let neg_start = order.len();
+    let mut negs: Vec<usize> = (0..len)
+        .filter(|&i| weights[i] < 0.0 && !spec.contains(&i))
+        .collect();
+    negs.sort_by(by_value(weights));
+    order.extend(negs);
+    OracleOrder {
+        order,
+        spec_len: groups,
+        neg_start,
+        threshold,
+    }
+}
+
+/// Derives the order for one kernel under `mode`.
+pub fn order_for_mode(weights: &[f32], mode: KernelMode) -> OracleOrder {
+    match mode {
+        KernelMode::Exact => exact_order(weights),
+        KernelMode::Speculate(p) => predictive_order(weights, p.groups, p.threshold),
+    }
+}
+
+/// Outcome of one oracle window walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleWindow {
+    /// MACs executed before stopping.
+    pub ops: u32,
+    /// Value written to the output buffer (0.0 when the early ReLU fired).
+    pub output: f32,
+    /// Early-termination kind, if any.
+    pub termination: Option<OracleTermination>,
+}
+
+/// Walks one window in execution order, probing the PAU decision rule before
+/// every MAC: the predictive check fires exactly at position `spec_len` when
+/// the partial sum is below the threshold; from `neg_start` on, any negative
+/// partial sum terminates. Input taps are decoded from the original weight
+/// index (`o → (c, ky, kx)`); out-of-bounds (padding) taps occupy a MAC slot
+/// but add nothing.
+#[allow(clippy::too_many_arguments)]
+pub fn walk_window(
+    input: &Tensor4,
+    n: usize,
+    oy: usize,
+    ox: usize,
+    weights: &[f32],
+    ord: &OracleOrder,
+    geom: ConvGeom,
+    bias: f32,
+) -> OracleWindow {
+    let s = input.shape();
+    let mut acc = bias;
+    for (p, &o) in ord.order.iter().enumerate() {
+        if ord.spec_len > 0 && p == ord.spec_len && acc < ord.threshold {
+            return OracleWindow {
+                ops: p as u32,
+                output: 0.0,
+                termination: Some(OracleTermination::Predicted),
+            };
+        }
+        if p >= ord.neg_start && acc < 0.0 {
+            return OracleWindow {
+                ops: p as u32,
+                output: acc,
+                termination: Some(OracleTermination::SignCheck),
+            };
+        }
+        let c = o / (geom.kh * geom.kw);
+        let ky = (o % (geom.kh * geom.kw)) / geom.kw;
+        let kx = o % geom.kw;
+        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+        if iy >= 0 && ix >= 0 && (iy as usize) < s.h && (ix as usize) < s.w {
+            acc += input[(n, c, iy as usize, ix as usize)] * weights[o];
+        }
+    }
+    OracleWindow {
+        ops: ord.order.len() as u32,
+        output: acc,
+        termination: None,
+    }
+}
+
+/// Completes one window's dot product in execution order regardless of the
+/// PAU (the value the executor's prediction accounting compares against).
+#[allow(clippy::too_many_arguments)]
+pub fn full_window_value(
+    input: &Tensor4,
+    n: usize,
+    oy: usize,
+    ox: usize,
+    weights: &[f32],
+    ord: &OracleOrder,
+    geom: ConvGeom,
+    bias: f32,
+) -> f32 {
+    let s = input.shape();
+    let mut acc = bias;
+    for &o in &ord.order {
+        let c = o / (geom.kh * geom.kw);
+        let ky = (o % (geom.kh * geom.kw)) / geom.kw;
+        let kx = o % geom.kw;
+        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+        if iy >= 0 && ix >= 0 && (iy as usize) < s.h && (ix as usize) < s.w {
+            acc += input[(n, c, iy as usize, ix as usize)] * weights[o];
+        }
+    }
+    acc
+}
+
+/// Result of an oracle layer execution, laid out like the executor's
+/// outputs: `output` is NCHW, the per-window vectors are indexed
+/// `(n · kernels + k) · windows + w` with windows in row-major `(oy, ox)`
+/// order.
+#[derive(Debug, Clone)]
+pub struct OracleLayer {
+    /// Pre-ReLU output (predicted windows squashed to 0.0).
+    pub output: Tensor4,
+    /// MACs executed per window.
+    pub ops: Vec<u32>,
+    /// Termination kind per window.
+    pub terminations: Vec<Option<OracleTermination>>,
+    /// Full dot-product value per window (execution order).
+    pub full: Vec<f32>,
+}
+
+/// Executes a convolution layer through the oracle walk, one kernel mode per
+/// output channel (`LayerParams::Exact` means every kernel is exact).
+pub fn execute_layer(
+    weight: &Tensor4,
+    bias: &[f32],
+    geom: ConvGeom,
+    input: &Tensor4,
+    params: &LayerParams,
+) -> OracleLayer {
+    let s = input.shape();
+    let c_out = weight.shape().n;
+    let modes: Vec<KernelMode> = match params {
+        LayerParams::Exact => vec![KernelMode::Exact; c_out],
+        LayerParams::Predictive(m) => {
+            assert_eq!(m.len(), c_out, "one mode per kernel");
+            m.clone()
+        }
+    };
+    let orders: Vec<OracleOrder> = (0..c_out)
+        .map(|k| order_for_mode(weight.item(k), modes[k]))
+        .collect();
+    let oh = conv_out_dim(s.h, geom.kh, geom.stride, geom.pad);
+    let ow = conv_out_dim(s.w, geom.kw, geom.stride, geom.pad);
+    let windows = oh * ow;
+    let mut output = Tensor4::zeros(Shape4::new(s.n, c_out, oh, ow));
+    let mut ops = Vec::with_capacity(s.n * c_out * windows);
+    let mut terminations = Vec::with_capacity(s.n * c_out * windows);
+    let mut full = Vec::with_capacity(s.n * c_out * windows);
+    for n in 0..s.n {
+        for k in 0..c_out {
+            let kw = weight.item(k);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let r = walk_window(input, n, oy, ox, kw, &orders[k], geom, bias[k]);
+                    output[(n, k, oy, ox)] = r.output;
+                    ops.push(r.ops);
+                    terminations.push(r.termination);
+                    full.push(full_window_value(
+                        input, n, oy, ox, kw, &orders[k], geom, bias[k],
+                    ));
+                }
+            }
+        }
+    }
+    OracleLayer {
+        output,
+        ops,
+        terminations,
+        full,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_order_partitions_by_sign() {
+        let w = [0.5, -1.0, 0.0, 2.0, -0.25];
+        let o = exact_order(&w);
+        assert_eq!(o.order, vec![0, 2, 3, 1, 4]);
+        assert_eq!(o.neg_start, 3);
+        assert_eq!(o.spec_len, 0);
+    }
+
+    #[test]
+    fn predictive_order_is_permutation_with_spec_prefix() {
+        let w = [0.1, -0.9, 0.4, -0.2, 0.8, -0.05, 0.3, 0.05];
+        for groups in 1..=w.len() {
+            let o = predictive_order(&w, groups, 0.0);
+            let mut seen = o.order.clone();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..w.len()).collect::<Vec<_>>(), "groups={groups}");
+            assert_eq!(o.spec_len, groups);
+            assert!(o.neg_start >= groups);
+            for &i in &o.order[groups..o.neg_start] {
+                assert!(w[i] >= 0.0);
+            }
+            for &i in &o.order[o.neg_start..] {
+                assert!(w[i] < 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_conv_identity_kernel() {
+        // A 1x1 identity kernel reproduces the input.
+        let x = Tensor4::from_vec(
+            Shape4::new(1, 1, 2, 2),
+            vec![1.0, -2.0, 3.0, 4.0],
+        )
+        .unwrap();
+        let w = Tensor4::from_vec(Shape4::new(1, 1, 1, 1), vec![1.0]).unwrap();
+        let y = conv_dense(&w, &[0.0], ConvGeom::square(1, 1, 0), &x);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn walk_matches_full_value_when_nothing_terminates() {
+        let x = Tensor4::from_vec(
+            Shape4::new(1, 1, 2, 2),
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap();
+        let w = [0.5, 0.25, 0.125, 1.0];
+        let ord = exact_order(&w);
+        let r = walk_window(&x, 0, 0, 0, &w, &ord, ConvGeom::square(2, 1, 0), 0.1);
+        let f = full_window_value(&x, 0, 0, 0, &w, &ord, ConvGeom::square(2, 1, 0), 0.1);
+        assert_eq!(r.termination, None);
+        assert_eq!(r.ops, 4);
+        assert_eq!(r.output.to_bits(), f.to_bits());
+    }
+
+    #[test]
+    fn pool_references_agree_on_simple_case() {
+        let x = Tensor4::from_vec(
+            Shape4::new(1, 1, 2, 2),
+            vec![1.0, 5.0, 3.0, 2.0],
+        )
+        .unwrap();
+        let (y, arg) = maxpool(&x, 2, 2, 0);
+        assert_eq!(y.as_slice(), &[5.0]);
+        assert_eq!(arg, vec![1]);
+        let a = avgpool(&x, 2, 2, 0);
+        assert_eq!(a.as_slice(), &[2.75]);
+    }
+}

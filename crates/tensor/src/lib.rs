@@ -40,6 +40,7 @@ pub mod init;
 pub mod par;
 pub mod q16;
 
+pub use im2col::ConvGeom;
 pub use matrix::Tensor2;
 pub use shape::{Shape2, Shape4, ShapeError};
 pub use tensor4::Tensor4;

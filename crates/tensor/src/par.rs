@@ -57,10 +57,20 @@ thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Interprets a `SNAPEA_THREADS` value: a parsable count yields
+/// `Some(count.max(1))` (`"0"` clamps to one thread), while an empty or
+/// unparsable value yields `None` so the caller falls back to the machine's
+/// available parallelism. A malformed environment variable must degrade to
+/// the default, never panic — the pool is initialised lazily from arbitrary
+/// call sites, including inside tests and benches.
+pub fn parse_thread_count(value: &str) -> Option<usize> {
+    value.trim().parse::<usize>().ok().map(|n| n.max(1))
+}
+
 fn resolve_threads() -> usize {
     if let Ok(v) = std::env::var("SNAPEA_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+        if let Some(n) = parse_thread_count(&v) {
+            return n;
         }
     }
     std::thread::available_parallelism()
@@ -281,6 +291,20 @@ mod tests {
         let empty: Vec<u8> = run_tasks(Vec::<u8>::new(), |_, t| t);
         assert!(empty.is_empty());
         assert_eq!(run_tasks(vec![41], |_, t| t + 1), vec![42]);
+    }
+
+    #[test]
+    fn thread_count_parsing_never_panics_and_falls_back() {
+        // Regression: "0", empty, and garbage values must fall back to the
+        // default (or clamp), not panic the lazy pool initialisation.
+        assert_eq!(parse_thread_count("0"), Some(1));
+        assert_eq!(parse_thread_count(""), None);
+        assert_eq!(parse_thread_count("   "), None);
+        assert_eq!(parse_thread_count("garbage"), None);
+        assert_eq!(parse_thread_count("-3"), None);
+        assert_eq!(parse_thread_count("2.5"), None);
+        assert_eq!(parse_thread_count("4"), Some(4));
+        assert_eq!(parse_thread_count(" 8 "), Some(8));
     }
 
     #[test]

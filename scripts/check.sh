@@ -22,7 +22,25 @@ SNAPEA_THREADS=4 cargo test --workspace -q --offline
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# Differential selfcheck: the speculative executor, kernels, and cycle
+# simulator fuzzed against the snapea-oracle reference models, serial and
+# parallel (results must be bit-identical at any thread count).
+SELFCHECK=./target/release/snapea-tool
+echo "==> snapea-tool selfcheck --cases 500 --seed 1 (SNAPEA_THREADS=1)"
+SNAPEA_THREADS=1 "$SELFCHECK" selfcheck --cases 500 --seed 1
+echo "==> snapea-tool selfcheck --cases 500 --seed 1 (SNAPEA_THREADS=4)"
+SNAPEA_THREADS=4 "$SELFCHECK" selfcheck --cases 500 --seed 1
+
+# The harness must also *detect* divergence: with a deliberately injected
+# bug it has to fail and print a replayable case.
+echo "==> snapea-tool selfcheck --inject-bug (must fail with a replayable case)"
+if out=$("$SELFCHECK" selfcheck --cases 2 --seed 1 --inject-bug 2>&1); then
+  echo "ERROR: injected bug went undetected"; exit 1
+fi
+echo "$out" | grep -q "replay: snapea-tool selfcheck --replay 0x" \
+  || { echo "ERROR: failure report is missing the replay line"; exit 1; }
+
 echo "==> scripts/bench.sh --smoke"
 ./scripts/bench.sh --smoke --out /tmp/BENCH_parallel.smoke.json
 
-echo "OK: build, tests (1 and 4 threads), clippy, and bench smoke all clean."
+echo "OK: build, tests (1 and 4 threads), clippy, selfcheck (1 and 4 threads), and bench smoke all clean."

@@ -8,7 +8,9 @@
 //! * [`nn`] — the CNN substrate (layers, graphs, training, dataset, zoo);
 //! * [`core`] — the SnaPEA contribution (reordering, PAU, executor,
 //!   Algorithm-1 optimizer);
-//! * [`accel`] — the cycle-level accelerator simulator and baseline.
+//! * [`accel`] — the cycle-level accelerator simulator and baseline;
+//! * [`oracle`] — independent reference models and the differential
+//!   selfcheck harness that pins the executor, kernels, and simulator.
 //!
 //! # Examples
 //!
@@ -31,4 +33,5 @@ pub use snapea as core;
 pub use snapea_accel as accel;
 pub use snapea_nn as nn;
 pub use snapea_obs as obs;
+pub use snapea_oracle as oracle;
 pub use snapea_tensor as tensor;

@@ -1,0 +1,53 @@
+//! Golden-file test pinning the shape of `snapea-tool report --json`.
+//!
+//! The JSON report is machine-readable output that downstream tooling (and
+//! `scripts/check.sh`) consumes, so its exact rendering is part of the CLI
+//! contract. The fixture pair lives in `tests/golden/`:
+//!
+//! * `events.jsonl` — a small structured run-event log;
+//! * `report.json` — the expected byte-exact `report --json` output.
+//!
+//! To regenerate after an intentional format change:
+//!
+//! ```text
+//! snapea-tool report tests/golden/events.jsonl --json > tests/golden/report.json
+//! ```
+
+use snapea_cli::args::Args;
+use snapea_cli::commands;
+use snapea_suite::obs::Json;
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing fixture {path}: {e}"))
+}
+
+fn run_report_json() -> String {
+    let events = format!("{}/tests/golden/events.jsonl", env!("CARGO_MANIFEST_DIR"));
+    let args =
+        Args::parse_with_flags(["report", events.as_str(), "--json"], &["json"]).unwrap();
+    commands::run(&args).expect("report succeeds on the fixture log")
+}
+
+#[test]
+fn report_json_output_matches_golden_file() {
+    let got = run_report_json();
+    let want = golden("report.json");
+    assert_eq!(
+        got, want,
+        "`snapea-tool report --json` output changed; if intentional, regenerate \
+         tests/golden/report.json (see module docs)"
+    );
+}
+
+#[test]
+fn report_json_output_is_parsable_with_expected_fields() {
+    // Belt and braces beyond the byte comparison: the document must parse
+    // and carry the fields scripts key on.
+    let doc = snapea_suite::obs::parse(&run_report_json()).expect("valid json");
+    assert_eq!(doc.get("events").and_then(Json::as_u64), Some(5));
+    let exec = doc.get("exec").expect("exec section");
+    assert_eq!(exec.get("full_macs").and_then(Json::as_u64), Some(1500));
+    assert_eq!(exec.get("performed_macs").and_then(Json::as_u64), Some(700));
+    assert!(doc.get("phases").and_then(Json::as_array).is_some_and(|p| p.len() == 2));
+}

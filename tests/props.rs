@@ -2,6 +2,9 @@
 
 use proptest::prelude::*;
 use snapea_suite::core::exec::{run_window, KernelExec, LayerConfig};
+use snapea_suite::oracle::OracleRng;
+use snapea_suite::tensor::im2col::{col2im, im2col};
+use snapea_suite::tensor::{Shape2, Tensor2};
 use snapea_suite::core::params::KernelParams;
 use snapea_suite::core::pau::{Pau, TerminationKind};
 use snapea_suite::core::reorder::{magnitude_reorder, predictive_reorder, sign_reorder};
@@ -126,6 +129,71 @@ proptest! {
         acc.mac(fmt.quantize(v / 10.0), fmt.quantize(0.5));
         let expect = (v / 10.0) * 0.5;
         prop_assert!((acc.to_f32(fmt) - expect).abs() < fmt.lsb() * 2.0 + 0.01);
+    }
+
+    /// `col2im(im2col(x))` scales every input position by the number of
+    /// windows that tap it (its multiplicity, obtained by scattering an
+    /// all-ones patch matrix) — the adjoint-consistency law the backward
+    /// pass relies on. Shapes come from the oracle PRNG so the same seed
+    /// replays the same geometry.
+    #[test]
+    fn im2col_col2im_roundtrip_is_multiplicity_scaling(seed in 0u64..150) {
+        let mut r = OracleRng::new(seed);
+        let (c, h, w) = (r.range(1, 3), r.range(2, 7), r.range(2, 7));
+        let geom = ConvGeom::square(r.range(1, 3), r.range(1, 2), r.range(0, 1));
+        let shape = Shape4::new(1, c, h, w);
+        let x_vals: Vec<f32> = (0..shape.len()).map(|_| r.uniform(-2.0, 2.0)).collect();
+        let x = Tensor4::from_vec(shape, x_vals).unwrap();
+
+        let cols = im2col(&x, 0, geom);
+        let mut back = Tensor4::zeros(shape);
+        col2im(&cols, &mut back, 0, geom);
+
+        let ones = Tensor2::from_vec(
+            Shape2::new(c * geom.kh * geom.kw, geom.out_h(h) * geom.out_w(w)),
+            vec![1.0; cols.shape().len()],
+        )
+        .unwrap();
+        let mut mult = Tensor4::zeros(shape);
+        col2im(&ones, &mut mult, 0, geom);
+
+        for ((&roundtrip, &orig), &m) in
+            back.as_slice().iter().zip(x.as_slice()).zip(mult.as_slice())
+        {
+            let want = orig * m;
+            prop_assert!(
+                (roundtrip - want).abs() <= 1e-4 * want.abs().max(1.0),
+                "seed {}: col2im∘im2col gave {} for value {} with multiplicity {}",
+                seed, roundtrip, orig, m
+            );
+        }
+    }
+
+    /// Quantise→dequantise error bounds over oracle-PRNG-driven formats:
+    /// half an LSB inside the representable range, clean saturation at the
+    /// rails outside it, and sign preservation everywhere.
+    #[test]
+    fn q16_round_trip_error_is_bounded_everywhere(seed in 0u64..300) {
+        let mut r = OracleRng::new(seed);
+        let fmt = Q16Format::new(r.range(2, 12) as u32);
+        let limit_hi = fmt.dequantize(snapea_suite::tensor::q16::Q16(i16::MAX));
+        let limit_lo = fmt.dequantize(snapea_suite::tensor::q16::Q16(i16::MIN));
+
+        for _ in 0..32 {
+            let v = r.uniform(-1.5, 1.5) * limit_hi.max(1.0) * 1.5;
+            let d = fmt.dequantize(fmt.quantize(v));
+            if v >= limit_lo && v <= limit_hi {
+                prop_assert!(
+                    (d - v).abs() <= fmt.lsb() / 2.0 + 1e-5,
+                    "in-range {} came back as {} (lsb {})", v, d, fmt.lsb()
+                );
+            } else if v > limit_hi {
+                prop_assert_eq!(d, limit_hi, "positive overflow must saturate at the rail");
+            } else {
+                prop_assert_eq!(d, limit_lo, "negative overflow must saturate at the rail");
+            }
+            prop_assert!(v.abs() <= fmt.lsb() / 2.0 || d == 0.0 || (d >= 0.0) == (v >= 0.0));
+        }
     }
 
     /// Exact-mode layer execution preserves post-ReLU outputs for arbitrary

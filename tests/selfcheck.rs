@@ -1,0 +1,64 @@
+//! Integration tier of the differential-testing subsystem: a moderate fuzz
+//! budget through the public facade, the injected-bug smoke test, and
+//! thread-count invariance of the whole selfcheck report.
+
+use snapea_suite::oracle::{run_case, run_selfcheck, HarnessOptions};
+use snapea_suite::tensor::par;
+
+#[test]
+fn selfcheck_budget_passes_clean() {
+    let report = run_selfcheck(60, 0xC0FFEE, &HarnessOptions::default());
+    assert!(report.passed(), "{}", report.render_text());
+    assert_eq!(report.cases, 60);
+    // The fuzz space must actually exercise speculation: across this budget
+    // the executor performs strictly fewer MACs than the dense oracle.
+    assert!(
+        report.exec_macs < report.dense_macs,
+        "no early termination happened across {} cases",
+        report.cases
+    );
+}
+
+#[test]
+fn injected_bug_reports_seed_and_config() {
+    let opts = HarnessOptions {
+        inject_exact_bug: true,
+    };
+    let report = run_selfcheck(4, 0xC0FFEE, &HarnessOptions::default());
+    assert!(report.passed());
+    let broken = run_selfcheck(4, 0xC0FFEE, &opts);
+    assert_eq!(broken.failures.len(), 4);
+    for f in &broken.failures {
+        assert!(f.config.contains("seed="), "config line must carry the seed");
+        assert!(!f.messages.is_empty());
+        assert!(
+            f.minimized.is_some(),
+            "conv failures must come with a minimized sub-case"
+        );
+        // The printed seed replays the exact failing case, standalone.
+        assert!(run_case(f.seed, &opts).failure.is_some());
+        assert!(run_case(f.seed, &HarnessOptions::default()).failure.is_none());
+    }
+    let text = broken.render_text();
+    assert!(text.contains("replay: snapea-tool selfcheck --replay 0x"));
+}
+
+#[test]
+fn selfcheck_report_is_thread_count_invariant() {
+    // The executor parallelises across (image, kernel) pairs; the oracle is
+    // strictly sequential. Bit-for-bit agreement must therefore hold at any
+    // worker count, and the aggregate report must serialize identically.
+    let texts: Vec<String> = [1usize, 4]
+        .into_iter()
+        .map(|n| {
+            par::set_threads(n);
+            let report = run_selfcheck(30, 42, &HarnessOptions::default());
+            assert!(report.passed(), "threads={n}: {}", report.render_text());
+            let mut s = String::new();
+            report.to_json().write(&mut s);
+            s
+        })
+        .collect();
+    par::set_threads(1);
+    assert_eq!(texts[0], texts[1], "selfcheck must not depend on SNAPEA_THREADS");
+}
