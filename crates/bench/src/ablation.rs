@@ -15,7 +15,7 @@
 use crate::context::{Datasets, TrainedWorkload};
 use crate::table::{pct, Table};
 use serde_json::json;
-use snapea::exec::{execute_conv_stats, GatherTable, KernelExec, LayerConfig, PredictionStats};
+use snapea::exec::{execute_conv_stats, layer_plan, GatherTable, KernelExec, LayerConfig, PredictionStats};
 use snapea::params::KernelParams;
 use snapea::pau::Pau;
 use snapea::reorder::{magnitude_reorder, predictive_reorder, ReorderedKernel};
@@ -82,13 +82,16 @@ fn run_with_strategy(
     let mut full = 0u64;
     let mut stats = PredictionStats::default();
     let spec_acts = tw.net.forward_with(&batch, &mut |id, conv, x| {
-        let gather = GatherTable::build(x.shape(), conv.geom(), conv.c_in());
+        // Served from the executor's memoised plan cache — the same layer
+        // geometry recurs for every strategy/quantile combination.
+        let plan = layer_plan(x.shape(), conv.geom(), conv.c_in());
+        let gather = plan.gather();
         let kernels: Vec<KernelExec> = (0..conv.c_out())
             .map(|k| {
                 let weights = conv.weight().item(k);
                 let groups = n.min(weights.len());
                 let r = strategy(weights, groups);
-                let th = threshold_for(&r, &gather, &acts[tw.net.node(id).inputs[0]],
+                let th = threshold_for(&r, gather, &acts[tw.net.node(id).inputs[0]],
                     conv.bias()[k], quantile);
                 let pau = Pau::predictive(&r, KernelParams::new(th, groups));
                 KernelExec { reordered: r, pau }

@@ -16,14 +16,27 @@
 //! the before/after number justifying the removal of the zero-skip branch
 //! from the dense path.
 //!
+//! A second report, `BENCH_kernels.json` (`--kernels-out`), benchmarks the
+//! **single-core kernel engine** at 1 thread: each entry warms up once,
+//! reports the minimum of k reps (the right estimator for a fixed
+//! single-thread workload under external interference), times the frozen
+//! pre-plan implementation (`snapea::exec::baseline`,
+//! `profile_layer_kernels_baseline`, scalar GEMM loops) against the current
+//! kernels (resolved-tap window plans, batched walks, the k-blocked axpy
+//! microkernel) and asserts the results are bit-identical. These are the
+//! speedups that hold on a single core, independent of the pool.
+//!
 //! Usually invoked through `scripts/bench.sh`.
 
-use snapea::exec::{execute_conv, execute_conv_stats, ExecResult, LayerConfig};
-use snapea::optimizer::profiling::profile_layer_kernels;
+use snapea::exec::{
+    baseline, execute_conv, execute_conv_q16, execute_conv_stats, ExecResult, LayerConfig,
+};
+use snapea::optimizer::profiling::{profile_layer_kernels, profile_layer_kernels_baseline};
 use snapea::KernelParams;
 use snapea_nn::ops::Conv2d;
 use snapea_obs::Json;
 use snapea_tensor::im2col::ConvGeom;
+use snapea_tensor::q16::Q16Format;
 use snapea_tensor::{init, par, Shape2, Shape4, Tensor2, Tensor4};
 use std::time::Instant;
 
@@ -31,6 +44,7 @@ struct Args {
     smoke: bool,
     threads: usize,
     out: String,
+    kernels_out: String,
 }
 
 fn parse_args() -> Args {
@@ -38,6 +52,7 @@ fn parse_args() -> Args {
         smoke: false,
         threads: par::threads(),
         out: "BENCH_parallel.json".to_string(),
+        kernels_out: "BENCH_kernels.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -50,6 +65,9 @@ fn parse_args() -> Args {
                     .expect("--threads takes a positive integer");
             }
             "--out" => args.out = it.next().expect("--out takes a path"),
+            "--kernels-out" => {
+                args.kernels_out = it.next().expect("--kernels-out takes a path");
+            }
             other => {
                 eprintln!("perfbench: unknown argument {other}");
                 std::process::exit(2);
@@ -112,6 +130,91 @@ fn bench_pair<R>(
     ])
 }
 
+/// Minimum wall time of `reps` runs of `f` after one untimed warmup, in
+/// milliseconds. The kernels section uses min rather than median: these are
+/// fixed single-thread workloads, so the fastest observed run is the best
+/// estimate of the kernel's true cost and every slower rep is interference
+/// from outside the process (the parallel section keeps the median, where
+/// scheduler variation is part of what is being measured).
+fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut out = f();
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out)
+}
+
+/// Times a frozen-baseline implementation against the current kernel at
+/// **1 thread**, checks bit-identity via `same`, and returns the JSON record
+/// for the kernels report.
+fn bench_kernel<R>(
+    name: &str,
+    detail: &str,
+    reps: usize,
+    mut base: impl FnMut() -> R,
+    mut new: impl FnMut() -> R,
+    same: impl Fn(&R, &R) -> bool,
+) -> Json {
+    par::set_threads(1);
+    let (baseline_ms, base_out) = time_min(reps, &mut base);
+    let (kernel_ms, new_out) = time_min(reps, &mut new);
+    let identical = same(&base_out, &new_out);
+    let speedup = baseline_ms / kernel_ms;
+    println!(
+        "kernel {name:<22} {detail:<34} before {baseline_ms:8.2} ms   after {kernel_ms:8.2} ms   \
+         speedup {speedup:4.2}x   bit-identical: {identical}"
+    );
+    assert!(identical, "{name}: optimised kernel deviates from baseline");
+    Json::Obj(vec![
+        ("name".to_string(), name.into()),
+        ("detail".to_string(), detail.into()),
+        ("baseline_ms".to_string(), baseline_ms.into()),
+        ("kernel_ms".to_string(), kernel_ms.into()),
+        ("speedup".to_string(), speedup.into()),
+        ("bit_identical".to_string(), identical.into()),
+    ])
+}
+
+/// The pre-microkernel scalar GEMM loop (`out[i,j] += lhs[i,p] * rhs[p,j]`,
+/// ascending `p` per element — the same accumulation order as the `axpy`
+/// path, so results must match bitwise).
+fn matmul_scalar(lhs: &Tensor2, rhs: &Tensor2) -> Tensor2 {
+    let (m, k, n) = (lhs.shape().rows, lhs.shape().cols, rhs.shape().cols);
+    let mut out = Tensor2::zeros(Shape2::new(m, n));
+    let (l, r, o) = (lhs.as_slice(), rhs.as_slice(), out.as_mut_slice());
+    for i in 0..m {
+        let out_row = &mut o[i * n..(i + 1) * n];
+        for p in 0..k {
+            let a = l[i * k + p];
+            for (oj, &b) in out_row.iter_mut().zip(&r[p * n..(p + 1) * n]) {
+                *oj += a * b;
+            }
+        }
+    }
+    out
+}
+
+/// The pre-microkernel scalar `lhsᵀ × rhs` loop.
+fn t_matmul_scalar(lhs: &Tensor2, rhs: &Tensor2) -> Tensor2 {
+    let (k, m, n) = (lhs.shape().rows, lhs.shape().cols, rhs.shape().cols);
+    let mut out = Tensor2::zeros(Shape2::new(m, n));
+    let (l, r, o) = (lhs.as_slice(), rhs.as_slice(), out.as_mut_slice());
+    for p in 0..k {
+        let a_row = &l[p * m..(p + 1) * m];
+        let b_row = &r[p * n..(p + 1) * n];
+        for (i, &a) in a_row.iter().enumerate() {
+            let out_row = &mut o[i * n..(i + 1) * n];
+            for (oj, &b) in out_row.iter_mut().zip(b_row) {
+                *oj += a * b;
+            }
+        }
+    }
+    out
+}
+
 /// Deterministic LHS with `zero_frac` of its entries exactly zero —
 /// post-ReLU-style sparsity for the GEMM branch comparison.
 fn sparse_lhs(shape: Shape2, zero_frac: f64, seed: u64) -> Tensor2 {
@@ -140,6 +243,13 @@ fn main() {
         args.threads,
         if args.smoke { "smoke" } else { "full" },
     );
+    if avail == 1 {
+        eprintln!(
+            "perfbench: WARNING: available_parallelism is 1 — the parallel-section speedups \
+             below measure pool overhead only, not scaling; trust the kernels section \
+             (single-thread before/after), which is core-count independent"
+        );
+    }
 
     // Workload: one conv layer of VGG-ish proportions (smoke: tiny).
     let (batch, c_in, c_out, hw) = if args.smoke { (2, 4, 8, 12) } else { (8, 16, 32, 32) };
@@ -231,16 +341,81 @@ fn main() {
             ("matmul_sparse_lhs_ms".to_string(), skip_ms.into()),
         ]));
     }
+    // --- Kernels section: frozen pre-plan baselines vs the single-core
+    // kernel engine, all at 1 thread, bit-identity asserted per entry. ---
+    println!("kernels (1 thread, frozen scalar baseline vs current):");
+    let fmt = Q16Format::default();
+    let (gm2, gk2, gn2) = if args.smoke { (32, 64, 128) } else { (96, 288, 768) };
+    let mm_lhs = sparse_lhs(Shape2::new(gm2, gk2), 0.0, 13);
+    let mm_rhs = sparse_lhs(Shape2::new(gk2, gn2), 0.0, 17);
+    let tm_lhs = sparse_lhs(Shape2::new(gk2, gm2), 0.0, 19);
+    let prof_detail = format!("n{prof_images} c{c_in}->{c_out} {hw}x{hw} k3");
+    let kernels = vec![
+        bench_kernel(
+            "executor_exact",
+            &detail,
+            reps,
+            || baseline::execute_conv(&conv, &input, &exact_cfg, false),
+            || execute_conv(&conv, &input, &exact_cfg),
+            exec_results_identical,
+        ),
+        bench_kernel(
+            "executor_predictive",
+            &detail,
+            reps,
+            || baseline::execute_conv(&conv, &input, &pred_cfg, true),
+            || execute_conv_stats(&conv, &input, &pred_cfg),
+            exec_results_identical,
+        ),
+        bench_kernel(
+            "executor_q16",
+            &detail,
+            reps,
+            || baseline::execute_conv_q16(&conv, &input, &exact_cfg, fmt),
+            || execute_conv_q16(&conv, &input, &exact_cfg, fmt),
+            exec_results_identical,
+        ),
+        bench_kernel(
+            "optimizer_profiling",
+            &prof_detail,
+            reps,
+            || {
+                profile_layer_kernels_baseline(
+                    &conv,
+                    &prof_input,
+                    &[1, 2, 4, 8],
+                    &[0.25, 0.5, 0.9],
+                    1.0,
+                )
+            },
+            || profile_layer_kernels(&conv, &prof_input, &[1, 2, 4, 8], &[0.25, 0.5, 0.9], 1.0),
+            |a, b| a == b,
+        ),
+        bench_kernel(
+            "matmul",
+            &format!("{gm2}x{gk2}x{gn2}"),
+            reps,
+            || matmul_scalar(&mm_lhs, &mm_rhs),
+            || mm_lhs.matmul(&mm_rhs).unwrap(),
+            |a: &Tensor2, b: &Tensor2| a.as_slice() == b.as_slice(),
+        ),
+        bench_kernel(
+            "t_matmul",
+            &format!("{gk2}x{gm2}ᵀx{gn2}"),
+            reps,
+            || t_matmul_scalar(&tm_lhs, &mm_rhs),
+            || tm_lhs.t_matmul(&mm_rhs).unwrap(),
+            |a: &Tensor2, b: &Tensor2| a.as_slice() == b.as_slice(),
+        ),
+    ];
     par::set_threads(args.threads);
 
+    let git_rev = snapea_obs::run::git_rev(std::path::Path::new("."))
+        .map(Json::from)
+        .unwrap_or(Json::Null);
     let report = Json::Obj(vec![
         ("generated_by".to_string(), "perfbench".into()),
-        (
-            "git_rev".to_string(),
-            snapea_obs::run::git_rev(std::path::Path::new("."))
-                .map(Json::from)
-                .unwrap_or(Json::Null),
-        ),
+        ("git_rev".to_string(), git_rev.clone()),
         ("smoke".to_string(), args.smoke.into()),
         ("reps".to_string(), reps.into()),
         ("threads_serial".to_string(), 1u64.into()),
@@ -254,4 +429,19 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {}", args.out);
+
+    let kernels_report = Json::Obj(vec![
+        ("generated_by".to_string(), "perfbench --kernels".into()),
+        ("git_rev".to_string(), git_rev),
+        ("smoke".to_string(), args.smoke.into()),
+        ("reps".to_string(), reps.into()),
+        ("threads".to_string(), 1u64.into()),
+        ("available_parallelism".to_string(), avail.into()),
+        ("kernels".to_string(), Json::Arr(kernels)),
+    ]);
+    if let Err(e) = std::fs::write(&args.kernels_out, format!("{kernels_report}\n")) {
+        eprintln!("perfbench: cannot write {}: {e}", args.kernels_out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", args.kernels_out);
 }

@@ -342,11 +342,197 @@ impl GatherTable {
         self.windows
     }
 
+    /// Window length `c_in × kh × kw`.
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
     /// Tap offsets of window `w`.
     #[inline]
     pub fn window(&self, w: usize) -> &[i32] {
         &self.taps[w * self.window_len..(w + 1) * self.window_len]
     }
+}
+
+/// Kernel-independent execution plan for one layer geometry: the gather
+/// table plus the *resolved-tap* factorisation of its interior windows.
+///
+/// For a window with no padding taps, tap `i`'s offset decomposes as
+/// `base + delta[i]`, where `delta[i] = (c*h + ky)*w + kx` depends only on
+/// the original weight index and the input shape, and `base` is the window's
+/// top-left input offset. Permuting `delta` by a kernel's reorder
+/// ([`WindowPlan::resolve`]) yields taps already in walk order, so the
+/// interior hot loop needs no `order[p]` indirection and no `off >= 0`
+/// padding branch. Border windows (any padding tap) keep the general
+/// gather-table path.
+///
+/// Plans depend only on `(input.h, input.w, c_in, geom)` and are memoised by
+/// [`layer_plan`].
+#[derive(Debug, Clone)]
+pub struct WindowPlan {
+    gather: GatherTable,
+    /// `delta[i]` for each original weight index `i` (valid for interior
+    /// windows only).
+    delta: Vec<i32>,
+    /// Per window: the window's base offset into the item slice (≥ 0) for
+    /// interior windows, `-1` for border windows.
+    bases: Vec<i32>,
+    interior: usize,
+}
+
+impl WindowPlan {
+    /// Builds the plan for `geom` over inputs of shape `input`. Prefer
+    /// [`layer_plan`], which memoises the result per geometry.
+    pub fn build(input: Shape4, geom: ConvGeom, c_in: usize) -> Self {
+        let gather = GatherTable::build(input, geom, c_in);
+        let window_len = gather.window_len();
+        let mut delta = Vec::with_capacity(window_len);
+        for c in 0..c_in {
+            for ky in 0..geom.kh {
+                for kx in 0..geom.kw {
+                    delta.push(((c * input.h + ky) * input.w + kx) as i32);
+                }
+            }
+        }
+        let mut bases = Vec::with_capacity(gather.windows());
+        let mut interior = 0usize;
+        for w in 0..gather.windows() {
+            let taps = gather.window(w);
+            // A window is interior iff none of its taps fall in the padding.
+            // With `window_len == 0` there are no taps, so the window is
+            // vacuously interior with an (unused) base of 0.
+            if taps.iter().any(|&off| off < 0) {
+                bases.push(-1);
+            } else {
+                let base = taps.first().copied().unwrap_or(0);
+                debug_assert!(taps
+                    .iter()
+                    .zip(delta.iter())
+                    .all(|(&t, &d)| t == base + d));
+                bases.push(base);
+                interior += 1;
+            }
+        }
+        Self {
+            gather,
+            delta,
+            bases,
+            interior,
+        }
+    }
+
+    /// The underlying gather table (border windows, tests, profiling).
+    #[inline]
+    pub fn gather(&self) -> &GatherTable {
+        &self.gather
+    }
+
+    /// Number of windows.
+    #[inline]
+    pub fn windows(&self) -> usize {
+        self.gather.windows()
+    }
+
+    /// Window length `c_in × kh × kw`.
+    #[inline]
+    pub fn window_len(&self) -> usize {
+        self.gather.window_len()
+    }
+
+    /// Base offset of window `w`: `≥ 0` for an interior window (tap `p` of a
+    /// resolved kernel lives at `base + resolved[p]`), `-1` for a border
+    /// window.
+    #[inline]
+    pub fn window_base(&self, w: usize) -> i32 {
+        self.bases[w]
+    }
+
+    /// Number of interior (padding-free) windows.
+    #[inline]
+    pub fn interior_windows(&self) -> usize {
+        self.interior
+    }
+
+    /// The tap deltas permuted into `kernel`'s walk order: the resolved taps
+    /// of every interior window (`offset(p) = base + resolved[p]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel's length differs from the plan's window length.
+    pub fn resolve(&self, kernel: &ReorderedKernel) -> Vec<i32> {
+        assert_eq!(kernel.len(), self.delta.len(), "kernel/plan window length");
+        kernel
+            .order()
+            .iter()
+            .map(|&i| self.delta[i as usize])
+            .collect()
+    }
+}
+
+/// Key of the memoised plan cache: everything [`WindowPlan::build`] reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    h: usize,
+    w: usize,
+    c_in: usize,
+    geom: ConvGeom,
+}
+
+/// Entry cap before the plan cache is wiped wholesale — the executor sees a
+/// handful of geometries per network, but fuzzers (selfcheck) churn through
+/// hundreds; the cap bounds their footprint without an LRU's bookkeeping.
+const PLAN_CACHE_CAP: usize = 256;
+
+fn plan_cache() -> &'static std::sync::Mutex<std::collections::HashMap<PlanKey, std::sync::Arc<WindowPlan>>> {
+    static CACHE: std::sync::OnceLock<
+        std::sync::Mutex<std::collections::HashMap<PlanKey, std::sync::Arc<WindowPlan>>>,
+    > = std::sync::OnceLock::new();
+    CACHE.get_or_init(Default::default)
+}
+
+/// The memoised [`WindowPlan`] for `(input, geom, c_in)` — built once per
+/// layer geometry and shared by every subsequent call (the Algorithm 1
+/// optimizer re-profiles the same layer hundreds of times). Charges the
+/// `exec/gather_cache_hits` / `exec/gather_cache_misses` counters.
+pub fn layer_plan(input: Shape4, geom: ConvGeom, c_in: usize) -> std::sync::Arc<WindowPlan> {
+    layer_plan_entry(input, geom, c_in).0
+}
+
+/// [`layer_plan`] plus whether the plan was served from the cache (recorded
+/// on the `exec/layer` event).
+fn layer_plan_entry(
+    input: Shape4,
+    geom: ConvGeom,
+    c_in: usize,
+) -> (std::sync::Arc<WindowPlan>, bool) {
+    let key = PlanKey {
+        h: input.h,
+        w: input.w,
+        c_in,
+        geom,
+    };
+    let mut map = plan_cache().lock().expect("plan cache poisoned");
+    if let Some(p) = map.get(&key) {
+        snapea_obs::counter("exec/gather_cache_hits").inc();
+        return (std::sync::Arc::clone(p), true);
+    }
+    snapea_obs::counter("exec/gather_cache_misses").inc();
+    if map.len() >= PLAN_CACHE_CAP {
+        map.clear();
+    }
+    let plan = std::sync::Arc::new(WindowPlan::build(input, geom, c_in));
+    map.insert(key, std::sync::Arc::clone(&plan));
+    (plan, false)
+}
+
+/// Number of plans currently cached (test hook).
+pub fn plan_cache_len() -> usize {
+    plan_cache().lock().expect("plan cache poisoned").len()
+}
+
+/// Empties the plan cache (test hook; the executor repopulates on demand).
+pub fn clear_plan_cache() {
+    plan_cache().lock().expect("plan cache poisoned").clear();
 }
 
 /// Outcome of one window walk.
@@ -361,41 +547,141 @@ pub struct WindowResult {
     pub termination: Option<TerminationKind>,
 }
 
-/// Walks a single convolution window: probes the PAU before every MAC,
-/// terminates when it says so. `item` is the image's contiguous `c*h*w`
-/// slice; `taps` maps original weight indices to offsets (−1 = padding).
+/// The walk position at which the PAU's *predictive* probe can first fire
+/// (`usize::MAX` in exact mode, where it never does).
+#[inline(always)]
+fn spec_probe_pos(pau: &Pau) -> usize {
+    if pau.spec_len() > 0 {
+        pau.spec_len()
+    } else {
+        usize::MAX
+    }
+}
+
+/// Number of leading walk positions at which no PAU probe can fire: the
+/// predictive probe fires only *at* `spec_len`, and the sign check only from
+/// `neg_start` on, so positions `0..min(spec_len, neg_start, len)` are
+/// unconditional MACs.
+#[inline(always)]
+fn unconditional_prefix_len(pau: &Pau, len: usize) -> usize {
+    spec_probe_pos(pau).min(pau.neg_start()).min(len)
+}
+
+#[inline(always)]
+fn terminated(ops: usize, acc: f32, kind: TerminationKind) -> WindowResult {
+    let output = match kind {
+        TerminationKind::Predicted => 0.0, // early ReLU fired
+        TerminationKind::SignCheck => acc,
+    };
+    WindowResult {
+        ops: ops as u32,
+        output,
+        termination: Some(kind),
+    }
+}
+
+/// Continues a window walk from position `start` with partial sum `acc`,
+/// where `start` must be the walk's unconditional-prefix length
+/// ([`unconditional_prefix_len`]). `mac(p, acc)` performs the MAC at
+/// position `p` and returns the new partial sum.
+///
+/// This is the *phase-split* form of the per-MAC probe loop: one probe at
+/// the speculative boundary, an unconditional run to `neg_start`, then a
+/// probed walk through the negative region. The probe outcomes — and hence
+/// `ops`, `output` and `termination` — are bit-identical to probing before
+/// every MAC, because [`Pau::probe`] returns `Continue` unconditionally at
+/// every skipped position.
+#[inline(always)]
+fn walk_window_from(
+    pau: &Pau,
+    len: usize,
+    mut acc: f32,
+    start: usize,
+    mut mac: impl FnMut(usize, f32) -> f32,
+) -> WindowResult {
+    debug_assert_eq!(start, unconditional_prefix_len(pau, len));
+    let spec_probe = spec_probe_pos(pau);
+    let ns = pau.neg_start();
+    let mut p = start;
+    if p < len && p == spec_probe {
+        // The full probe also covers the spec_len == neg_start tie, where a
+        // prediction outranks the sign check.
+        if let PauAction::Terminate(kind) = pau.probe(p, acc) {
+            return terminated(p, acc, kind);
+        }
+        acc = mac(p, acc);
+        p += 1;
+        let stop = ns.min(len);
+        while p < stop {
+            acc = mac(p, acc);
+            p += 1;
+        }
+    }
+    while p < len {
+        if let PauAction::Terminate(kind) = pau.probe(p, acc) {
+            return terminated(p, acc, kind);
+        }
+        acc = mac(p, acc);
+        p += 1;
+    }
+    WindowResult {
+        ops: len as u32,
+        output: acc,
+        termination: None,
+    }
+}
+
+/// Runs a full window walk (prefix + probed phases) through `mac`.
+#[inline(always)]
+fn walk_window(
+    pau: &Pau,
+    len: usize,
+    bias: f32,
+    mut mac: impl FnMut(usize, f32) -> f32,
+) -> WindowResult {
+    let stop1 = unconditional_prefix_len(pau, len);
+    let mut acc = bias;
+    for p in 0..stop1 {
+        acc = mac(p, acc);
+    }
+    walk_window_from(pau, len, acc, stop1, mac)
+}
+
+/// Walks a single convolution window: probes the PAU exactly as the hardware
+/// lanes do before each MAC, terminates when it says so. `item` is the
+/// image's contiguous `c*h*w` slice; `taps` maps original weight indices to
+/// offsets (−1 = padding). Padding taps still occupy a MAC slot in the
+/// hardware walk: the weight is broadcast and the lane multiplies by zero.
 #[inline]
 pub fn run_window(kernel: &KernelExec, taps: &[i32], item: &[f32], bias: f32) -> WindowResult {
     let weights = kernel.reordered.weights();
     let order = kernel.reordered.order();
-    let mut acc = bias;
-    for p in 0..weights.len() {
-        match kernel.pau.probe(p, acc) {
-            PauAction::Terminate(kind) => {
-                let output = match kind {
-                    TerminationKind::Predicted => 0.0, // early ReLU fired
-                    TerminationKind::SignCheck => acc,
-                };
-                return WindowResult {
-                    ops: p as u32,
-                    output,
-                    termination: Some(kind),
-                };
-            }
-            PauAction::Continue => {}
-        }
+    walk_window(&kernel.pau, weights.len(), bias, |p, acc| {
         let off = taps[order[p] as usize];
         if off >= 0 {
-            acc += item[off as usize] * weights[p];
+            acc + item[off as usize] * weights[p]
+        } else {
+            acc
         }
-        // Padding taps still occupy a MAC slot in the hardware walk: the
-        // weight is broadcast and the lane multiplies by zero.
-    }
-    WindowResult {
-        ops: weights.len() as u32,
-        output: acc,
-        termination: None,
-    }
+    })
+}
+
+/// [`run_window`] over an interior window of a [`WindowPlan`]: `resolved`
+/// holds the kernel's taps already permuted into walk order
+/// ([`WindowPlan::resolve`]), so the hot loop is a branch-free
+/// gather-multiply-add.
+#[inline]
+pub fn run_window_resolved(
+    kernel: &KernelExec,
+    resolved: &[i32],
+    base: i32,
+    item: &[f32],
+    bias: f32,
+) -> WindowResult {
+    let weights = kernel.reordered.weights();
+    walk_window(&kernel.pau, weights.len(), bias, |p, acc| {
+        acc + item[(base + resolved[p]) as usize] * weights[p]
+    })
 }
 
 /// Completes a window's dot product regardless of termination (used for
@@ -413,6 +699,91 @@ fn full_window_value(kernel: &KernelExec, taps: &[i32], item: &[f32], bias: f32)
     acc
 }
 
+/// [`full_window_value`] for an interior window via resolved taps.
+#[inline]
+fn full_window_value_resolved(
+    weights: &[f32],
+    resolved: &[i32],
+    base: i32,
+    item: &[f32],
+    bias: f32,
+) -> f32 {
+    let mut acc = bias;
+    for (p, &w) in weights.iter().enumerate() {
+        acc += item[(base + resolved[p]) as usize] * w;
+    }
+    acc
+}
+
+/// Interior windows processed per batch by the executor. Eight lanes give
+/// the FPU eight independent accumulator chains, hiding the `fadd` latency
+/// that bounds a single window's strictly-ordered walk.
+const BATCH: usize = 8;
+
+/// Runs the unconditional prefix (positions `0..stop1`, where no PAU probe
+/// can fire — [`unconditional_prefix_len`]) for [`BATCH`] interior windows
+/// at once: each position loads its resolved tap and weight once and feeds
+/// all eight accumulator chains. Each lane's own accumulation order is
+/// unchanged, so per-lane results stay bit-identical to the scalar walk.
+#[inline]
+fn prefix_batch(
+    weights: &[f32],
+    resolved: &[i32],
+    item: &[f32],
+    bases: &[i32; BATCH],
+    bias: f32,
+    stop1: usize,
+) -> [f32; BATCH] {
+    let mut acc = [bias; BATCH];
+    for p in 0..stop1 {
+        let d = resolved[p];
+        let w = weights[p];
+        for (a, &b) in acc.iter_mut().zip(bases.iter()) {
+            *a += item[(b + d) as usize] * w;
+        }
+    }
+    acc
+}
+
+/// Full dot products of [`BATCH`] interior windows (stats accounting).
+#[inline]
+fn full_values_batch(
+    weights: &[f32],
+    resolved: &[i32],
+    item: &[f32],
+    bases: &[i32; BATCH],
+    bias: f32,
+) -> [f32; BATCH] {
+    prefix_batch(weights, resolved, item, bases, bias, weights.len())
+}
+
+/// Folds one window's outcome into the prediction-quality accounting. Must
+/// be called in ascending window order within a pair — the f64 mass sums are
+/// order-sensitive and pinned bit-identical to the scalar executor.
+#[inline]
+fn account_window(st: &mut PredictionStats, full: f32, termination: Option<TerminationKind>) {
+    if full < 0.0 {
+        st.negative_windows += 1;
+    } else {
+        st.positive_windows += 1;
+        st.positive_mass += full as f64;
+    }
+    match termination {
+        Some(TerminationKind::Predicted) => {
+            if full < 0.0 {
+                st.true_negatives += 1;
+            } else {
+                st.false_negatives += 1;
+                st.squashed_mass += full.max(0.0) as f64;
+            }
+        }
+        Some(TerminationKind::SignCheck) => {
+            st.sign_terminations += 1;
+        }
+        None => {}
+    }
+}
+
 /// Executes a convolution layer through SnaPEA (no prediction accounting —
 /// the fast path used inside the optimizer's accuracy simulations).
 pub fn execute_conv(conv: &Conv2d, input: &Tensor4, cfg: &LayerConfig) -> ExecResult {
@@ -425,6 +796,33 @@ pub fn execute_conv_stats(conv: &Conv2d, input: &Tensor4, cfg: &LayerConfig) -> 
     execute_conv_inner(conv, input, cfg, true)
 }
 
+/// Drains `lanes` pending interior windows one at a time (used for the
+/// partial batch at a flush boundary). Lane order is ascending-window, so
+/// stats accounting order is preserved.
+#[allow(clippy::too_many_arguments)]
+fn drain_interior_lanes(
+    kexec: &KernelExec,
+    resolved: &[i32],
+    item: &[f32],
+    bias: f32,
+    lanes: &[(usize, i32)],
+    collect_stats: bool,
+    out_slice: &mut [f32],
+    ops_slice: &mut [u32],
+    st: &mut PredictionStats,
+) {
+    let weights = kexec.reordered.weights();
+    for &(w, base) in lanes {
+        let r = run_window_resolved(kexec, resolved, base, item, bias);
+        out_slice[w] = r.output;
+        ops_slice[w] = r.ops;
+        if collect_stats {
+            let full = full_window_value_resolved(weights, resolved, base, item, bias);
+            account_window(st, full, r.termination);
+        }
+    }
+}
+
 fn execute_conv_inner(
     conv: &Conv2d,
     input: &Tensor4,
@@ -434,10 +832,18 @@ fn execute_conv_inner(
     assert_eq!(cfg.kernels.len(), conv.c_out(), "config kernel count");
     let s = input.shape();
     let geom = conv.geom();
-    let gather = GatherTable::build(s, geom, conv.c_in());
+    let (plan, cache_hit) = layer_plan_entry(s, geom, conv.c_in());
     let out_shape = conv.out_shape(s);
-    let windows = gather.windows();
+    let windows = plan.windows();
     debug_assert_eq!(windows, out_shape.plane_len());
+
+    // Resolved taps (walk-order tap deltas) once per kernel, shared by every
+    // image's tasks.
+    let resolved: Vec<Vec<i32>> = cfg
+        .kernels
+        .iter()
+        .map(|k| plan.resolve(&k.reordered))
+        .collect();
 
     let mut output = Tensor4::zeros(out_shape);
     let mut ops = vec![0u32; s.n * conv.c_out() * windows];
@@ -450,6 +856,12 @@ fn execute_conv_inner(
     // stats accumulate privately and merge in ascending pair order — the
     // same grouping for any thread count, so the f64 masses are
     // bit-identical whether the pairs ran on one worker or eight.
+    //
+    // Within a pair, interior windows are gathered into [`BATCH`]-wide
+    // groups walked through the resolved-tap batch kernels; border windows
+    // take the general gather path. Any pending batch is drained before a
+    // border window (and at the end), so per-window results and the
+    // order-sensitive stats folds still happen in ascending window order.
     if windows > 0 {
         let pairs: Vec<(&mut [f32], &mut [u32])> = output
             .as_mut_slice()
@@ -461,37 +873,77 @@ fn execute_conv_inner(
                 let (n, k) = (pair / conv.c_out(), pair % conv.c_out());
                 let item = input.item(n);
                 let kexec = &cfg.kernels[k];
+                let rt = &resolved[k][..];
+                let weights = kexec.reordered.weights();
+                let len = weights.len();
+                let stop1 = unconditional_prefix_len(&kexec.pau, len);
                 let bias = conv.bias()[k];
                 let mut st = PredictionStats::default();
+                let mut lanes = [(0usize, 0i32); BATCH];
+                let mut nl = 0usize;
                 for w in 0..windows {
-                    let taps = gather.window(w);
-                    let r = run_window(kexec, taps, item, bias);
-                    out_slice[w] = r.output;
-                    ops_slice[w] = r.ops;
-                    if collect_stats {
-                        let full = full_window_value(kexec, taps, item, bias);
-                        if full < 0.0 {
-                            st.negative_windows += 1;
-                        } else {
-                            st.positive_windows += 1;
-                            st.positive_mass += full as f64;
+                    let base = plan.window_base(w);
+                    if base >= 0 {
+                        lanes[nl] = (w, base);
+                        nl += 1;
+                        if nl < BATCH {
+                            continue;
                         }
-                        match r.termination {
-                            Some(TerminationKind::Predicted) => {
-                                if full < 0.0 {
-                                    st.true_negatives += 1;
-                                } else {
-                                    st.false_negatives += 1;
-                                    st.squashed_mass += full.max(0.0) as f64;
-                                }
+                        nl = 0;
+                        let bases = lanes.map(|(_, b)| b);
+                        let accs = prefix_batch(weights, rt, item, &bases, bias, stop1);
+                        // Each lane's full value accumulates in the same
+                        // per-lane order as the scalar walk; only the folds
+                        // below are order-sensitive, and they run ascending.
+                        let fulls = if collect_stats {
+                            Some(full_values_batch(weights, rt, item, &bases, bias))
+                        } else {
+                            None
+                        };
+                        for (l, &(lw, lb)) in lanes.iter().enumerate() {
+                            let r = walk_window_from(&kexec.pau, len, accs[l], stop1, |p, acc| {
+                                acc + item[(lb + rt[p]) as usize] * weights[p]
+                            });
+                            out_slice[lw] = r.output;
+                            ops_slice[lw] = r.ops;
+                            if let Some(f) = &fulls {
+                                account_window(&mut st, f[l], r.termination);
                             }
-                            Some(TerminationKind::SignCheck) => {
-                                st.sign_terminations += 1;
-                            }
-                            None => {}
+                        }
+                    } else {
+                        drain_interior_lanes(
+                            kexec,
+                            rt,
+                            item,
+                            bias,
+                            &lanes[..nl],
+                            collect_stats,
+                            out_slice,
+                            ops_slice,
+                            &mut st,
+                        );
+                        nl = 0;
+                        let taps = plan.gather().window(w);
+                        let r = run_window(kexec, taps, item, bias);
+                        out_slice[w] = r.output;
+                        ops_slice[w] = r.ops;
+                        if collect_stats {
+                            let full = full_window_value(kexec, taps, item, bias);
+                            account_window(&mut st, full, r.termination);
                         }
                     }
                 }
+                drain_interior_lanes(
+                    kexec,
+                    rt,
+                    item,
+                    bias,
+                    &lanes[..nl],
+                    collect_stats,
+                    out_slice,
+                    ops_slice,
+                    &mut st,
+                );
                 st
             });
         for st in &per_pair {
@@ -506,7 +958,11 @@ fn execute_conv_inner(
         window_len: conv.window_len(),
         ops,
     };
-    record_layer_execution(&profile, if collect_stats { Some(&stats) } else { None });
+    record_layer_execution(
+        &profile,
+        if collect_stats { Some(&stats) } else { None },
+        cache_hit,
+    );
     ExecResult {
         output,
         profile,
@@ -519,7 +975,11 @@ fn execute_conv_inner(
 /// atomics charged once per layer call (never per window), and the event
 /// payload is only built behind [`snapea_obs::enabled`], keeping the
 /// disabled-path overhead within the executor bench's <2% budget.
-fn record_layer_execution(profile: &LayerProfile, stats: Option<&PredictionStats>) {
+fn record_layer_execution(
+    profile: &LayerProfile,
+    stats: Option<&PredictionStats>,
+    gather_cache_hit: bool,
+) {
     let performed = profile.total_ops();
     let dense = profile.full_macs();
     snapea_obs::counter("exec/layer_calls").inc();
@@ -542,6 +1002,7 @@ fn record_layer_execution(profile: &LayerProfile, stats: Option<&PredictionStats
                 performed_macs = performed,
                 full_macs = dense,
                 savings = profile.savings(),
+                gather_cache_hit = gather_cache_hit,
                 true_negative_rate = s.true_negative_rate(),
                 false_negative_rate = s.false_negative_rate(),
                 sign_terminations = s.sign_terminations,
@@ -555,6 +1016,7 @@ fn record_layer_execution(profile: &LayerProfile, stats: Option<&PredictionStats
                 performed_macs = performed,
                 full_macs = dense,
                 savings = profile.savings(),
+                gather_cache_hit = gather_cache_hit,
             );
         }
     }
@@ -567,7 +1029,8 @@ fn record_layer_execution(profile: &LayerProfile, stats: Option<&PredictionStats
 /// input-sparsity approach SnaPEA is contrasted against.
 pub fn zero_skip_profile(conv: &Conv2d, input: &Tensor4) -> LayerProfile {
     let s = input.shape();
-    let gather = GatherTable::build(s, conv.geom(), conv.c_in());
+    let plan = layer_plan(s, conv.geom(), conv.c_in());
+    let gather = plan.gather();
     let windows = gather.windows();
     let mut ops = Vec::with_capacity(s.n * conv.c_out() * windows);
     for n in 0..s.n {
@@ -597,7 +1060,8 @@ pub fn zero_skip_profile(conv: &Conv2d, input: &Tensor4) -> LayerProfile {
 pub fn combined_profile(conv: &Conv2d, input: &Tensor4, cfg: &LayerConfig) -> LayerProfile {
     assert_eq!(cfg.kernels.len(), conv.c_out(), "config kernel count");
     let s = input.shape();
-    let gather = GatherTable::build(s, conv.geom(), conv.c_in());
+    let plan = layer_plan(s, conv.geom(), conv.c_in());
+    let gather = plan.gather();
     let windows = gather.windows();
     let mut ops = Vec::with_capacity(s.n * conv.c_out() * windows);
     for n in 0..s.n {
@@ -638,34 +1102,61 @@ pub fn run_window_q16(
     bias: f32,
     fmt: snapea_tensor::q16::Q16Format,
 ) -> WindowResult {
-    use snapea_tensor::q16::QAcc;
     let weights = kernel.reordered.weights();
     let order = kernel.reordered.order();
-    let mut acc = QAcc::new();
-    // Bias enters the accumulator pre-scaled to the product width.
-    acc.mac(fmt.quantize(bias), fmt.quantize(1.0));
-    for p in 0..weights.len() {
-        match kernel.pau.probe(p, acc.to_f32(fmt)) {
-            PauAction::Terminate(kind) => {
-                let output = match kind {
-                    TerminationKind::Predicted => 0.0,
-                    TerminationKind::SignCheck => acc.to_f32(fmt),
-                };
-                return WindowResult {
-                    ops: p as u32,
-                    output,
-                    termination: Some(kind),
-                };
-            }
-            PauAction::Continue => {}
-        }
+    walk_window_q16(&kernel.pau, weights.len(), bias, fmt, |p, acc| {
         let off = taps[order[p] as usize];
         if off >= 0 {
             acc.mac(item_q[off as usize], fmt.quantize(weights[p]));
         }
+    })
+}
+
+/// Phase-split fixed-point window walk (the q16 twin of [`walk_window`]):
+/// probes only where [`Pau::probe`] can fire, dequantising the partial sum
+/// per probe instead of per MAC. `mac(p, acc)` performs the MAC at position
+/// `p` in place.
+#[inline(always)]
+fn walk_window_q16(
+    pau: &Pau,
+    len: usize,
+    bias: f32,
+    fmt: snapea_tensor::q16::Q16Format,
+    mut mac: impl FnMut(usize, &mut snapea_tensor::q16::QAcc),
+) -> WindowResult {
+    use snapea_tensor::q16::QAcc;
+    let mut acc = QAcc::new();
+    // Bias enters the accumulator pre-scaled to the product width.
+    acc.mac(fmt.quantize(bias), fmt.quantize(1.0));
+    let spec_probe = spec_probe_pos(pau);
+    let ns = pau.neg_start();
+    let mut p = 0usize;
+    let stop1 = unconditional_prefix_len(pau, len);
+    while p < stop1 {
+        mac(p, &mut acc);
+        p += 1;
+    }
+    if p < len && p == spec_probe {
+        if let PauAction::Terminate(kind) = pau.probe(p, acc.to_f32(fmt)) {
+            return terminated(p, acc.to_f32(fmt), kind);
+        }
+        mac(p, &mut acc);
+        p += 1;
+        let stop = ns.min(len);
+        while p < stop {
+            mac(p, &mut acc);
+            p += 1;
+        }
+    }
+    while p < len {
+        if let PauAction::Terminate(kind) = pau.probe(p, acc.to_f32(fmt)) {
+            return terminated(p, acc.to_f32(fmt), kind);
+        }
+        mac(p, &mut acc);
+        p += 1;
     }
     WindowResult {
-        ops: weights.len() as u32,
+        ops: len as u32,
         output: acc.to_f32(fmt),
         termination: None,
     }
@@ -682,9 +1173,29 @@ pub fn execute_conv_q16(
 ) -> ExecResult {
     assert_eq!(cfg.kernels.len(), conv.c_out(), "config kernel count");
     let s = input.shape();
-    let gather = GatherTable::build(s, conv.geom(), conv.c_in());
+    let (plan, cache_hit) = layer_plan_entry(s, conv.geom(), conv.c_in());
     let out_shape = conv.out_shape(s);
-    let windows = gather.windows();
+    let windows = plan.windows();
+
+    // Resolved taps and pre-quantised weights once per kernel —
+    // `fmt.quantize` is deterministic, so hoisting it out of the per-MAC
+    // loop changes nothing numerically.
+    let resolved: Vec<Vec<i32>> = cfg
+        .kernels
+        .iter()
+        .map(|k| plan.resolve(&k.reordered))
+        .collect();
+    let weights_q: Vec<Vec<snapea_tensor::q16::Q16>> = cfg
+        .kernels
+        .iter()
+        .map(|k| {
+            k.reordered
+                .weights()
+                .iter()
+                .map(|&w| fmt.quantize(w))
+                .collect()
+        })
+        .collect();
 
     let mut output = Tensor4::zeros(out_shape);
     let mut ops = vec![0u32; s.n * conv.c_out() * windows];
@@ -693,10 +1204,20 @@ pub fn execute_conv_q16(
         let item_q = snapea_tensor::q16::quantize_slice(fmt, input.item(n));
         for (k, kexec) in cfg.kernels.iter().enumerate() {
             let bias = conv.bias()[k];
+            let len = kexec.reordered.weights().len();
+            let rt = &resolved[k][..];
+            let wq = &weights_q[k][..];
             let out_base = out_shape.offset(n, k, 0, 0);
             let ops_base = (n * conv.c_out() + k) * windows;
             for w in 0..windows {
-                let r = run_window_q16(kexec, gather.window(w), &item_q, bias, fmt);
+                let base = plan.window_base(w);
+                let r = if base >= 0 {
+                    walk_window_q16(&kexec.pau, len, bias, fmt, |p, acc| {
+                        acc.mac(item_q[(base + rt[p]) as usize], wq[p]);
+                    })
+                } else {
+                    run_window_q16(kexec, plan.gather().window(w), &item_q, bias, fmt)
+                };
                 output.as_mut_slice()[out_base + w] = r.output;
                 ops[ops_base + w] = r.ops;
             }
@@ -710,11 +1231,219 @@ pub fn execute_conv_q16(
         window_len: conv.window_len(),
         ops,
     };
-    record_layer_execution(&profile, None);
+    record_layer_execution(&profile, None, cache_hit);
     ExecResult {
         output,
         profile,
         stats: PredictionStats::default(),
+    }
+}
+
+pub mod baseline {
+    //! Frozen pre-plan scalar executor: the window walk exactly as it stood
+    //! before the single-core kernel engine (resolved-tap window plans,
+    //! phase-split probes, batched interior walks, plan caching).
+    //!
+    //! This is the *reference implementation* the regression tests pin the
+    //! optimised paths against bit-for-bit, and the *before* side of
+    //! `perfbench`'s kernels section. The issue suggested keeping it behind
+    //! `#[cfg(test)]`, but the benchmark binary needs it at runtime, so it
+    //! lives here as a public module instead (see DESIGN.md §6). It is
+    //! serial, builds its gather table from scratch on every call, probes
+    //! the PAU before every MAC, and charges no metrics — do not optimise
+    //! or hook it up to the plan cache.
+
+    use super::*;
+
+    /// Pre-plan [`run_window`](super::run_window): probes before every MAC.
+    pub fn run_window(
+        kernel: &KernelExec,
+        taps: &[i32],
+        item: &[f32],
+        bias: f32,
+    ) -> WindowResult {
+        let weights = kernel.reordered.weights();
+        let order = kernel.reordered.order();
+        let mut acc = bias;
+        for p in 0..weights.len() {
+            match kernel.pau.probe(p, acc) {
+                PauAction::Terminate(kind) => {
+                    let output = match kind {
+                        TerminationKind::Predicted => 0.0, // early ReLU fired
+                        TerminationKind::SignCheck => acc,
+                    };
+                    return WindowResult {
+                        ops: p as u32,
+                        output,
+                        termination: Some(kind),
+                    };
+                }
+                PauAction::Continue => {}
+            }
+            let off = taps[order[p] as usize];
+            if off >= 0 {
+                acc += item[off as usize] * weights[p];
+            }
+            // Padding taps still occupy a MAC slot in the hardware walk: the
+            // weight is broadcast and the lane multiplies by zero.
+        }
+        WindowResult {
+            ops: weights.len() as u32,
+            output: acc,
+            termination: None,
+        }
+    }
+
+    /// Pre-plan full dot product (stats accounting reference).
+    pub fn full_window_value(kernel: &KernelExec, taps: &[i32], item: &[f32], bias: f32) -> f32 {
+        let weights = kernel.reordered.weights();
+        let order = kernel.reordered.order();
+        let mut acc = bias;
+        for p in 0..weights.len() {
+            let off = taps[order[p] as usize];
+            if off >= 0 {
+                acc += item[off as usize] * weights[p];
+            }
+        }
+        acc
+    }
+
+    /// Pre-plan serial executor: per-window scalar walks over a freshly
+    /// built gather table, stats folded in ascending `(image, kernel,
+    /// window)` order — the order the optimised executor must reproduce.
+    pub fn execute_conv(
+        conv: &Conv2d,
+        input: &Tensor4,
+        cfg: &LayerConfig,
+        collect_stats: bool,
+    ) -> ExecResult {
+        assert_eq!(cfg.kernels().len(), conv.c_out(), "config kernel count");
+        let s = input.shape();
+        let gather = GatherTable::build(s, conv.geom(), conv.c_in());
+        let out_shape = conv.out_shape(s);
+        let windows = gather.windows();
+
+        let mut output = Tensor4::zeros(out_shape);
+        let mut ops = vec![0u32; s.n * conv.c_out() * windows];
+        let mut stats = PredictionStats::default();
+
+        for n in 0..s.n {
+            let item = input.item(n);
+            for (k, kexec) in cfg.kernels().iter().enumerate() {
+                let bias = conv.bias()[k];
+                let out_base = out_shape.offset(n, k, 0, 0);
+                let ops_base = (n * conv.c_out() + k) * windows;
+                for w in 0..windows {
+                    let taps = gather.window(w);
+                    let r = run_window(kexec, taps, item, bias);
+                    output.as_mut_slice()[out_base + w] = r.output;
+                    ops[ops_base + w] = r.ops;
+                    if collect_stats {
+                        let full = full_window_value(kexec, taps, item, bias);
+                        account_window(&mut stats, full, r.termination);
+                    }
+                }
+            }
+        }
+
+        let profile = LayerProfile {
+            images: s.n,
+            kernels: conv.c_out(),
+            windows,
+            window_len: conv.window_len(),
+            ops,
+        };
+        ExecResult {
+            output,
+            profile,
+            stats,
+        }
+    }
+
+    /// Pre-plan [`run_window_q16`](super::run_window_q16): probes (and
+    /// dequantises) before every MAC, quantises the weight per MAC.
+    pub fn run_window_q16(
+        kernel: &KernelExec,
+        taps: &[i32],
+        item_q: &[snapea_tensor::q16::Q16],
+        bias: f32,
+        fmt: snapea_tensor::q16::Q16Format,
+    ) -> WindowResult {
+        use snapea_tensor::q16::QAcc;
+        let weights = kernel.reordered.weights();
+        let order = kernel.reordered.order();
+        let mut acc = QAcc::new();
+        // Bias enters the accumulator pre-scaled to the product width.
+        acc.mac(fmt.quantize(bias), fmt.quantize(1.0));
+        for p in 0..weights.len() {
+            match kernel.pau.probe(p, acc.to_f32(fmt)) {
+                PauAction::Terminate(kind) => {
+                    let output = match kind {
+                        TerminationKind::Predicted => 0.0,
+                        TerminationKind::SignCheck => acc.to_f32(fmt),
+                    };
+                    return WindowResult {
+                        ops: p as u32,
+                        output,
+                        termination: Some(kind),
+                    };
+                }
+                PauAction::Continue => {}
+            }
+            let off = taps[order[p] as usize];
+            if off >= 0 {
+                acc.mac(item_q[off as usize], fmt.quantize(weights[p]));
+            }
+        }
+        WindowResult {
+            ops: weights.len() as u32,
+            output: acc.to_f32(fmt),
+            termination: None,
+        }
+    }
+
+    /// Pre-plan serial fixed-point executor.
+    pub fn execute_conv_q16(
+        conv: &Conv2d,
+        input: &Tensor4,
+        cfg: &LayerConfig,
+        fmt: snapea_tensor::q16::Q16Format,
+    ) -> ExecResult {
+        assert_eq!(cfg.kernels().len(), conv.c_out(), "config kernel count");
+        let s = input.shape();
+        let gather = GatherTable::build(s, conv.geom(), conv.c_in());
+        let out_shape = conv.out_shape(s);
+        let windows = gather.windows();
+
+        let mut output = Tensor4::zeros(out_shape);
+        let mut ops = vec![0u32; s.n * conv.c_out() * windows];
+
+        for n in 0..s.n {
+            let item_q = snapea_tensor::q16::quantize_slice(fmt, input.item(n));
+            for (k, kexec) in cfg.kernels().iter().enumerate() {
+                let bias = conv.bias()[k];
+                let out_base = out_shape.offset(n, k, 0, 0);
+                let ops_base = (n * conv.c_out() + k) * windows;
+                for w in 0..windows {
+                    let r = run_window_q16(kexec, gather.window(w), &item_q, bias, fmt);
+                    output.as_mut_slice()[out_base + w] = r.output;
+                    ops[ops_base + w] = r.ops;
+                }
+            }
+        }
+
+        let profile = LayerProfile {
+            images: s.n,
+            kernels: conv.c_out(),
+            windows,
+            window_len: conv.window_len(),
+            ops,
+        };
+        ExecResult {
+            output,
+            profile,
+            stats: PredictionStats::default(),
+        }
     }
 }
 
@@ -956,6 +1685,166 @@ mod tests {
             r.profile.total_ops(),
             (r.profile.kernels() * r.profile.windows()) as u64 * 2
         );
+    }
+
+    /// Brute-force interior test straight from the definition: a window is
+    /// border iff any of its gather taps is a padding tap.
+    fn brute_force_is_border(gather: &GatherTable, w: usize) -> bool {
+        gather.window(w).iter().any(|&off| off < 0)
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn plan_partition_matches_brute_force_scan(
+            h in 1usize..10,
+            w in 1usize..10,
+            c_in in 1usize..4,
+            kh in 1usize..4,
+            kw in 1usize..4,
+            stride in 1usize..3,
+            pad in 0usize..3,
+        ) {
+            let shape = Shape4::new(1, c_in, h, w);
+            let geom = ConvGeom { kh, kw, stride, pad };
+            let plan = WindowPlan::build(shape, geom, c_in);
+            let gather = plan.gather();
+            let mut interior = 0usize;
+            for win in 0..plan.windows() {
+                let base = plan.window_base(win);
+                let border = brute_force_is_border(gather, win);
+                proptest::prop_assert_eq!(base >= 0, !border, "window {}", win);
+                if base >= 0 {
+                    interior += 1;
+                    // Interior windows must reconstruct their gather taps
+                    // exactly from base + delta (here via an identity-order
+                    // kernel's resolved taps).
+                    let taps = gather.window(win);
+                    for (i, &t) in taps.iter().enumerate() {
+                        let delta = {
+                            let per_c = geom.kh * geom.kw;
+                            let (c, r) = (i / per_c, i % per_c);
+                            let (ky, kx) = (r / geom.kw, r % geom.kw);
+                            ((c * h + ky) * w + kx) as i32
+                        };
+                        proptest::prop_assert_eq!(t, base + delta);
+                    }
+                }
+            }
+            proptest::prop_assert_eq!(interior, plan.interior_windows());
+            // pad == 0 with a kernel that fits the input means no window can
+            // touch padding. (A kernel *larger* than the input still yields
+            // one out-of-bounds window under the saturating output formula.)
+            if pad == 0 && kh <= h && kw <= w {
+                proptest::prop_assert_eq!(plan.interior_windows(), plan.windows());
+            }
+        }
+    }
+
+    /// The optimised executor (resolved-tap plans, phase-split probes,
+    /// batched interior walks) must be bit-identical to the frozen pre-plan
+    /// scalar walk — outputs, op counts, and the order-sensitive f64 stats.
+    #[test]
+    fn executor_is_bit_identical_to_baseline() {
+        for (seed, geom) in [
+            (50, ConvGeom::square(3, 1, 1)), // borders on every edge
+            (51, ConvGeom::square(3, 1, 0)), // all interior
+            (52, ConvGeom::square(3, 2, 1)), // strided
+            (53, ConvGeom::square(1, 1, 0)), // 1x1
+            (54, ConvGeom::square(5, 1, 2)), // wide borders
+        ] {
+            let mut rng = init::rng(seed);
+            let conv = Conv2d::new(3, 5, geom, &mut rng);
+            let input = nonneg_input(Shape4::new(2, 3, 9, 9), seed + 100);
+            let groups = 4.min(conv.window_len());
+            for cfg in [
+                LayerConfig::exact(&conv),
+                LayerConfig::predictive_uniform(&conv, KernelParams::new(0.05, groups)),
+                LayerConfig::predictive_uniform(&conv, KernelParams::new(f32::INFINITY, 2)),
+            ] {
+                for collect_stats in [false, true] {
+                    let new = execute_conv_inner(&conv, &input, &cfg, collect_stats);
+                    let old = baseline::execute_conv(&conv, &input, &cfg, collect_stats);
+                    assert_eq!(new.output.as_slice(), old.output.as_slice(), "seed {seed}");
+                    assert_eq!(new.profile.ops, old.profile.ops, "seed {seed}");
+                    assert_eq!(new.stats, old.stats, "seed {seed}");
+                    assert_eq!(
+                        new.stats.positive_mass.to_bits(),
+                        old.stats.positive_mass.to_bits(),
+                        "seed {seed}: f64 mass must match bitwise"
+                    );
+                    assert_eq!(
+                        new.stats.squashed_mass.to_bits(),
+                        old.stats.squashed_mass.to_bits(),
+                        "seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q16_executor_is_bit_identical_to_baseline() {
+        use snapea_tensor::q16::Q16Format;
+        for seed in [60, 61] {
+            let mut rng = init::rng(seed);
+            let conv = Conv2d::new(2, 4, ConvGeom::square(3, 1, 1), &mut rng);
+            let input = nonneg_input(Shape4::new(1, 2, 8, 8), seed + 7);
+            for cfg in [
+                LayerConfig::exact(&conv),
+                LayerConfig::predictive_uniform(&conv, KernelParams::new(0.05, 3)),
+            ] {
+                let fmt = Q16Format::new(10);
+                let new = execute_conv_q16(&conv, &input, &cfg, fmt);
+                let old = baseline::execute_conv_q16(&conv, &input, &cfg, fmt);
+                assert_eq!(new.output.as_slice(), old.output.as_slice(), "seed {seed}");
+                assert_eq!(new.profile.ops, old.profile.ops, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_window_resolved_matches_generic_on_interior_windows() {
+        let mut rng = init::rng(70);
+        let conv = Conv2d::new(2, 3, ConvGeom::square(3, 1, 1), &mut rng);
+        let input = nonneg_input(Shape4::new(1, 2, 7, 7), 71);
+        let plan = WindowPlan::build(input.shape(), conv.geom(), conv.c_in());
+        let cfg = LayerConfig::predictive_uniform(&conv, KernelParams::new(0.1, 4));
+        let item = input.item(0);
+        for (k, kexec) in cfg.kernels().iter().enumerate() {
+            let rt = plan.resolve(&kexec.reordered);
+            let bias = conv.bias()[k];
+            for w in 0..plan.windows() {
+                let base = plan.window_base(w);
+                if base < 0 {
+                    continue;
+                }
+                let generic = run_window(kexec, plan.gather().window(w), item, bias);
+                let resolved = run_window_resolved(kexec, &rt, base, item, bias);
+                assert_eq!(generic, resolved, "kernel {k} window {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn layer_plan_cache_hits_and_misses_are_counted() {
+        // A deliberately odd geometry no other test uses, so the first call
+        // must miss and the second must hit even with tests running in
+        // parallel against the shared cache and counters.
+        let shape = Shape4::new(1, 3, 23, 19);
+        let geom = ConvGeom {
+            kh: 2,
+            kw: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let hits0 = snapea_obs::counter("exec/gather_cache_hits").get();
+        let misses0 = snapea_obs::counter("exec/gather_cache_misses").get();
+        let a = layer_plan(shape, geom, 3);
+        let b = layer_plan(shape, geom, 3);
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "second call must be cached");
+        assert!(snapea_obs::counter("exec/gather_cache_misses").get() > misses0);
+        assert!(snapea_obs::counter("exec/gather_cache_hits").get() > hits0);
+        assert!(plan_cache_len() >= 1);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use crate::params::KernelMode;
 use crate::reorder::{predictive_reorder, sign_reorder, ReorderedKernel};
-use crate::exec::GatherTable;
+use crate::exec::{layer_plan, GatherTable, WindowPlan};
 use snapea_nn::ops::Conv2d;
 use snapea_tensor::Tensor4;
 
@@ -115,6 +115,101 @@ fn scan_window(r: &ReorderedKernel, taps: &[i32], item: &[f32], bias: f32) -> Wi
     }
 }
 
+/// Interior windows scanned per batch. Eight independent accumulator chains
+/// hide the `fadd` latency that bounds [`scan_window`]'s strictly-ordered
+/// walk; each lane's own accumulation order (and thus every f32 result) is
+/// unchanged.
+const SCAN_BATCH: usize = 8;
+
+/// [`scan_window`] for [`SCAN_BATCH`] interior windows at once, via resolved
+/// taps (`offset = base + rt[p]`, see [`WindowPlan::resolve`]). Per-lane
+/// results are bit-identical to the scalar scan.
+fn scan_windows_batch(
+    r: &ReorderedKernel,
+    rt: &[i32],
+    item: &[f32],
+    bases: &[i32; SCAN_BATCH],
+    bias: f32,
+) -> [WindowScan; SCAN_BATCH] {
+    let weights = r.weights();
+    let len = weights.len();
+    let spec_len = r.spec_len();
+    let neg_start = r.neg_start();
+    let mut acc = [bias; SCAN_BATCH];
+    let mut spec = [bias; SCAN_BATCH];
+    let mut term = [u32::MAX; SCAN_BATCH];
+    for p in 0..len {
+        if p == spec_len {
+            spec = acc;
+        }
+        if p >= neg_start {
+            for (t, &a) in term.iter_mut().zip(acc.iter()) {
+                if *t == u32::MAX && a < 0.0 {
+                    *t = p as u32;
+                }
+            }
+        }
+        let d = rt[p];
+        let wt = weights[p];
+        for (a, &b) in acc.iter_mut().zip(bases.iter()) {
+            *a += item[(b + d) as usize] * wt;
+        }
+    }
+    if spec_len == len {
+        spec = acc;
+    }
+    std::array::from_fn(|l| WindowScan {
+        spec_partial: spec[l],
+        term_ops: term[l].min(len as u32),
+        full: acc[l],
+    })
+}
+
+/// Scans every `(image, window)` of the layer under reordering `r`, writing
+/// `out[img * windows + w]`. Interior windows run through the batched
+/// resolved-tap scan; border windows take the scalar gather path. Results
+/// are indexed, not pushed, so downstream order-sensitive folds (the f64
+/// mass sums) see the same ascending `(img, w)` order as the scalar loop.
+fn scan_layer(
+    r: &ReorderedKernel,
+    plan: &WindowPlan,
+    rt: &[i32],
+    input: &Tensor4,
+    bias: f32,
+    out: &mut [WindowScan],
+) {
+    let windows = plan.windows();
+    let gather = plan.gather();
+    for img in 0..input.shape().n {
+        let item = input.item(img);
+        let row = &mut out[img * windows..(img + 1) * windows];
+        let mut lanes = [(0usize, 0i32); SCAN_BATCH];
+        let mut nl = 0usize;
+        for w in 0..windows {
+            let base = plan.window_base(w);
+            if base >= 0 {
+                lanes[nl] = (w, base);
+                nl += 1;
+                if nl == SCAN_BATCH {
+                    nl = 0;
+                    let bases = lanes.map(|(_, b)| b);
+                    let scans = scan_windows_batch(r, rt, item, &bases, bias);
+                    for (l, &(lw, _)) in lanes.iter().enumerate() {
+                        row[lw] = scans[l];
+                    }
+                }
+            } else {
+                row[w] = scan_window(r, gather.window(w), item, bias);
+            }
+        }
+        // Partial tail: the generic scalar scan is bit-identical on
+        // interior windows (no padding taps to skip).
+        for &(lw, _) in &lanes[..nl] {
+            row[lw] = scan_window(r, gather.window(lw), item, bias);
+        }
+    }
+}
+
 /// Profiles every kernel of `conv` against the layer input `input` (a batch
 /// of optimization-set activations), producing one [`KernelTable`] per
 /// kernel.
@@ -131,15 +226,113 @@ pub fn profile_layer_kernels(
     budget: f64,
 ) -> Vec<KernelTable> {
     let s = input.shape();
-    let gather = GatherTable::build(s, conv.geom(), conv.c_in());
-    let windows = gather.windows();
+    let plan = layer_plan(s, conv.geom(), conv.c_in());
+    let windows = plan.windows();
     let images = s.n;
     let window_len = conv.window_len();
+    let blank = WindowScan {
+        spec_partial: 0.0,
+        term_ops: 0,
+        full: 0.0,
+    };
 
     // Kernels are profiled in isolation, so the candidate scans — the
     // optimizer's dominant loop — fan out one task per kernel; the result
     // vector preserves kernel order and each kernel's numbers never depend
     // on the thread count.
+    snapea_tensor::par::parallel_map(conv.c_out(), 1, |k| {
+        let mut scans: Vec<WindowScan> = vec![blank; images * windows];
+        let weights = conv.weight().item(k);
+        let bias = conv.bias()[k];
+        let mut candidates: Vec<KernelCandidate> = Vec::new();
+
+        // Exact-mode candidate.
+        let exact = sign_reorder(weights);
+        let rt = plan.resolve(&exact);
+        scan_layer(&exact, &plan, &rt, input, bias, &mut scans);
+        let exact_ops: u64 = scans.iter().map(|sc| sc.term_ops as u64).sum();
+        candidates.push(KernelCandidate {
+            mode: KernelMode::Exact,
+            ops: exact_ops,
+            surrogate_err: 0.0,
+        });
+
+        // Predictive candidates.
+        for &n in group_candidates {
+            if n == 0 || n >= window_len {
+                continue;
+            }
+            let r = predictive_reorder(weights, n);
+            let rt = plan.resolve(&r);
+            scan_layer(&r, &plan, &rt, input, bias, &mut scans);
+            // Threshold grid: quantiles of the speculative partial sums of
+            // truly-negative windows. No negative windows → nothing for this
+            // kernel to gain from speculating at this N.
+            let mut neg_partials: Vec<f32> = scans
+                .iter()
+                .filter(|sc| sc.full < 0.0)
+                .map(|sc| sc.spec_partial)
+                .collect();
+            if neg_partials.is_empty() {
+                continue;
+            }
+            neg_partials.sort_by(|a, b| a.partial_cmp(b).expect("no NaN partial sums"));
+            let positive_mass: f64 = scans.iter().map(|sc| sc.full.max(0.0) as f64).sum();
+
+            for &q in threshold_quantiles {
+                let idx = ((neg_partials.len() as f64 - 1.0) * q).round() as usize;
+                let th = neg_partials[idx.min(neg_partials.len() - 1)];
+                let mut ops = 0u64;
+                let mut squashed = 0.0f64;
+                for sc in &scans {
+                    if sc.spec_partial < th {
+                        ops += n as u64;
+                        if sc.full >= 0.0 {
+                            squashed += sc.full as f64;
+                        }
+                    } else {
+                        ops += sc.term_ops as u64;
+                    }
+                }
+                let surrogate_err = if positive_mass > 0.0 {
+                    squashed / positive_mass
+                } else {
+                    0.0
+                };
+                if surrogate_err <= budget {
+                    candidates.push(KernelCandidate {
+                        mode: KernelMode::spec(th, n),
+                        ops,
+                        surrogate_err,
+                    });
+                }
+            }
+        }
+
+        candidates.sort_by_key(|c| c.ops);
+        KernelTable { candidates }
+    })
+}
+
+/// Frozen pre-plan [`profile_layer_kernels`]: rebuilds the gather table,
+/// scans every window with the scalar [`scan_window`], and pushes scans in
+/// ascending `(img, w)` order — exactly the code that ran before the
+/// single-core kernel engine. It is the reference the regression tests pin
+/// the batched path against bit-for-bit and the *before* side of
+/// `perfbench`'s kernels section; do not optimise.
+pub fn profile_layer_kernels_baseline(
+    conv: &Conv2d,
+    input: &Tensor4,
+    group_candidates: &[usize],
+    threshold_quantiles: &[f64],
+    budget: f64,
+) -> Vec<KernelTable> {
+    let s = input.shape();
+    let gather = GatherTable::build(s, conv.geom(), conv.c_in());
+    let windows = gather.windows();
+    let images = s.n;
+    let window_len = conv.window_len();
+
     snapea_tensor::par::parallel_map(conv.c_out(), 1, |k| {
         let mut scans: Vec<WindowScan> = Vec::with_capacity(images * windows);
         let weights = conv.weight().item(k);
@@ -321,6 +514,36 @@ mod tests {
                 let scan = scan_window(&r, taps, item, bias);
                 let exec = run_window(&kexec, taps, item, bias);
                 assert_eq!(scan.term_ops, exec.ops, "kernel {k} window {w}");
+            }
+        }
+    }
+
+    /// The batched resolved-tap profiling path must reproduce the frozen
+    /// pre-plan scalar pass bit-for-bit: same candidates, same op counts,
+    /// same (order-sensitive, f64) surrogate errors.
+    #[test]
+    fn profiling_is_bit_identical_to_baseline() {
+        for geom in [
+            ConvGeom::square(3, 1, 1),
+            ConvGeom::square(3, 1, 0),
+            ConvGeom::square(3, 2, 1),
+        ] {
+            let mut rng = init::rng(77);
+            let conv = Conv2d::new(3, 4, geom, &mut rng);
+            let input = init::uniform4(Shape4::new(2, 3, 8, 8), 1.0, &mut rng).map(f32::abs);
+            let grid = [1usize, 2, 4, 8];
+            let quantiles = [0.25, 0.5, 0.9];
+            let new = profile_layer_kernels(&conv, &input, &grid, &quantiles, 1.0);
+            let old = profile_layer_kernels_baseline(&conv, &input, &grid, &quantiles, 1.0);
+            assert_eq!(new, old, "geom {geom:?}");
+            for (a, b) in new.iter().zip(old.iter()) {
+                for (ca, cb) in a.candidates().iter().zip(b.candidates()) {
+                    assert_eq!(
+                        ca.surrogate_err.to_bits(),
+                        cb.surrogate_err.to_bits(),
+                        "surrogate error must match bitwise"
+                    );
+                }
             }
         }
     }

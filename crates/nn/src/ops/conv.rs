@@ -1,8 +1,10 @@
 //! 2-D convolution layer (im2col fast path).
 
 use serde::{Deserialize, Serialize};
-use snapea_tensor::im2col::{col2im_item, im2col, ConvGeom};
-use snapea_tensor::{init, Shape2, Shape4, Tensor2, Tensor4};
+use snapea_tensor::im2col::{col2im_item_slice, im2col_into, ConvGeom};
+use snapea_tensor::{
+    init, matmul_into, matmul_t_into, scratch, t_matmul_into, Shape2, Shape4, Tensor2, Tensor4,
+};
 
 /// A 2-D convolution layer with bias.
 ///
@@ -124,6 +126,10 @@ impl Conv2d {
     /// output slice); with a single item the inner GEMM parallelises over
     /// output rows instead. Results are bit-identical for any thread count.
     ///
+    /// The im2col patch matrix and the GEMM product live in
+    /// [`snapea_tensor::scratch`] buffers, so a warmed-up thread performs no
+    /// heap allocation per item beyond the output tensor itself.
+    ///
     /// # Panics
     ///
     /// Panics if `input.shape().c != self.c_in()`.
@@ -137,21 +143,28 @@ impl Conv2d {
             return out;
         }
         let plane = out_shape.plane_len();
+        let rows = self.window_len();
+        let cols_shape = Shape2::new(rows, plane);
         let items: Vec<(usize, &mut [f32])> = out
             .as_mut_slice()
             .chunks_mut(item_len)
             .enumerate()
             .collect();
         snapea_tensor::par::run_tasks(items, |_, (n, dst)| {
-            let cols = im2col(input, n, self.geom);
-            let prod = wmat.matmul(&cols).expect("im2col shape is consistent");
-            for co in 0..out_shape.c {
-                let row = prod.row(co);
-                let b = self.bias[co];
-                for (d, &v) in dst[co * plane..(co + 1) * plane].iter_mut().zip(row) {
-                    *d = v + b;
-                }
-            }
+            scratch::with_zeroed(rows * plane, |cols| {
+                im2col_into(input, n, self.geom, cols);
+                scratch::with_zeroed(out_shape.c * plane, |prod| {
+                    matmul_into(wmat.as_slice(), wmat.shape(), cols, cols_shape, prod)
+                        .expect("im2col shape is consistent");
+                    for co in 0..out_shape.c {
+                        let row = &prod[co * plane..(co + 1) * plane];
+                        let b = self.bias[co];
+                        for (d, &v) in dst[co * plane..(co + 1) * plane].iter_mut().zip(row) {
+                            *d = v + b;
+                        }
+                    }
+                });
+            });
         });
         out
     }
@@ -163,13 +176,18 @@ impl Conv2d {
     /// [`snapea_tensor::par`] pool (workers own disjoint `grad_input` item
     /// slices); the weight and bias gradients are then merged on the calling
     /// thread in ascending item order, so the reduction is bit-identical for
-    /// any thread count.
+    /// any thread count. The patch matrices live in
+    /// [`snapea_tensor::scratch`] buffers and `grad_out` items are consumed
+    /// in place, so only the returned gradients are allocated per item.
     pub fn backward(&self, input: &Tensor4, grad_out: &Tensor4) -> (Tensor4, Tensor4, Vec<f32>) {
         let in_shape = input.shape();
         let out_shape = self.out_shape(in_shape);
         assert_eq!(grad_out.shape(), out_shape, "conv grad_out shape");
         let wmat = self.weight_matrix();
         let plane = out_shape.plane_len();
+        let rows = self.window_len();
+        let go_shape = Shape2::new(out_shape.c, plane);
+        let cols_shape = Shape2::new(rows, plane);
         let mut grad_in = Tensor4::zeros(in_shape);
         let mut grad_w = Tensor2::zeros(Shape2::new(self.c_out(), self.window_len()));
         let mut grad_b = vec![0.0f32; self.c_out()];
@@ -182,24 +200,34 @@ impl Conv2d {
                 .collect();
             let per_item: Vec<(Tensor2, Vec<f32>)> =
                 snapea_tensor::par::run_tasks(items, |_, (n, gi_item)| {
-                    let cols = im2col(input, n, self.geom);
-                    // grad_out for this item as [c_out, oh*ow]
-                    let go = Tensor2::from_vec(
-                        Shape2::new(out_shape.c, plane),
-                        grad_out.item(n).to_vec(),
-                    )
-                    .expect("contiguous item");
-                    // dW contribution: dOut × colsᵀ
-                    let dw = go.matmul_t(&cols).expect("shapes agree");
-                    // db contribution: row sums of dOut
-                    let db: Vec<f32> = (0..out_shape.c)
-                        .map(|co| go.row(co).iter().sum::<f32>())
-                        .collect();
-                    // dIn = Wᵀ × dOut, scattered through col2im into this
-                    // item's disjoint slice
-                    let dcols = wmat.t_matmul(&go).expect("shapes agree");
-                    col2im_item(&dcols, gi_item, in_shape.c, in_shape.h, in_shape.w, self.geom);
-                    (dw, db)
+                    scratch::with_zeroed(rows * plane, |cols| {
+                        im2col_into(input, n, self.geom, cols);
+                        // grad_out for this item as [c_out, oh*ow], in place
+                        let go = grad_out.item(n);
+                        // dW contribution: dOut × colsᵀ
+                        let mut dw = Tensor2::zeros(Shape2::new(out_shape.c, rows));
+                        matmul_t_into(go, go_shape, cols, cols_shape, dw.as_mut_slice())
+                            .expect("shapes agree");
+                        // db contribution: row sums of dOut
+                        let db: Vec<f32> = (0..out_shape.c)
+                            .map(|co| go[co * plane..(co + 1) * plane].iter().sum::<f32>())
+                            .collect();
+                        // dIn = Wᵀ × dOut, scattered through col2im into this
+                        // item's disjoint slice
+                        scratch::with_zeroed(rows * plane, |dcols| {
+                            t_matmul_into(wmat.as_slice(), wmat.shape(), go, go_shape, dcols)
+                                .expect("shapes agree");
+                            col2im_item_slice(
+                                dcols,
+                                gi_item,
+                                in_shape.c,
+                                in_shape.h,
+                                in_shape.w,
+                                self.geom,
+                            );
+                        });
+                        (dw, db)
+                    })
                 });
             for (dw, db) in per_item {
                 grad_w.add_assign(&dw).expect("same shape");

@@ -37,6 +37,11 @@ pub struct ExecSummary {
     pub full_macs: u64,
     /// MACs actually performed under early termination.
     pub performed_macs: u64,
+    /// Layer runs that reused a cached window plan (`gather_cache_hit`
+    /// on the event; absent on logs from older builds counts as neither).
+    pub gather_cache_hits: u64,
+    /// Layer runs that had to build their window plan.
+    pub gather_cache_misses: u64,
 }
 
 impl ExecSummary {
@@ -135,10 +140,17 @@ impl Report {
                         layers: 0,
                         full_macs: 0,
                         performed_macs: 0,
+                        gather_cache_hits: 0,
+                        gather_cache_misses: 0,
                     });
                     x.layers += 1;
                     x.full_macs += u(&e, "full_macs").unwrap_or(0);
                     x.performed_macs += u(&e, "performed_macs").unwrap_or(0);
+                    match e.get("gather_cache_hit").and_then(Json::as_bool) {
+                        Some(true) => x.gather_cache_hits += 1,
+                        Some(false) => x.gather_cache_misses += 1,
+                        None => {}
+                    }
                 }
                 "sim/layer" => {
                     let s = report.sim.get_or_insert(SimSummary {
@@ -225,6 +237,8 @@ impl Report {
                     ("full_macs", Json::U64(x.full_macs)),
                     ("performed_macs", Json::U64(x.performed_macs)),
                     ("saved_fraction", Json::F64(x.saved_fraction())),
+                    ("gather_cache_hits", Json::U64(x.gather_cache_hits)),
+                    ("gather_cache_misses", Json::U64(x.gather_cache_misses)),
                 ]),
             ));
         }
@@ -279,6 +293,12 @@ impl Report {
                 x.performed_macs,
                 x.saved_fraction() * 100.0
             ));
+            if x.gather_cache_hits + x.gather_cache_misses > 0 {
+                out.push_str(&format!(
+                    "  window-plan cache: {} hits, {} misses\n",
+                    x.gather_cache_hits, x.gather_cache_misses
+                ));
+            }
         }
         if let Some(s) = &self.sim {
             out.push_str(&format!(
@@ -303,8 +323,8 @@ mod tests {
             r#"{"seq":1,"t_ms":0.2,"kind":"train/epoch","epoch":2,"loss":0.9,"accuracy":0.6}"#,
             r#"{"seq":2,"t_ms":0.3,"kind":"span","path":"optimizer","depth":1,"ms":10.0}"#,
             r#"{"seq":3,"t_ms":0.4,"kind":"span","path":"optimizer","depth":1,"ms":5.0}"#,
-            r#"{"seq":4,"t_ms":0.5,"kind":"exec/layer","layer":"conv1","full_macs":1000,"performed_macs":600}"#,
-            r#"{"seq":5,"t_ms":0.6,"kind":"exec/layer","layer":"conv2","full_macs":1000,"performed_macs":400}"#,
+            r#"{"seq":4,"t_ms":0.5,"kind":"exec/layer","layer":"conv1","full_macs":1000,"performed_macs":600,"gather_cache_hit":false}"#,
+            r#"{"seq":5,"t_ms":0.6,"kind":"exec/layer","layer":"conv2","full_macs":1000,"performed_macs":400,"gather_cache_hit":true}"#,
             r#"{"seq":6,"t_ms":0.7,"kind":"sim/layer","layer":"conv1","cycles":100,"utilization":0.5,"imbalance":1.5}"#,
             r#"{"seq":7,"t_ms":0.8,"kind":"sim/layer","layer":"conv2","cycles":300,"utilization":0.9,"imbalance":1.1}"#,
             "",
@@ -327,6 +347,8 @@ mod tests {
         assert_eq!(x.full_macs, 2000);
         assert_eq!(x.performed_macs, 1000);
         assert!((x.saved_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(x.gather_cache_hits, 1);
+        assert_eq!(x.gather_cache_misses, 1);
 
         let s = r.sim.as_ref().expect("sim summary");
         assert_eq!(s.cycles, 400);
@@ -346,11 +368,18 @@ mod tests {
         assert!(text.contains("events: 8"));
         assert!(text.contains("optimizer"));
         assert!(text.contains("50.0% saved"));
+        assert!(text.contains("window-plan cache: 1 hits, 1 misses"));
         assert!(text.contains("mean PE utilization 80.0%"));
 
         let j = r.to_json();
         assert_eq!(j.get("events").and_then(Json::as_u64), Some(8));
         assert!(j.get("exec").and_then(|x| x.get("saved_fraction")).is_some());
+        assert_eq!(
+            j.get("exec")
+                .and_then(|x| x.get("gather_cache_hits"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
         // The JSON form must itself parse back.
         let round = crate::json::parse(&j.to_string()).unwrap();
         assert_eq!(round.get("events").and_then(Json::as_u64), Some(8));

@@ -55,11 +55,30 @@ pub fn im2col(input: &Tensor4, n: usize, geom: ConvGeom) -> Tensor2 {
     let (oh, ow) = (geom.out_h(s.h), geom.out_w(s.w));
     let rows = s.c * geom.kh * geom.kw;
     let mut out = Tensor2::zeros(Shape2::new(rows, oh * ow));
+    im2col_into(input, n, geom, out.as_mut_slice());
+    out
+}
+
+/// [`im2col`] writing into a caller-provided **zeroed** flat buffer of length
+/// `c_in*kh*kw × out_h*out_w` (row-major) — the allocation-free form used by
+/// the scratch-reuse convolution path. Padding taps are left untouched, which
+/// is why the buffer must arrive zeroed (e.g. from
+/// [`crate::scratch::with_zeroed`]).
+///
+/// # Panics
+///
+/// Panics if `n` is out of bounds or `out` has the wrong length.
+pub fn im2col_into(input: &Tensor4, n: usize, geom: ConvGeom, out: &mut [f32]) {
+    let s = input.shape();
+    let (oh, ow) = (geom.out_h(s.h), geom.out_w(s.w));
+    let rows = s.c * geom.kh * geom.kw;
+    let cols = oh * ow;
+    assert_eq!(out.len(), rows * cols, "im2col_into: buffer length");
     for c in 0..s.c {
         for ky in 0..geom.kh {
             for kx in 0..geom.kw {
                 let row = (c * geom.kh + ky) * geom.kw + kx;
-                let dst = out.row_mut(row);
+                let dst = &mut out[row * cols..(row + 1) * cols];
                 for oy in 0..oh {
                     let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
                     if iy < 0 || iy >= s.h as isize {
@@ -76,7 +95,6 @@ pub fn im2col(input: &Tensor4, n: usize, geom: ConvGeom) -> Tensor2 {
             }
         }
     }
-    out
 }
 
 /// Scatters a patch-matrix gradient (shape `[c_in*kh*kw, out_h*out_w]`) back
@@ -109,17 +127,42 @@ pub fn col2im_item(
     geom: ConvGeom,
 ) {
     let (oh, ow) = (geom.out_h(h), geom.out_w(w));
-    assert_eq!(grad_item.len(), c * h * w, "col2im: item slice length");
     assert_eq!(
         cols.shape(),
         Shape2::new(c * geom.kh * geom.kw, oh * ow),
         "col2im: patch matrix shape mismatch"
     );
+    col2im_item_slice(cols.as_slice(), grad_item, c, h, w, geom);
+}
+
+/// [`col2im_item`] over a raw flat `[c*kh*kw, out_h*out_w]` row-major patch
+/// matrix — the allocation-free form used by the scratch-reuse convolution
+/// backward pass.
+///
+/// # Panics
+///
+/// Panics if either slice has the wrong length for `(c, h, w, geom)`.
+pub fn col2im_item_slice(
+    cols: &[f32],
+    grad_item: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: ConvGeom,
+) {
+    let (oh, ow) = (geom.out_h(h), geom.out_w(w));
+    let ocols = oh * ow;
+    assert_eq!(grad_item.len(), c * h * w, "col2im: item slice length");
+    assert_eq!(
+        cols.len(),
+        c * geom.kh * geom.kw * ocols,
+        "col2im: patch matrix length mismatch"
+    );
     for ci in 0..c {
         for ky in 0..geom.kh {
             for kx in 0..geom.kw {
                 let row = (ci * geom.kh + ky) * geom.kw + kx;
-                let src = cols.row(row);
+                let src = &cols[row * ocols..(row + 1) * ocols];
                 for oy in 0..oh {
                     let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
                     if iy < 0 || iy >= h as isize {

@@ -13,6 +13,8 @@
 //! * [`par`] — the scoped worker pool behind every parallel hot path in the
 //!   workspace (`SNAPEA_THREADS` knob; results are bit-identical for any
 //!   thread count).
+//! * [`scratch`] — a thread-local arena of reusable zeroed `f32` buffers so
+//!   the steady-state conv/executor paths stay off the allocator.
 //!
 //! Everything is deterministic: no global RNG state, and no wall-clock in
 //! any numeric path (the pool reads the clock only for its metrics).
@@ -39,8 +41,9 @@ pub mod im2col;
 pub mod init;
 pub mod par;
 pub mod q16;
+pub mod scratch;
 
 pub use im2col::ConvGeom;
-pub use matrix::Tensor2;
+pub use matrix::{matmul_into, matmul_t_into, t_matmul_into, Tensor2};
 pub use shape::{Shape2, Shape4, ShapeError};
 pub use tensor4::Tensor4;

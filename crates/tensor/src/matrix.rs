@@ -12,6 +12,259 @@ use std::ops::{Index, IndexMut};
 /// engages where out rows genuinely exceed L1.
 const GEMM_COL_TILE: usize = 4096;
 
+/// `k` values fused per pass of the register-blocked axpy microkernel
+/// ([`axpy_k8`]). Eight is past the knee on the repo's GEMM shapes: it cuts
+/// the `out`-row load/store traffic 8× versus one-`k`-per-pass, and going
+/// wider would spill the broadcast `a` registers.
+const AXPY_K_UNROLL: usize = 8;
+
+/// `out[j] += a * b[j]` — the single-`k` GEMM inner loop.
+///
+/// Deliberately written as the flat zip loop: LLVM's loop vectorizer emits
+/// full-width vector code for it (with runtime alias checks). Hand-chunking
+/// this loop into fixed 8-lane pieces *defeats* vectorization — the chunked
+/// body has to be SLP-vectorized, and SLP cannot insert the alias checks the
+/// loop vectorizer can, so it falls back to scalar code ~6× slower. Measured
+/// on this toolchain via the `matmul` entry of `BENCH_kernels.json`.
+#[inline]
+fn axpy(out: &mut [f32], a: f32, b: &[f32]) {
+    debug_assert_eq!(out.len(), b.len());
+    for (o, &bv) in out.iter_mut().zip(b.iter()) {
+        *o += a * bv;
+    }
+}
+
+/// The register-blocked GEMM microkernel: fuses [`AXPY_K_UNROLL`] successive
+/// `k` contributions into one pass over the output row.
+///
+/// Per element `j` it computes `(((out[j] + a[0]*b[0][j]) + a[1]*b[1][j]) +
+/// …) + a[7]*b[7][j]` — exactly the sequence eight successive [`axpy`] calls
+/// produce (keeping the partial in a register instead of storing/reloading
+/// `out[j]` is exact: an `f32` load/store round-trip never changes the
+/// value, and Rust does not contract `a*b + c` into FMA). So each element's
+/// ascending-`k` accumulation order is unchanged and results stay
+/// bit-identical, while `out` is loaded and stored once per eight `k` steps
+/// instead of once per step. Vectorization still happens across the
+/// independent `n` dimension, never across `k`.
+#[inline]
+fn axpy_k8(out: &mut [f32], a: &[f32; AXPY_K_UNROLL], b: [&[f32]; AXPY_K_UNROLL]) {
+    let n = out.len();
+    for bq in b {
+        debug_assert_eq!(bq.len(), n);
+    }
+    for j in 0..n {
+        let mut v = out[j];
+        v += a[0] * b[0][j];
+        v += a[1] * b[1][j];
+        v += a[2] * b[2][j];
+        v += a[3] * b[3][j];
+        v += a[4] * b[4][j];
+        v += a[5] * b[5][j];
+        v += a[6] * b[6][j];
+        v += a[7] * b[7][j];
+        out[j] = v;
+    }
+}
+
+/// Runs the `k` loop of one output tile: [`axpy_k8`] over full
+/// [`AXPY_K_UNROLL`]-sized blocks of `k`, then plain [`axpy`] for the tail.
+/// `a` holds the `k` coefficients for this output row; `bs(p)` must return
+/// the RHS row-`p` slice aligned with `out`.
+#[inline]
+fn axpy_k_loop<'a>(out: &mut [f32], a: &[f32], bs: impl Fn(usize) -> &'a [f32]) {
+    let k = a.len();
+    let k8 = k - k % AXPY_K_UNROLL;
+    let mut p = 0;
+    while p < k8 {
+        let a8: &[f32; AXPY_K_UNROLL] = a[p..p + AXPY_K_UNROLL].try_into().expect("block size");
+        axpy_k8(out, a8, std::array::from_fn(|q| bs(p + q)));
+        p += AXPY_K_UNROLL;
+    }
+    while p < k {
+        axpy(out, a[p], bs(p));
+        p += 1;
+    }
+}
+
+/// Validates the raw-slice operands of the `*_into` GEMM entry points.
+fn check_slices(
+    name: &str,
+    lhs: &[f32],
+    lhs_shape: Shape2,
+    rhs: &[f32],
+    rhs_shape: Shape2,
+    out_len: usize,
+    expected_out: usize,
+) -> Result<(), ShapeError> {
+    if lhs.len() != lhs_shape.len() || rhs.len() != rhs_shape.len() {
+        return Err(ShapeError::new(format!(
+            "{name}: slice lengths {}/{} do not match shapes {lhs_shape}/{rhs_shape}",
+            lhs.len(),
+            rhs.len()
+        )));
+    }
+    if out_len != expected_out {
+        return Err(ShapeError::new(format!(
+            "{name}: output length {out_len}, expected {expected_out}"
+        )));
+    }
+    Ok(())
+}
+
+/// `out += lhs × rhs` over raw row-major slices (`out` is `m × n` row-major
+/// and is **accumulated into**, so it must be zeroed for a plain product).
+///
+/// This is the allocation-free core behind [`Tensor2::matmul`], exposed so
+/// the conv forward path can run GEMM into a reused scratch buffer. Same
+/// parallel row-partitioning, column tiling, and ascending-`k` bit-identity
+/// contract as the method.
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] if the inner dimensions disagree or any slice
+/// length does not match its shape.
+pub fn matmul_into(
+    lhs: &[f32],
+    lhs_shape: Shape2,
+    rhs: &[f32],
+    rhs_shape: Shape2,
+    out: &mut [f32],
+) -> Result<(), ShapeError> {
+    if lhs_shape.cols != rhs_shape.rows {
+        return Err(ShapeError::new(format!(
+            "matmul: {lhs_shape} × {rhs_shape}"
+        )));
+    }
+    let (m, k, n) = (lhs_shape.rows, lhs_shape.cols, rhs_shape.cols);
+    check_slices("matmul_into", lhs, lhs_shape, rhs, rhs_shape, out.len(), m * n)?;
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    let chunk = crate::par::chunk_hint(m);
+    let row_blocks: Vec<(usize, &mut [f32])> = out
+        .chunks_mut(chunk * n)
+        .enumerate()
+        .map(|(ci, slab)| (ci * chunk, slab))
+        .collect();
+    crate::par::run_tasks(row_blocks, |_, (row0, slab)| {
+        for (di, out_row) in slab.chunks_mut(n).enumerate() {
+            let a_row = &lhs[(row0 + di) * k..][..k];
+            for j0 in (0..n).step_by(GEMM_COL_TILE) {
+                let j1 = (j0 + GEMM_COL_TILE).min(n);
+                let out_tile = &mut out_row[j0..j1];
+                axpy_k_loop(out_tile, a_row, |p| &rhs[p * n + j0..p * n + j1]);
+            }
+        }
+    });
+    Ok(())
+}
+
+/// `out += lhsᵀ × rhs` over raw row-major slices (`out` is
+/// `lhs.cols × rhs.cols`, accumulated into). Allocation-free core behind
+/// [`Tensor2::t_matmul`]; same determinism contract.
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] if `lhs_shape.rows != rhs_shape.rows` or any
+/// slice length does not match its shape.
+pub fn t_matmul_into(
+    lhs: &[f32],
+    lhs_shape: Shape2,
+    rhs: &[f32],
+    rhs_shape: Shape2,
+    out: &mut [f32],
+) -> Result<(), ShapeError> {
+    if lhs_shape.rows != rhs_shape.rows {
+        return Err(ShapeError::new(format!(
+            "t_matmul: {lhs_shape}ᵀ × {rhs_shape}"
+        )));
+    }
+    let (m, k, n) = (lhs_shape.cols, lhs_shape.rows, rhs_shape.cols);
+    check_slices("t_matmul_into", lhs, lhs_shape, rhs, rhs_shape, out.len(), m * n)?;
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    let chunk = crate::par::chunk_hint(m);
+    let row_blocks: Vec<(usize, &mut [f32])> = out
+        .chunks_mut(chunk * n)
+        .enumerate()
+        .map(|(ci, slab)| (ci * chunk, slab))
+        .collect();
+    crate::par::run_tasks(row_blocks, |_, (row0, slab)| {
+        // k-outer so each RHS row block stays hot across every output row of
+        // the slab; blocks of AXPY_K_UNROLL keep per-element accumulation in
+        // ascending-k order while touching each out row once per block.
+        let k8 = k - k % AXPY_K_UNROLL;
+        let mut p0 = 0;
+        while p0 < k8 {
+            for (di, out_row) in slab.chunks_mut(n).enumerate() {
+                let a8: [f32; AXPY_K_UNROLL] =
+                    std::array::from_fn(|q| lhs[(p0 + q) * m + row0 + di]);
+                axpy_k8(out_row, &a8, std::array::from_fn(|q| &rhs[(p0 + q) * n..][..n]));
+            }
+            p0 += AXPY_K_UNROLL;
+        }
+        while p0 < k {
+            let a_row = &lhs[p0 * m..][..m];
+            let b_row = &rhs[p0 * n..][..n];
+            for (di, out_row) in slab.chunks_mut(n).enumerate() {
+                axpy(out_row, a_row[row0 + di], b_row);
+            }
+            p0 += 1;
+        }
+    });
+    Ok(())
+}
+
+/// `out = lhs × rhsᵀ` over raw row-major slices (`out` is
+/// `lhs.rows × rhs.rows` and is **overwritten**: each element is a single
+/// ascending-`k` dot product, exactly as [`Tensor2::matmul_t`] computes it —
+/// this one must *not* be lane-split, because that would reorder the
+/// reduction).
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] if `lhs_shape.cols != rhs_shape.cols` or any
+/// slice length does not match its shape.
+pub fn matmul_t_into(
+    lhs: &[f32],
+    lhs_shape: Shape2,
+    rhs: &[f32],
+    rhs_shape: Shape2,
+    out: &mut [f32],
+) -> Result<(), ShapeError> {
+    if lhs_shape.cols != rhs_shape.cols {
+        return Err(ShapeError::new(format!(
+            "matmul_t: {lhs_shape} × {rhs_shape}ᵀ"
+        )));
+    }
+    let (m, k, n) = (lhs_shape.rows, lhs_shape.cols, rhs_shape.rows);
+    check_slices("matmul_t_into", lhs, lhs_shape, rhs, rhs_shape, out.len(), m * n)?;
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    let chunk = crate::par::chunk_hint(m);
+    let row_blocks: Vec<(usize, &mut [f32])> = out
+        .chunks_mut(chunk * n)
+        .enumerate()
+        .map(|(ci, slab)| (ci * chunk, slab))
+        .collect();
+    crate::par::run_tasks(row_blocks, |_, (row0, slab)| {
+        for (di, out_row) in slab.chunks_mut(n).enumerate() {
+            let a_row = &lhs[(row0 + di) * k..][..k];
+            for (j, o) in out_row.iter_mut().enumerate().take(n) {
+                let b_row = &rhs[j * k..][..k];
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+    });
+    Ok(())
+}
+
 /// A dense, row-major `f32` matrix.
 ///
 /// Used by fully-connected layers, the im2col convolution path, and the
@@ -128,62 +381,37 @@ impl Tensor2 {
     ///
     /// Row-partitioned across the [`crate::par`] pool (each worker owns a
     /// disjoint block of output rows) with column tiling so the output tile
-    /// stays cache-resident while `k` streams through. Every output element
-    /// accumulates in ascending-`k` order regardless of thread count or
-    /// tiling, so the result is bit-identical to the naive serial ikj loop.
+    /// stays cache-resident while `k` streams through, and the fixed-width
+    /// axpy microkernel on the inner loop. Every output element accumulates
+    /// in ascending-`k` order regardless of thread count, tiling, or lane
+    /// width, so the result is bit-identical to the naive serial ikj loop.
+    ///
+    /// Delegates to [`matmul_into`]; use that directly to GEMM into a reused
+    /// scratch buffer.
     ///
     /// # Errors
     ///
     /// Returns a [`ShapeError`] if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Tensor2) -> Result<Tensor2, ShapeError> {
-        if self.shape.cols != rhs.shape.rows {
-            return Err(ShapeError::new(format!(
-                "matmul: {} × {}",
-                self.shape, rhs.shape
-            )));
-        }
-        let (m, k, n) = (self.shape.rows, self.shape.cols, rhs.shape.cols);
-        let mut out = Tensor2::zeros(Shape2::new(m, n));
-        if m == 0 || n == 0 {
-            return Ok(out);
-        }
-        let chunk = crate::par::chunk_hint(m);
-        let row_blocks: Vec<(usize, &mut [f32])> = out
-            .data
-            .chunks_mut(chunk * n)
-            .enumerate()
-            .map(|(ci, slab)| (ci * chunk, slab))
-            .collect();
-        crate::par::run_tasks(row_blocks, |_, (row0, slab)| {
-            for (di, out_row) in slab.chunks_mut(n).enumerate() {
-                let a_row = self.row(row0 + di);
-                for j0 in (0..n).step_by(GEMM_COL_TILE) {
-                    let j1 = (j0 + GEMM_COL_TILE).min(n);
-                    let out_tile = &mut out_row[j0..j1];
-                    for (p, &a) in a_row.iter().enumerate().take(k) {
-                        let b_tile = &rhs.row(p)[j0..j1];
-                        for (o, &b) in out_tile.iter_mut().zip(b_tile.iter()) {
-                            *o += a * b;
-                        }
-                    }
-                }
-            }
-        });
+        let mut out = Tensor2::zeros(Shape2::new(self.shape.rows, rhs.shape.cols));
+        matmul_into(&self.data, self.shape, &rhs.data, rhs.shape, &mut out.data)?;
         Ok(out)
     }
 
     /// Matrix product `self × rhs` that skips zero entries of the LHS.
     ///
     /// For finite inputs this returns the same values as [`Tensor2::matmul`]
-    /// (the skipped contributions are exact zeros). The `gemm` section of
-    /// `BENCH_parallel.json` records the trade: on a dense LHS the branch is
-    /// perfectly predicted and costs nothing, but it makes wall time depend
-    /// on the data, and it only pays off when the LHS is *proven* sparse
-    /// (~1.8× on a half-zero, post-ReLU-style LHS). The default [`matmul`]
-    /// stays branch-free, parallel, and data-independent; reach for this
-    /// variant explicitly where sparsity is established — and remember that
-    /// computation-skipping for the SnaPEA data path itself lives in the
-    /// executor, not the tensor crate. Serial.
+    /// (the skipped contributions are exact zeros). It shares the dense
+    /// path's column tiling and single-`k` [`axpy`] loop; the per-`k` zero
+    /// test means it cannot use the fused [`axpy_k8`] blocks the dense path
+    /// runs, so the dense-vs-sparse crossover keeps moving as the dense
+    /// kernel improves. The `gemm` section of `BENCH_parallel.json` records
+    /// the current trade: a half-zero, post-ReLU-style LHS still wins
+    /// ~1.3×, but a mostly-dense LHS loses the k-blocking for nothing. The
+    /// default [`matmul`] stays branch-free, parallel, and data-independent;
+    /// reach for this variant explicitly where heavy sparsity is
+    /// established — and remember that computation-skipping for the SnaPEA
+    /// data path itself lives in the executor, not the tensor crate. Serial.
     ///
     /// [`matmul`]: Tensor2::matmul
     ///
@@ -202,13 +430,14 @@ impl Tensor2 {
         for i in 0..m {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
-            for (p, &a) in a_row.iter().enumerate().take(k) {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(p);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+            for j0 in (0..n).step_by(GEMM_COL_TILE) {
+                let j1 = (j0 + GEMM_COL_TILE).min(n);
+                let out_tile = &mut out_row[j0..j1];
+                for (p, &a) in a_row.iter().enumerate().take(k) {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    axpy(out_tile, a, &rhs.row(p)[j0..j1]);
                 }
             }
         }
@@ -217,44 +446,17 @@ impl Tensor2 {
 
     /// Matrix product `selfᵀ × rhs` without materialising the transpose.
     ///
-    /// Parallelised over blocks of output rows (columns of `self`); each
-    /// element accumulates in ascending-`k` order, so results are
-    /// bit-identical for any thread count.
+    /// Parallelised over blocks of output rows (columns of `self`) with the
+    /// same axpy microkernel as [`Tensor2::matmul`]; each element accumulates
+    /// in ascending-`k` order, so results are bit-identical for any thread
+    /// count. Delegates to [`t_matmul_into`].
     ///
     /// # Errors
     ///
     /// Returns a [`ShapeError`] if `self.rows != rhs.rows`.
     pub fn t_matmul(&self, rhs: &Tensor2) -> Result<Tensor2, ShapeError> {
-        if self.shape.rows != rhs.shape.rows {
-            return Err(ShapeError::new(format!(
-                "t_matmul: {}ᵀ × {}",
-                self.shape, rhs.shape
-            )));
-        }
-        let (m, k, n) = (self.shape.cols, self.shape.rows, rhs.shape.cols);
-        let mut out = Tensor2::zeros(Shape2::new(m, n));
-        if m == 0 || n == 0 {
-            return Ok(out);
-        }
-        let chunk = crate::par::chunk_hint(m);
-        let row_blocks: Vec<(usize, &mut [f32])> = out
-            .data
-            .chunks_mut(chunk * n)
-            .enumerate()
-            .map(|(ci, slab)| (ci * chunk, slab))
-            .collect();
-        crate::par::run_tasks(row_blocks, |_, (row0, slab)| {
-            for p in 0..k {
-                let a_row = self.row(p);
-                let b_row = rhs.row(p);
-                for (di, out_row) in slab.chunks_mut(n).enumerate() {
-                    let a = a_row[row0 + di];
-                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                        *o += a * b;
-                    }
-                }
-            }
-        });
+        let mut out = Tensor2::zeros(Shape2::new(self.shape.cols, rhs.shape.cols));
+        t_matmul_into(&self.data, self.shape, &rhs.data, rhs.shape, &mut out.data)?;
         Ok(out)
     }
 
@@ -262,43 +464,17 @@ impl Tensor2 {
     ///
     /// Parallelised over blocks of output rows; each element is a single
     /// ascending-`k` dot product, so results are bit-identical for any
-    /// thread count.
+    /// thread count. This kernel deliberately does **not** use the axpy
+    /// microkernel: its per-element reduction runs over `k`, and lane-
+    /// splitting it would reorder the floating-point sum. Delegates to
+    /// [`matmul_t_into`].
     ///
     /// # Errors
     ///
     /// Returns a [`ShapeError`] if `self.cols != rhs.cols`.
     pub fn matmul_t(&self, rhs: &Tensor2) -> Result<Tensor2, ShapeError> {
-        if self.shape.cols != rhs.shape.cols {
-            return Err(ShapeError::new(format!(
-                "matmul_t: {} × {}ᵀ",
-                self.shape, rhs.shape
-            )));
-        }
-        let (m, n) = (self.shape.rows, rhs.shape.rows);
-        let mut out = Tensor2::zeros(Shape2::new(m, n));
-        if m == 0 || n == 0 {
-            return Ok(out);
-        }
-        let chunk = crate::par::chunk_hint(m);
-        let row_blocks: Vec<(usize, &mut [f32])> = out
-            .data
-            .chunks_mut(chunk * n)
-            .enumerate()
-            .map(|(ci, slab)| (ci * chunk, slab))
-            .collect();
-        crate::par::run_tasks(row_blocks, |_, (row0, slab)| {
-            for (di, out_row) in slab.chunks_mut(n).enumerate() {
-                let a_row = self.row(row0 + di);
-                for (j, o) in out_row.iter_mut().enumerate().take(n) {
-                    let b_row = rhs.row(j);
-                    let mut acc = 0.0;
-                    for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                        acc += a * b;
-                    }
-                    *o = acc;
-                }
-            }
-        });
+        let mut out = Tensor2::zeros(Shape2::new(self.shape.rows, rhs.shape.rows));
+        matmul_t_into(&self.data, self.shape, &rhs.data, rhs.shape, &mut out.data)?;
         Ok(out)
     }
 
@@ -481,8 +657,10 @@ mod tests {
         #[test]
         fn prop_parallel_matmul_equals_serial_reference(
             m in 1usize..8,
-            k in 1usize..8,
-            n in 1usize..8,
+            // Past AXPY_K_UNROLL so the proptest exercises both the fused
+            // k-blocks and the plain-axpy tail of the microkernel.
+            k in 1usize..(3 * AXPY_K_UNROLL),
+            n in 1usize..24,
             raw_seed in 0u64..1024,
         ) {
             let mut seed = raw_seed.wrapping_mul(0x9E37_79B9).wrapping_add(1);
@@ -494,6 +672,65 @@ mod tests {
             crate::par::set_threads(prev);
             proptest::prop_assert_eq!(got, naive_matmul(&a, &b));
         }
+    }
+
+    #[test]
+    fn axpy_k_unroll_boundaries_match_sequential_axpy() {
+        // k straddling the microkernel block width: tail-only, exact blocks,
+        // blocks + tail. The fused k-block path must reproduce the exact
+        // bit pattern of k successive single-k axpy passes.
+        for k in [0, 1, 7, 8, 9, 16, 17, 31] {
+            let n = 13;
+            let a: Vec<f32> = (0..k).map(|p| ((p * 7 + 3) as f32).sin()).collect();
+            let b: Vec<f32> = (0..k * n).map(|i| (i as f32).cos()).collect();
+            let mut fast: Vec<f32> = (0..n).map(|i| i as f32 * 0.5 - 3.0).collect();
+            let mut slow = fast.clone();
+            axpy_k_loop(&mut fast, &a, |p| &b[p * n..(p + 1) * n]);
+            for (p, &av) in a.iter().enumerate() {
+                axpy(&mut slow, av, &b[p * n..(p + 1) * n]);
+            }
+            assert_eq!(fast, slow, "k={k}");
+        }
+    }
+
+    #[test]
+    fn into_variants_accumulate_and_match_methods() {
+        let mut seed = 0x5EED_0003_u64;
+        let a = lcg_mat(4, 6, &mut seed);
+        let b = lcg_mat(6, 9, &mut seed);
+        let mut out = vec![0.0f32; 4 * 9];
+        matmul_into(a.as_slice(), a.shape(), b.as_slice(), b.shape(), &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap().into_vec());
+        // Accumulate semantics: with k = 1 each element receives exactly one
+        // product per call, so a second call doubles it bit-exactly.
+        let ak = lcg_mat(4, 1, &mut seed);
+        let bk = lcg_mat(1, 9, &mut seed);
+        let mut out = vec![0.0f32; 4 * 9];
+        matmul_into(ak.as_slice(), ak.shape(), bk.as_slice(), bk.shape(), &mut out).unwrap();
+        let doubled: Vec<f32> = out.iter().map(|v| v + v).collect();
+        matmul_into(ak.as_slice(), ak.shape(), bk.as_slice(), bk.shape(), &mut out).unwrap();
+        assert_eq!(out, doubled);
+
+        let at = lcg_mat(6, 4, &mut seed); // lhsᵀ is 4×6
+        let mut out = vec![0.0f32; 4 * 9];
+        t_matmul_into(at.as_slice(), at.shape(), b.as_slice(), b.shape(), &mut out).unwrap();
+        assert_eq!(out, at.t_matmul(&b).unwrap().into_vec());
+
+        let bt = lcg_mat(9, 6, &mut seed); // rhsᵀ is 6×9
+        let mut out = vec![7.0f32; 4 * 9]; // matmul_t_into overwrites
+        matmul_t_into(a.as_slice(), a.shape(), bt.as_slice(), bt.shape(), &mut out).unwrap();
+        assert_eq!(out, a.matmul_t(&bt).unwrap().into_vec());
+    }
+
+    #[test]
+    fn into_variants_reject_bad_lengths() {
+        let a = mat(2, 3, &[0.0; 6]);
+        let b = mat(3, 2, &[0.0; 6]);
+        let mut short = vec![0.0f32; 3];
+        assert!(
+            matmul_into(a.as_slice(), a.shape(), b.as_slice(), b.shape(), &mut short).is_err()
+        );
+        assert!(matmul_into(&[0.0; 5], a.shape(), b.as_slice(), b.shape(), &mut short).is_err());
     }
 
     #[test]

@@ -41,6 +41,22 @@ echo "$out" | grep -q "replay: snapea-tool selfcheck --replay 0x" \
   || { echo "ERROR: failure report is missing the replay line"; exit 1; }
 
 echo "==> scripts/bench.sh --smoke"
-./scripts/bench.sh --smoke --out /tmp/BENCH_parallel.smoke.json
+KERNELS_SMOKE=/tmp/BENCH_kernels.smoke.json
+./scripts/bench.sh --smoke --out /tmp/BENCH_parallel.smoke.json \
+  --kernels-out "$KERNELS_SMOKE"
 
-echo "OK: build, tests (1 and 4 threads), clippy, selfcheck (1 and 4 threads), and bench smoke all clean."
+# Kernel-engine gate: every before/after kernel bench must report
+# bit_identical:true (perfbench asserts this internally too; the grep keeps
+# the guarantee even if that assert is ever refactored away). Selfcheck
+# passing above plus this means the optimised kernels are provably
+# bit-identical to both the frozen baselines and the oracle reference.
+echo "==> BENCH_kernels bit-identity gate"
+entries=$(grep -o '"kernel_ms"' "$KERNELS_SMOKE" | wc -l)
+identical=$(grep -o '"bit_identical":true' "$KERNELS_SMOKE" | wc -l)
+if [ "$entries" -lt 1 ] || [ "$entries" -ne "$identical" ]; then
+  echo "ERROR: $KERNELS_SMOKE: $identical of $entries kernel benches bit-identical"
+  exit 1
+fi
+echo "    $identical/$entries kernel benches bit-identical"
+
+echo "OK: build, tests (1 and 4 threads), clippy, selfcheck (1 and 4 threads), bench smoke, and kernel bit-identity all clean."
