@@ -59,7 +59,11 @@ pub fn area_of(cfg: &AccelConfig) -> AreaBreakdown {
                 0.0
             }
             + unit::IO_RAM_20K * (cfg.io_buffer_bytes as f64 / pes / (20.0 * 1024.0))
-            + if cfg.has_pau { unit::PAU_4 * lane_scale } else { 0.0 };
+            + if cfg.has_pau {
+                unit::PAU_4 * lane_scale
+            } else {
+                0.0
+            };
         items.push(AreaItem {
             name: format!("{} PEs ({} lanes each)", cfg.pe_count(), cfg.lanes_per_pe),
             size: format!("{} MACs", cfg.total_macs()),

@@ -96,7 +96,11 @@ impl AccelConfig {
         let total = base.total_macs();
         let cols = total / (base.pe_rows * lanes);
         assert!(cols >= 1, "too many lanes per PE for the array");
-        assert_eq!(base.pe_rows * cols * lanes, total, "MAC total must be preserved");
+        assert_eq!(
+            base.pe_rows * cols * lanes,
+            total,
+            "MAC total must be preserved"
+        );
         Self {
             pe_cols: cols,
             lanes_per_pe: lanes,

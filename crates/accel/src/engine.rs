@@ -55,7 +55,7 @@ pub fn run_pe(kernel_window_ops: &[&[u32]], lanes: usize, window_len: usize) -> 
         }
         run.load_cycles += window_len as u64;
         for group in ops.chunks(lanes) {
-            let max = u64::from(*group.iter().max().expect("non-empty group"));
+            let max = group.iter().map(|&o| u64::from(o)).max().unwrap_or(0);
             run.busy_cycles += max;
             for &o in group {
                 run.macs += u64::from(o);

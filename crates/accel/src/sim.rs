@@ -109,7 +109,7 @@ fn tile_order(h: usize, w: usize) -> Vec<u32> {
         for tx in (0..w).step_by(2) {
             for dy in 0..2usize.min(h - ty) {
                 for dx in 0..2usize.min(w - tx) {
-                    order.push(((ty + dy) * w + (tx + dx)) as u32);
+                    order.push(snapea_tensor::num::idx_u32((ty + dy) * w + (tx + dx)));
                 }
             }
         }
@@ -148,6 +148,7 @@ pub struct UnitDispatch {
 /// truth for the mapping policy: least-loaded-PE dispatch of kernel-major
 /// units, resident weights per (PE, kernel), 2×2 window tiles per lane group,
 /// and a synchronisation barrier at the layer boundary (paper §V).
+// lint:allow(P2) permuted/ops/loaded indices all derive from the same profile dimensions and pe_count
 pub fn map_layer(
     cfg: &AccelConfig,
     layer: &LayerWorkload,
@@ -161,7 +162,7 @@ pub fn map_layer(
     let window_order: Vec<u32> = if out_h * out_w == windows && out_w > 1 {
         tile_order(out_h, out_w)
     } else {
-        (0..windows as u32).collect()
+        (0..snapea_tensor::num::idx_u32(windows)).collect()
     };
     // Enough window chunks that kernels × chunks covers the array, but no
     // chunk smaller than one lane group.
@@ -195,6 +196,7 @@ pub fn map_layer(
                 let slice = &permuted[wc.clone()];
                 // Buffer fills are accounted per (PE, kernel) below.
                 let run = run_pe(&[slice], cfg.lanes_per_pe, 0);
+                // lint:allow(P1) every pop is paired with a push below, so the heap always holds pe_count entries
                 let Reverse((load, pe)) = heap.pop().expect("heap holds all PEs");
                 let fill = if loaded[pe] {
                     0
@@ -321,10 +323,7 @@ fn simulate_layer(
         let imbalance = if cycles == 0 || per_pe.is_empty() {
             0.0
         } else {
-            let waits: u64 = per_pe
-                .iter()
-                .map(|pe| cycles - pe.finish_cycle())
-                .sum();
+            let waits: u64 = per_pe.iter().map(|pe| cycles - pe.finish_cycle()).sum();
             waits as f64 / (cycles as f64 * per_pe.len() as f64)
         };
         let busiest = per_pe.iter().map(|pe| pe.finish_cycle()).max().unwrap_or(0);
@@ -506,9 +505,8 @@ mod tests {
             layers: vec![layer],
         };
         let m = EnergyModel::default();
-        let cycles = |num, den| {
-            simulate(&AccelConfig::snapea_lanes_scaled(num, den), &m, &net).cycles
-        };
+        let cycles =
+            |num, den| simulate(&AccelConfig::snapea_lanes_scaled(num, den), &m, &net).cycles;
         let default = cycles(1, 1);
         let double = cycles(2, 1);
         let quad = cycles(4, 1);
@@ -516,7 +514,10 @@ mod tests {
             double > default,
             "2x lanes should be slower: {double} vs {default}"
         );
-        assert!(quad >= double, "4x lanes should not beat 2x: {quad} vs {double}");
+        assert!(
+            quad >= double,
+            "4x lanes should not beat 2x: {quad} vs {double}"
+        );
     }
 
     #[test]
@@ -529,10 +530,7 @@ mod tests {
             ],
         };
         let r = simulate(&AccelConfig::snapea(), &EnergyModel::default(), &net);
-        assert_eq!(
-            r.cycles,
-            r.per_layer.iter().map(|l| l.cycles).sum::<u64>()
-        );
+        assert_eq!(r.cycles, r.per_layer.iter().map(|l| l.cycles).sum::<u64>());
         let esum: f64 = r.per_layer.iter().map(|l| l.energy.total_pj()).sum();
         assert!((r.total_pj() - esum).abs() < 1e-6);
     }

@@ -169,7 +169,11 @@ mod tests {
         // trace iteration and the simulator's own accounting would surface.
         let net = NetworkWorkload {
             name: "multi".into(),
-            layers: vec![layer(2, 8, 64, 36), layer(1, 4, 48, 27), layer(3, 16, 16, 9)],
+            layers: vec![
+                layer(2, 8, 64, 36),
+                layer(1, 4, 48, 27),
+                layer(3, 16, 16, 9),
+            ],
         };
         let cfg = AccelConfig::snapea();
         let report = simulate(&cfg, &EnergyModel::default(), &net);
@@ -217,8 +221,8 @@ mod tests {
         let wl = layer(4, 2, 64, 20);
         let trace = trace_layer(&AccelConfig::snapea(), &wl);
         // Each (pe, kernel) pair pays at most one fill.
-        use std::collections::HashSet;
-        let mut seen: HashSet<(usize, usize)> = HashSet::new();
+        use std::collections::BTreeSet;
+        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
         for u in &trace.units {
             if u.fill_cycles > 0 {
                 assert!(

@@ -1,12 +1,12 @@
 //! Microbenchmarks of the SnaPEA software executor: dense im2col forward vs
 //! exact-mode vs predictive-mode window walking.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use snapea::exec::{execute_conv, LayerConfig};
 use snapea::params::KernelParams;
 use snapea_nn::ops::Conv2d;
 use snapea_tensor::{im2col::ConvGeom, init, Shape4};
+use std::time::Duration;
 
 fn bench_executor(c: &mut Criterion) {
     let mut rng = init::rng(7);

@@ -1,7 +1,6 @@
 //! Microbenchmarks of the Algorithm-1 passes: kernel profiling and an
 //! end-to-end small optimization.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use snapea::optimizer::profiling::profile_layer_kernels;
 use snapea::optimizer::{Optimizer, OptimizerConfig};
@@ -9,6 +8,7 @@ use snapea_nn::data::SynthShapes;
 use snapea_nn::ops::Conv2d;
 use snapea_nn::zoo;
 use snapea_tensor::{im2col::ConvGeom, init, Shape4};
+use std::time::Duration;
 
 fn bench_profiling(c: &mut Criterion) {
     let mut rng = init::rng(13);

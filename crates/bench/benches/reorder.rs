@@ -1,10 +1,10 @@
 //! Microbenchmarks of the offline weight-reordering passes.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
 use snapea::reorder::{magnitude_reorder, predictive_reorder, sign_reorder};
 use snapea_tensor::init;
-use rand::Rng;
+use std::time::Duration;
 
 fn bench_reorder(c: &mut Criterion) {
     let mut rng = init::rng(11);

@@ -1,20 +1,22 @@
 //! Microbenchmarks of the cycle-level simulator: analytic vs cycle-exact PE
 //! engines, and whole-network simulation throughput.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use snapea::exec::LayerProfile;
 use snapea_accel::engine::{cycle_exact_pe, run_pe};
 use snapea_accel::sim::simulate;
 use snapea_accel::workload::{LayerWorkload, NetworkWorkload};
 use snapea_accel::{AccelConfig, EnergyModel};
+use std::time::Duration;
 
 fn bench_engines(c: &mut Criterion) {
     let ops: Vec<u32> = (0..256).map(|i| (i * 37 % 288) as u32 + 1).collect();
     let slices: Vec<&[u32]> = vec![&ops];
     let mut g = c.benchmark_group("pe_engine_256win_len288");
     g.bench_function("analytic", |b| b.iter(|| run_pe(&slices, 4, 288)));
-    g.bench_function("cycle_exact", |b| b.iter(|| cycle_exact_pe(&slices, 4, 288)));
+    g.bench_function("cycle_exact", |b| {
+        b.iter(|| cycle_exact_pe(&slices, 4, 288))
+    });
     g.finish();
 }
 

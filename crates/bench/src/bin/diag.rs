@@ -39,12 +39,7 @@ fn main() {
         "{:30} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "layer", "savings%", "sn_cyc", "ey_cyc", "speedup", "idle%", "wlen"
     );
-    for (((id, name, p), s), e) in profile
-        .layers
-        .iter()
-        .zip(&sn.per_layer)
-        .zip(&ey.per_layer)
-    {
+    for (((id, name, p), s), e) in profile.layers.iter().zip(&sn.per_layer).zip(&ey.per_layer) {
         let _ = id;
         let idle = s.idle_lane_cycles as f64
             / (s.cycles as f64 * AccelConfig::snapea().total_macs() as f64);
@@ -76,7 +71,11 @@ fn main() {
             idle * 100.0,
             p.window_len(),
             full as f64 / total_w as f64 * 100.0,
-            if early_n > 0 { early_ops as f64 / early_n as f64 / p.window_len() as f64 } else { f64::NAN },
+            if early_n > 0 {
+                early_ops as f64 / early_n as f64 / p.window_len() as f64
+            } else {
+                f64::NAN
+            },
         );
     }
     println!(

@@ -80,6 +80,7 @@ fn parse_args() -> Args {
 
 /// Median wall time of `reps` runs of `f`, in milliseconds. The first result
 /// is returned so callers can compare outputs across thread counts.
+#[allow(clippy::disallowed_methods)] // benchmark timing is this binary's job
 fn time_median<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     let mut out = None;
     let mut times: Vec<f64> = Vec::with_capacity(reps);
@@ -136,6 +137,7 @@ fn bench_pair<R>(
 /// estimate of the kernel's true cost and every slower rep is interference
 /// from outside the process (the parallel section keeps the median, where
 /// scheduler variation is part of what is being measured).
+#[allow(clippy::disallowed_methods)] // benchmark timing is this binary's job
 fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     let mut out = f();
     let mut best = f64::MAX;
@@ -252,7 +254,11 @@ fn main() {
     }
 
     // Workload: one conv layer of VGG-ish proportions (smoke: tiny).
-    let (batch, c_in, c_out, hw) = if args.smoke { (2, 4, 8, 12) } else { (8, 16, 32, 32) };
+    let (batch, c_in, c_out, hw) = if args.smoke {
+        (2, 4, 8, 12)
+    } else {
+        (8, 16, 32, 32)
+    };
     let mut rng = init::rng(7);
     let conv = Conv2d::new(c_in, c_out, ConvGeom::square(3, 1, 1), &mut rng);
     let input = init::uniform4(Shape4::new(batch, c_in, hw, hw), 1.0, &mut rng).map(f32::abs);
@@ -288,9 +294,7 @@ fn main() {
                 conv.backward(&input, &go)
             },
             |a, b| {
-                a.0.as_slice() == b.0.as_slice()
-                    && a.1.as_slice() == b.1.as_slice()
-                    && a.2 == b.2
+                a.0.as_slice() == b.0.as_slice() && a.1.as_slice() == b.1.as_slice() && a.2 == b.2
             },
         ),
         bench_pair(
@@ -322,7 +326,11 @@ fn main() {
     // GEMM branch comparison (serial, to isolate the per-element zero test
     // from scheduling effects): dense LHS and a half-zero LHS.
     par::set_threads(1);
-    let (gm, gk, gn) = if args.smoke { (32, 64, 128) } else { (128, 288, 1024) };
+    let (gm, gk, gn) = if args.smoke {
+        (32, 64, 128)
+    } else {
+        (128, 288, 1024)
+    };
     let rhs = sparse_lhs(Shape2::new(gk, gn), 0.0, 3);
     let mut gemm_rows: Vec<Json> = Vec::new();
     for (label, zero_frac) in [("dense_lhs", 0.0), ("half_zero_lhs", 0.5)] {
@@ -345,7 +353,11 @@ fn main() {
     // kernel engine, all at 1 thread, bit-identity asserted per entry. ---
     println!("kernels (1 thread, frozen scalar baseline vs current):");
     let fmt = Q16Format::default();
-    let (gm2, gk2, gn2) = if args.smoke { (32, 64, 128) } else { (96, 288, 768) };
+    let (gm2, gk2, gn2) = if args.smoke {
+        (32, 64, 128)
+    } else {
+        (96, 288, 768)
+    };
     let mm_lhs = sparse_lhs(Shape2::new(gm2, gk2), 0.0, 13);
     let mm_rhs = sparse_lhs(Shape2::new(gk2, gn2), 0.0, 17);
     let tm_lhs = sparse_lhs(Shape2::new(gk2, gm2), 0.0, 19);

@@ -21,6 +21,7 @@ use std::io::Write;
 use std::path::Path;
 use std::time::Instant;
 
+#[allow(clippy::disallowed_methods)] // top-level timing of a benchmark binary
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quiet = args.iter().any(|a| a == "--quiet" || a == "-q");
@@ -64,9 +65,8 @@ fn main() {
         );
     }
 
-    let params_at = |tw: &snapea_bench::context::TrainedWorkload, eps: f64| {
-        optimized_params(tw, &data, eps)
-    };
+    let params_at =
+        |tw: &snapea_bench::context::TrainedWorkload, eps: f64| optimized_params(tw, &data, eps);
     // Budget-3% parameters: the feasible sets nest (anything acceptable at
     // 1% or 2% is acceptable at 3%), so take the cheapest solution the
     // greedy optimizer found across the nested budgets.
@@ -143,12 +143,7 @@ fn main() {
         run.set("quiet", quiet.into());
         run.set(
             "workloads",
-            snapea_obs::Json::Arr(
-                trained
-                    .iter()
-                    .map(|tw| tw.workload.name().into())
-                    .collect(),
-            ),
+            snapea_obs::Json::Arr(trained.iter().map(|tw| tw.workload.name().into()).collect()),
         );
         if let Some(path) = run.finish(Path::new(".")) {
             println!("run manifest: {}", path.display());

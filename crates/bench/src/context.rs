@@ -137,11 +137,7 @@ pub fn trained_workload(w: Workload, data: &Datasets) -> TrainedWorkload {
 
 /// Runs Algorithm 1 for `trained` at accuracy budget `epsilon` (or loads the
 /// parameters from cache). Returns the chosen [`NetworkParams`].
-pub fn optimized_params(
-    trained: &TrainedWorkload,
-    data: &Datasets,
-    epsilon: f64,
-) -> NetworkParams {
+pub fn optimized_params(trained: &TrainedWorkload, data: &Datasets, epsilon: f64) -> NetworkParams {
     let eps_milli = (epsilon * 1000.0).round() as u32;
     let dir = cache_dir();
     let path = params_path(&dir, trained.workload, eps_milli);

@@ -124,9 +124,12 @@ impl Args {
     ///
     /// Returns an error when it is missing.
     pub fn required_positional(&self, name: &str) -> Result<&str, ParseArgsError> {
-        self.positional.first().map(String::as_str).ok_or_else(|| ParseArgsError {
-            what: format!("missing required argument <{name}>"),
-        })
+        self.positional
+            .first()
+            .map(String::as_str)
+            .ok_or_else(|| ParseArgsError {
+                what: format!("missing required argument <{name}>"),
+            })
     }
 }
 
@@ -136,8 +139,15 @@ mod tests {
 
     #[test]
     fn parses_subcommand_positionals_and_options() {
-        let a = Args::parse(["simulate", "model.json", "--images", "8", "--params", "p.json"])
-            .unwrap();
+        let a = Args::parse([
+            "simulate",
+            "model.json",
+            "--images",
+            "8",
+            "--params",
+            "p.json",
+        ])
+        .unwrap();
         assert_eq!(a.command, "simulate");
         assert_eq!(a.positional, vec!["model.json"]);
         assert_eq!(a.opt("images"), Some("8"));

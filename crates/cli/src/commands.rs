@@ -45,7 +45,9 @@ pub fn train(args: &Args) -> CmdResult {
     let w = Workload::ALL
         .into_iter()
         .find(|w| w.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| format!("unknown workload {name:?} (try AlexNet, GoogLeNet, SqueezeNet, VGGNet)"))?;
+        .ok_or_else(|| {
+            format!("unknown workload {name:?} (try AlexNet, GoogLeNet, SqueezeNet, VGGNet)")
+        })?;
     let epochs: usize = args.opt_parse("epochs", 12)?;
     let train_set = SynthShapes::new(INPUT_SIZE, 10).generate(300, 0x7EA1);
     let eval_set = SynthShapes::new(INPUT_SIZE, 10).generate(100, 0xE7A1);
@@ -66,7 +68,12 @@ pub fn train(args: &Args) -> CmdResult {
                 ("accuracy", Json::from(s.accuracy)),
             ]));
         } else {
-            writeln!(out, "epoch {e:2}: loss {:.4}, train acc {:.1}%", s.loss, s.accuracy * 100.0)?;
+            writeln!(
+                out,
+                "epoch {e:2}: loss {:.4}, train acc {:.1}%",
+                s.loss,
+                s.accuracy * 100.0
+            )?;
         }
     }
     let eval_accuracy = evaluate(&net, &eval_set, 32);
@@ -126,7 +133,10 @@ pub fn inspect(args: &Args) -> CmdResult {
             ("conv", Json::from(net.conv_ids().len() as u64)),
             ("fc", Json::from(net.linear_ids().len() as u64)),
             ("parameters", Json::from(net.param_count() as u64)),
-            ("model_size_bytes", Json::from(net.model_size_bytes() as u64)),
+            (
+                "model_size_bytes",
+                Json::from(net.model_size_bytes() as u64),
+            ),
             ("layers", Json::Arr(layers)),
         ]);
         return Ok(format!("{doc}\n"));
@@ -141,7 +151,11 @@ pub fn inspect(args: &Args) -> CmdResult {
         net.param_count(),
         net.model_size_bytes()
     )?;
-    writeln!(out, "{:<28} {:>8} {:>10} {:>12} {:>8}", "layer", "kind", "kernels", "window_len", "ReLU?")?;
+    writeln!(
+        out,
+        "{:<28} {:>8} {:>10} {:>12} {:>8}",
+        "layer", "kind", "kernels", "window_len", "ReLU?"
+    )?;
     for (id, node) in net.nodes().iter().enumerate() {
         match &node.op {
             Op::Conv(c) => writeln!(
@@ -222,7 +236,10 @@ pub fn reorder(args: &Args) -> CmdResult {
         r.len(),
         r.neg_start()
     )?;
-    writeln!(out, "first 16 entries of the weight buffer (value) / index buffer (original idx):")?;
+    writeln!(
+        out,
+        "first 16 entries of the weight buffer (value) / index buffer (original idx):"
+    )?;
     for (p, (&w, &i)) in r.weights().iter().zip(r.order()).take(16).enumerate() {
         writeln!(out, "  [{p:3}] w = {w:+.4}   idx = {i}")?;
     }
@@ -321,12 +338,19 @@ pub fn simulate_cmd(args: &Args) -> CmdResult {
             ("snapea", side(&sn)),
             ("eyeriss", side(&ey)),
             ("speedup", Json::from(sn.speedup_over(&ey))),
-            ("energy_reduction", Json::from(sn.energy_reduction_over(&ey))),
+            (
+                "energy_reduction",
+                Json::from(sn.energy_reduction_over(&ey)),
+            ),
         ]);
         return Ok(format!("{doc}\n"));
     }
     let mut out = String::new();
-    writeln!(out, "conv MACs eliminated: {:.1}%", profile.savings() * 100.0)?;
+    writeln!(
+        out,
+        "conv MACs eliminated: {:.1}%",
+        profile.savings() * 100.0
+    )?;
     writeln!(
         out,
         "SnaPEA : {:>12} cycles  {:>10.3} uJ  util {:>5.1}%",
@@ -398,6 +422,55 @@ fn parse_seed(spec: &str) -> Result<u64, Box<dyn Error>> {
     parsed.map_err(|_| format!("cannot parse seed {spec:?} (decimal or 0x-hex)").into())
 }
 
+/// `lint [--rule <id>] [--root <dir>]`: runs the `snapea-lint` static
+/// analysis over the workspace sources. Prints each finding (or, with
+/// `--json`, the full machine-readable report) and exits non-zero when any
+/// finding survives. `--rule` restricts the output to one rule id
+/// (`D1 D2 P1 P2 N1 S1 A1`); `--root` overrides workspace-root discovery
+/// (useful for linting a fixture tree in tests).
+pub fn lint(args: &Args) -> CmdResult {
+    let root = match args.opt("root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir()?;
+            snapea_lint::find_workspace_root(&cwd)
+                .ok_or("cannot find workspace root (no Cargo.toml with [workspace] above cwd); pass --root")?
+        }
+    };
+    let mut report = snapea_lint::lint_workspace(&root)?;
+    if let Some(spec) = args.opt("rule") {
+        let want = spec.to_ascii_uppercase();
+        if !snapea_lint::RuleId::ALL.iter().any(|r| r.as_str() == want) {
+            return Err(format!(
+                "unknown rule {spec:?} (known: {})",
+                snapea_lint::RuleId::ALL
+                    .iter()
+                    .map(|r| r.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            )
+            .into());
+        }
+        report.findings.retain(|f| f.rule.as_str() == want);
+    }
+    snapea_obs::event!(
+        "lint/report",
+        files_scanned = report.files_scanned as u64,
+        findings = report.findings.len() as u64,
+        passed = report.passed(),
+    );
+    let body = if args.flag("json") {
+        format!("{}\n", report.to_json_string())
+    } else {
+        report.render_text()
+    };
+    if report.passed() {
+        Ok(body)
+    } else {
+        Err(body.into())
+    }
+}
+
 /// `report <events.jsonl>`: summarises a structured run-event log written by
 /// the obs layer (e.g. `repro-results/<run>/events.jsonl`).
 pub fn report(args: &Args) -> CmdResult {
@@ -420,6 +493,7 @@ pub fn usage() -> String {
        optimize  <model.json> [--epsilon 0.03] [--images N] [--out params.json]\n\
        simulate  <model.json> [--params params.json] [--images N]\n\
        selfcheck [--cases N] [--seed S] [--replay seed] [--inject-bug]\n\
+       lint      [--rule <id>] [--root <dir>]\n\
        report    <events.jsonl>\n\
      every command accepts --json to emit machine-readable output\n"
         .to_string()
@@ -434,6 +508,7 @@ pub fn run(args: &Args) -> CmdResult {
         "optimize" => optimize(args),
         "simulate" => simulate_cmd(args),
         "selfcheck" => selfcheck(args),
+        "lint" => lint(args),
         "report" => report(args),
         "help" | "--help" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n{}", usage()).into()),
@@ -497,8 +572,15 @@ mod tests {
     #[ignore = "requires real serde_json; the offline build stubs it"]
     fn reorder_dumps_index_buffer() {
         let (_guard, path) = temp_model();
-        let args =
-            Args::parse(["reorder", path.as_str(), "--layer", "conv1", "--kernel", "1"]).unwrap();
+        let args = Args::parse([
+            "reorder",
+            path.as_str(),
+            "--layer",
+            "conv1",
+            "--kernel",
+            "1",
+        ])
+        .unwrap();
         let out = run(&args).unwrap();
         assert!(out.contains("negative region starts"));
         assert!(out.contains("idx ="));
@@ -509,9 +591,15 @@ mod tests {
         let (_guard, path) = temp_model();
         let args = Args::parse(["reorder", path.as_str(), "--layer", "nope"]).unwrap();
         assert!(run(&args).is_err());
-        let args =
-            Args::parse(["reorder", path.as_str(), "--layer", "conv1", "--kernel", "999"])
-                .unwrap();
+        let args = Args::parse([
+            "reorder",
+            path.as_str(),
+            "--layer",
+            "conv1",
+            "--kernel",
+            "999",
+        ])
+        .unwrap();
         assert!(run(&args).is_err());
     }
 
@@ -548,7 +636,11 @@ mod tests {
         let out = run(&args).unwrap();
         let doc = snapea_obs::parse(&out).expect("valid json");
         assert_eq!(doc.get("conv").and_then(Json::as_u64), Some(26));
-        assert!(!doc.get("layers").and_then(Json::as_array).unwrap().is_empty());
+        assert!(!doc
+            .get("layers")
+            .and_then(Json::as_array)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -573,6 +665,46 @@ mod tests {
         let args = Args::parse_with_flags(["report", path.as_str(), "--json"], &["json"]).unwrap();
         let doc = snapea_obs::parse(&run(&args).unwrap()).expect("valid json");
         assert_eq!(doc.get("events").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn lint_fixture_fails_and_json_round_trips() {
+        let dir = std::env::temp_dir().join(format!("snapea-cli-lint-{}", std::process::id()));
+        let _guard = tempdir::TempDirLike(dir.clone());
+        let src = dir.join("crates").join("core").join("src");
+        fs::create_dir_all(&src).unwrap();
+        fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+        fs::write(
+            src.join("lib.rs"),
+            "#![forbid(unsafe_code)]\nuse std::collections::HashMap;\n",
+        )
+        .unwrap();
+        let root = dir.to_string_lossy().into_owned();
+
+        // Human-readable mode: the D1 finding makes the command fail.
+        let args = Args::parse(["lint", "--root", root.as_str()]).unwrap();
+        let err = run(&args).unwrap_err().to_string();
+        assert!(err.contains("[D1/hash-collections]"), "{err}");
+        assert!(err.contains("1 finding(s)"), "{err}");
+
+        // JSON mode round-trips through the obs parser.
+        let args =
+            Args::parse_with_flags(["lint", "--root", root.as_str(), "--json"], &["json"]).unwrap();
+        let doc = snapea_obs::parse(&run(&args).unwrap_err().to_string()).expect("valid json");
+        assert_eq!(doc.get("passed").and_then(Json::as_bool), Some(false));
+        let findings = doc.get("findings").and_then(Json::as_array).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].get("rule").and_then(Json::as_str), Some("D1"));
+        assert_eq!(findings[0].get("line").and_then(Json::as_u64), Some(2));
+
+        // --rule filters: the fixture has no P1 finding, so that view passes.
+        let args = Args::parse(["lint", "--root", root.as_str(), "--rule", "p1"]).unwrap();
+        assert!(run(&args).is_ok());
+
+        // Unknown rule ids are rejected up front.
+        let args = Args::parse(["lint", "--root", root.as_str(), "--rule", "Z9"]).unwrap();
+        let err = run(&args).unwrap_err().to_string();
+        assert!(err.contains("unknown rule"), "{err}");
     }
 
     const SELFCHECK_FLAGS: &[&str] = &["json", "inject-bug"];
@@ -624,7 +756,8 @@ mod tests {
         .unwrap();
         assert!(run(&args).is_err());
         // ...and without it, the same case is clean.
-        let args = Args::parse_with_flags(["selfcheck", "--replay", seed], SELFCHECK_FLAGS).unwrap();
+        let args =
+            Args::parse_with_flags(["selfcheck", "--replay", seed], SELFCHECK_FLAGS).unwrap();
         assert!(run(&args).is_ok());
     }
 

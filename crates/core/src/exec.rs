@@ -123,7 +123,7 @@ impl LayerProfile {
             kernels,
             windows,
             window_len,
-            ops: vec![window_len as u32; images * kernels * windows],
+            ops: vec![snapea_tensor::num::ops_u32(window_len); images * kernels * windows],
         }
     }
 
@@ -321,9 +321,9 @@ impl GatherTable {
                             {
                                 taps.push(-1);
                             } else {
-                                taps.push(
-                                    ((c * input.h + iy as usize) * input.w + ix as usize) as i32,
-                                );
+                                taps.push(snapea_tensor::num::idx_i32(
+                                    (c * input.h + iy as usize) * input.w + ix as usize,
+                                ));
                             }
                         }
                     }
@@ -390,7 +390,9 @@ impl WindowPlan {
         for c in 0..c_in {
             for ky in 0..geom.kh {
                 for kx in 0..geom.kw {
-                    delta.push(((c * input.h + ky) * input.w + kx) as i32);
+                    delta.push(snapea_tensor::num::idx_i32(
+                        (c * input.h + ky) * input.w + kx,
+                    ));
                 }
             }
         }
@@ -405,10 +407,7 @@ impl WindowPlan {
                 bases.push(-1);
             } else {
                 let base = taps.first().copied().unwrap_or(0);
-                debug_assert!(taps
-                    .iter()
-                    .zip(delta.iter())
-                    .all(|(&t, &d)| t == base + d));
+                debug_assert!(taps.iter().zip(delta.iter()).all(|(&t, &d)| t == base + d));
                 bases.push(base);
                 interior += 1;
             }
@@ -470,7 +469,7 @@ impl WindowPlan {
 }
 
 /// Key of the memoised plan cache: everything [`WindowPlan::build`] reads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct PlanKey {
     h: usize,
     w: usize,
@@ -483,11 +482,23 @@ struct PlanKey {
 /// hundreds; the cap bounds their footprint without an LRU's bookkeeping.
 const PLAN_CACHE_CAP: usize = 256;
 
-fn plan_cache() -> &'static std::sync::Mutex<std::collections::HashMap<PlanKey, std::sync::Arc<WindowPlan>>> {
+fn plan_cache(
+) -> &'static std::sync::Mutex<std::collections::BTreeMap<PlanKey, std::sync::Arc<WindowPlan>>> {
     static CACHE: std::sync::OnceLock<
-        std::sync::Mutex<std::collections::HashMap<PlanKey, std::sync::Arc<WindowPlan>>>,
+        std::sync::Mutex<std::collections::BTreeMap<PlanKey, std::sync::Arc<WindowPlan>>>,
     > = std::sync::OnceLock::new();
     CACHE.get_or_init(Default::default)
+}
+
+/// Locks the plan cache, recovering from poisoning: entries are immutable
+/// `Arc`s inserted whole, so a panic elsewhere cannot leave a half-built
+/// plan behind.
+fn lock_plan_cache(
+) -> std::sync::MutexGuard<'static, std::collections::BTreeMap<PlanKey, std::sync::Arc<WindowPlan>>>
+{
+    plan_cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// The memoised [`WindowPlan`] for `(input, geom, c_in)` — built once per
@@ -511,7 +522,7 @@ fn layer_plan_entry(
         c_in,
         geom,
     };
-    let mut map = plan_cache().lock().expect("plan cache poisoned");
+    let mut map = lock_plan_cache();
     if let Some(p) = map.get(&key) {
         snapea_obs::counter("exec/gather_cache_hits").inc();
         return (std::sync::Arc::clone(p), true);
@@ -527,12 +538,12 @@ fn layer_plan_entry(
 
 /// Number of plans currently cached (test hook).
 pub fn plan_cache_len() -> usize {
-    plan_cache().lock().expect("plan cache poisoned").len()
+    lock_plan_cache().len()
 }
 
 /// Empties the plan cache (test hook; the executor repopulates on demand).
 pub fn clear_plan_cache() {
-    plan_cache().lock().expect("plan cache poisoned").clear();
+    lock_plan_cache().clear();
 }
 
 /// Outcome of one window walk.
@@ -574,7 +585,7 @@ fn terminated(ops: usize, acc: f32, kind: TerminationKind) -> WindowResult {
         TerminationKind::SignCheck => acc,
     };
     WindowResult {
-        ops: ops as u32,
+        ops: snapea_tensor::num::ops_u32(ops),
         output,
         termination: Some(kind),
     }
@@ -625,7 +636,7 @@ fn walk_window_from(
         p += 1;
     }
     WindowResult {
-        ops: len as u32,
+        ops: snapea_tensor::num::ops_u32(len),
         output: acc,
         termination: None,
     }
@@ -686,6 +697,7 @@ pub fn run_window_resolved(
 
 /// Completes a window's dot product regardless of termination (used for
 /// prediction-quality accounting).
+// lint:allow(P2) p < weights.len(); order/taps sized to window_len and off >= 0 checked before use
 fn full_window_value(kernel: &KernelExec, taps: &[i32], item: &[f32], bias: f32) -> f32 {
     let weights = kernel.reordered.weights();
     let order = kernel.reordered.order();
@@ -701,6 +713,7 @@ fn full_window_value(kernel: &KernelExec, taps: &[i32], item: &[f32], bias: f32)
 
 /// [`full_window_value`] for an interior window via resolved taps.
 #[inline]
+// lint:allow(P2) p < weights.len() = resolved.len(); base+delta proven in-bounds by WindowPlan::build
 fn full_window_value_resolved(
     weights: &[f32],
     resolved: &[i32],
@@ -726,6 +739,7 @@ const BATCH: usize = 8;
 /// all eight accumulator chains. Each lane's own accumulation order is
 /// unchanged, so per-lane results stay bit-identical to the scalar walk.
 #[inline]
+// lint:allow(P2) p < stop1 <= weights.len() = resolved.len(); interior bases keep base+delta in bounds
 fn prefix_batch(
     weights: &[f32],
     resolved: &[i32],
@@ -800,6 +814,7 @@ pub fn execute_conv_stats(conv: &Conv2d, input: &Tensor4, cfg: &LayerConfig) -> 
 /// partial batch at a flush boundary). Lane order is ascending-window, so
 /// stats accounting order is preserved.
 #[allow(clippy::too_many_arguments)]
+// lint:allow(P2) lane window ids are < windows = out/ops slice length by construction
 fn drain_interior_lanes(
     kexec: &KernelExec,
     resolved: &[i32],
@@ -823,6 +838,7 @@ fn drain_interior_lanes(
     }
 }
 
+// lint:allow(P2) w < windows = chunk length; lane fills bounded by BATCH; taps validated by the plan
 fn execute_conv_inner(
     conv: &Conv2d,
     input: &Tensor4,
@@ -1027,6 +1043,7 @@ fn record_layer_execution(
 /// non-zero — zero activations (the output of upstream ReLUs) are skipped
 /// outright, regardless of weight signs. This is the orthogonal,
 /// input-sparsity approach SnaPEA is contrasted against.
+// lint:allow(P2) gather offsets are >= 0 checked and built in-bounds for the item slice
 pub fn zero_skip_profile(conv: &Conv2d, input: &Tensor4) -> LayerProfile {
     let s = input.shape();
     let plan = layer_plan(s, conv.geom(), conv.c_in());
@@ -1043,7 +1060,8 @@ pub fn zero_skip_profile(conv: &Conv2d, input: &Tensor4) -> LayerProfile {
                 .window(w)
                 .iter()
                 .filter(|&&off| off >= 0 && item[off as usize] != 0.0)
-                .count() as u32;
+                .count();
+            let count = snapea_tensor::num::ops_u32(count);
             per_window.push(count);
         }
         for _k in 0..conv.c_out() {
@@ -1057,6 +1075,7 @@ pub fn zero_skip_profile(conv: &Conv2d, input: &Tensor4) -> LayerProfile {
 /// termination: the window walks the reordered weights, zero-input taps are
 /// free, and the PAU terminates as usual. Shows the two mechanisms are
 /// complementary (they eliminate different MACs).
+// lint:allow(P2) p < weights.len(); gather offsets checked >= 0 and in-bounds by construction
 pub fn combined_profile(conv: &Conv2d, input: &Tensor4, cfg: &LayerConfig) -> LayerProfile {
     assert_eq!(cfg.kernels.len(), conv.c_out(), "config kernel count");
     let s = input.shape();
@@ -1156,7 +1175,7 @@ fn walk_window_q16(
         p += 1;
     }
     WindowResult {
-        ops: len as u32,
+        ops: snapea_tensor::num::ops_u32(len),
         output: acc.to_f32(fmt),
         termination: None,
     }
@@ -1165,6 +1184,7 @@ fn walk_window_q16(
 /// Executes a convolution layer with 16-bit fixed-point arithmetic in the
 /// lanes (quantised inputs and weights, wide accumulator), mirroring
 /// [`execute_conv`]. No prediction accounting.
+// lint:allow(P2) k < c_out and w < windows index per-kernel tables sized by the asserts above
 pub fn execute_conv_q16(
     conv: &Conv2d,
     input: &Tensor4,
@@ -1256,12 +1276,8 @@ pub mod baseline {
     use super::*;
 
     /// Pre-plan [`run_window`](super::run_window): probes before every MAC.
-    pub fn run_window(
-        kernel: &KernelExec,
-        taps: &[i32],
-        item: &[f32],
-        bias: f32,
-    ) -> WindowResult {
+    // lint:allow(P2) frozen reference walk: p < weights.len(), off >= 0 checked before indexing
+    pub fn run_window(kernel: &KernelExec, taps: &[i32], item: &[f32], bias: f32) -> WindowResult {
         let weights = kernel.reordered.weights();
         let order = kernel.reordered.order();
         let mut acc = bias;
@@ -1273,7 +1289,7 @@ pub mod baseline {
                         TerminationKind::SignCheck => acc,
                     };
                     return WindowResult {
-                        ops: p as u32,
+                        ops: snapea_tensor::num::ops_u32(p),
                         output,
                         termination: Some(kind),
                     };
@@ -1288,13 +1304,14 @@ pub mod baseline {
             // weight is broadcast and the lane multiplies by zero.
         }
         WindowResult {
-            ops: weights.len() as u32,
+            ops: snapea_tensor::num::ops_u32(weights.len()),
             output: acc,
             termination: None,
         }
     }
 
     /// Pre-plan full dot product (stats accounting reference).
+    // lint:allow(P2) frozen reference walk: p < weights.len(), off >= 0 checked before indexing
     pub fn full_window_value(kernel: &KernelExec, taps: &[i32], item: &[f32], bias: f32) -> f32 {
         let weights = kernel.reordered.weights();
         let order = kernel.reordered.order();
@@ -1311,6 +1328,7 @@ pub mod baseline {
     /// Pre-plan serial executor: per-window scalar walks over a freshly
     /// built gather table, stats folded in ascending `(image, kernel,
     /// window)` order — the order the optimised executor must reproduce.
+    // lint:allow(P2) frozen reference executor: k < c_out, w < windows by the geometry asserts
     pub fn execute_conv(
         conv: &Conv2d,
         input: &Tensor4,
@@ -1362,6 +1380,7 @@ pub mod baseline {
 
     /// Pre-plan [`run_window_q16`](super::run_window_q16): probes (and
     /// dequantises) before every MAC, quantises the weight per MAC.
+    // lint:allow(P2) frozen reference walk: p < weights.len(), off >= 0 checked before indexing
     pub fn run_window_q16(
         kernel: &KernelExec,
         taps: &[i32],
@@ -1383,7 +1402,7 @@ pub mod baseline {
                         TerminationKind::SignCheck => acc.to_f32(fmt),
                     };
                     return WindowResult {
-                        ops: p as u32,
+                        ops: snapea_tensor::num::ops_u32(p),
                         output,
                         termination: Some(kind),
                     };
@@ -1396,13 +1415,14 @@ pub mod baseline {
             }
         }
         WindowResult {
-            ops: weights.len() as u32,
+            ops: snapea_tensor::num::ops_u32(weights.len()),
             output: acc.to_f32(fmt),
             termination: None,
         }
     }
 
     /// Pre-plan serial fixed-point executor.
+    // lint:allow(P2) frozen reference executor: k < c_out, w < windows by the geometry asserts
     pub fn execute_conv_q16(
         conv: &Conv2d,
         input: &Tensor4,
@@ -1482,7 +1502,11 @@ mod tests {
         let input = nonneg_input(Shape4::new(1, 4, 8, 8), 7);
         let cfg = LayerConfig::exact(&conv);
         let r = execute_conv(&conv, &input, &cfg);
-        assert!(r.profile.savings() > 0.05, "savings {}", r.profile.savings());
+        assert!(
+            r.profile.savings() > 0.05,
+            "savings {}",
+            r.profile.savings()
+        );
         assert_eq!(r.profile.full_macs(), conv.full_macs(input.shape()));
     }
 
@@ -1502,8 +1526,7 @@ mod tests {
         // Figure 4: weights [-5, +1, -1] over inputs [+1, +2, +6], bias 0.
         // Unaltered output: -5 + 2 - 6 = -9. Exact mode reorders to
         // [+1, -5, -1] over [+2, +1, +6] and stops after 2 MACs at -3.
-        let weight =
-            Tensor4::from_vec(Shape4::new(1, 1, 1, 3), vec![-5.0, 1.0, -1.0]).unwrap();
+        let weight = Tensor4::from_vec(Shape4::new(1, 1, 1, 3), vec![-5.0, 1.0, -1.0]).unwrap();
         let geom = ConvGeom {
             kh: 1,
             kw: 3,
@@ -1534,7 +1557,11 @@ mod tests {
         let exact = execute_conv(&conv, &input, &LayerConfig::exact(&conv));
         // A huge threshold predicts "negative" for every window after N ops.
         let params = KernelParams::new(f32::INFINITY, 4);
-        let pred = execute_conv(&conv, &input, &LayerConfig::predictive_uniform(&conv, params));
+        let pred = execute_conv(
+            &conv,
+            &input,
+            &LayerConfig::predictive_uniform(&conv, params),
+        );
         assert!(pred.profile.total_ops() < exact.profile.total_ops());
         assert_eq!(
             pred.profile.total_ops(),
@@ -1550,7 +1577,11 @@ mod tests {
         let conv = Conv2d::new(3, 4, ConvGeom::square(3, 1, 1), &mut rng);
         let input = nonneg_input(Shape4::new(1, 3, 6, 6), 13);
         let params = KernelParams::new(f32::NEG_INFINITY, 2);
-        let pred = execute_conv(&conv, &input, &LayerConfig::predictive_uniform(&conv, params));
+        let pred = execute_conv(
+            &conv,
+            &input,
+            &LayerConfig::predictive_uniform(&conv, params),
+        );
         let reference = conv.forward(&input);
         for (a, b) in pred.output.iter().zip(reference.iter()) {
             assert!((a.max(0.0) - b.max(0.0)).abs() < 1e-3);
@@ -1564,7 +1595,11 @@ mod tests {
         let conv = Conv2d::new(3, 8, ConvGeom::square(3, 1, 1), &mut rng);
         let input = nonneg_input(Shape4::new(2, 3, 8, 8), 17);
         let params = KernelParams::new(0.05, 4);
-        let r = execute_conv_stats(&conv, &input, &LayerConfig::predictive_uniform(&conv, params));
+        let r = execute_conv_stats(
+            &conv,
+            &input,
+            &LayerConfig::predictive_uniform(&conv, params),
+        );
         let s = r.stats;
         assert_eq!(
             s.negative_windows + s.positive_windows,
@@ -1601,8 +1636,13 @@ mod tests {
         let mut rng = init::rng(41);
         let conv = Conv2d::new(2, 3, ConvGeom::square(3, 1, 1), &mut rng);
         // Half the inputs are exactly zero (post-ReLU style sparsity).
-        let input = init::uniform4(Shape4::new(1, 2, 6, 6), 1.0, &mut rng)
-            .map(|v| if v > 0.0 { v } else { 0.0 });
+        let input = init::uniform4(Shape4::new(1, 2, 6, 6), 1.0, &mut rng).map(|v| {
+            if v > 0.0 {
+                v
+            } else {
+                0.0
+            }
+        });
         let p = zero_skip_profile(&conv, &input);
         assert!(p.total_ops() < p.full_macs(), "sparsity must be exploited");
         // Kernel-independent: same counts for every kernel.
@@ -1626,8 +1666,13 @@ mod tests {
     fn combined_profile_dominates_both_mechanisms() {
         let mut rng = init::rng(43);
         let conv = Conv2d::new(3, 4, ConvGeom::square(3, 1, 1), &mut rng);
-        let input = init::uniform4(Shape4::new(1, 3, 8, 8), 1.0, &mut rng)
-            .map(|v| if v > 0.2 { v } else { 0.0 });
+        let input = init::uniform4(Shape4::new(1, 3, 8, 8), 1.0, &mut rng).map(|v| {
+            if v > 0.2 {
+                v
+            } else {
+                0.0
+            }
+        });
         let cfg = LayerConfig::exact(&conv);
         let snapea = execute_conv(&conv, &input, &cfg).profile;
         let zskip = zero_skip_profile(&conv, &input);
@@ -1651,10 +1696,7 @@ mod tests {
         // Post-ReLU outputs agree within accumulated quantisation error.
         let window_err = conv.window_len() as f32 * fmt.lsb() * 4.0;
         for (a, b) in fq.output.iter().zip(ff.output.iter()) {
-            assert!(
-                (a.max(0.0) - b.max(0.0)).abs() <= window_err,
-                "{a} vs {b}"
-            );
+            assert!((a.max(0.0) - b.max(0.0)).abs() <= window_err, "{a} vs {b}");
         }
         // Termination decisions agree for the overwhelming majority of
         // windows (they can differ where the partial sum grazes zero).

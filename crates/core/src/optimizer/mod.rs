@@ -137,8 +137,7 @@ impl OptimizeOutcome {
         if self.per_layer.is_empty() {
             return 0.0;
         }
-        self.per_layer.iter().filter(|d| d.predictive).count() as f64
-            / self.per_layer.len() as f64
+        self.per_layer.iter().filter(|d| d.predictive).count() as f64 / self.per_layer.len() as f64
     }
 }
 
@@ -162,6 +161,7 @@ impl<'a> Optimizer<'a> {
     }
 
     fn accuracy_from_acts(&self, acts: &[Tensor4]) -> f64 {
+        // lint:allow(P1) forward returns one activation per node and the graph is non-empty by construction
         let logits = acts.last().expect("non-empty graph").to_matrix();
         let preds = argmax_rows(&logits);
         preds
@@ -195,6 +195,7 @@ impl<'a> Optimizer<'a> {
             let _span = snapea_obs::span!("optimizer/profile");
             for &l in &eligible {
                 let Op::Conv(conv) = &self.net.node(l).op else {
+                    // lint:allow(P1) eligible_ids filters on Op::Conv, so this arm cannot be reached
                     unreachable!("eligible ids are conv nodes");
                 };
                 let input = &cached[self.net.node(l).inputs[0]];
@@ -205,11 +206,9 @@ impl<'a> Optimizer<'a> {
                     &self.cfg.threshold_quantiles,
                     budget,
                 );
-                snapea_obs::counter("optimizer/kernels_profiled")
-                    .add(layer_tables.len() as u64);
+                snapea_obs::counter("optimizer/kernels_profiled").add(layer_tables.len() as u64);
                 if snapea_obs::enabled() {
-                    let candidates: u64 =
-                        layer_tables.iter().map(|t| t.len() as u64).sum();
+                    let candidates: u64 = layer_tables.iter().map(|t| t.len() as u64).sum();
                     snapea_obs::event!(
                         "optimizer/profile",
                         layer = self.net.node(l).name.clone(),
@@ -227,15 +226,13 @@ impl<'a> Optimizer<'a> {
             let _span = snapea_obs::span!("optimizer/local");
             for &l in &eligible {
                 let probes_before = snapea_obs::counter("optimizer/probes").get();
-                let opts =
-                    self.local_options(l, &tables[&l], &batch, &cached, baseline_accuracy);
+                let opts = self.local_options(l, &tables[&l], &batch, &cached, baseline_accuracy);
                 if snapea_obs::enabled() {
                     snapea_obs::event!(
                         "optimizer/local",
                         layer = self.net.node(l).name.clone(),
                         options = opts.len() as u64,
-                        probes =
-                            snapea_obs::counter("optimizer/probes").get() - probes_before,
+                        probes = snapea_obs::counter("optimizer/probes").get() - probes_before,
                     );
                 }
                 options.insert(l, opts);
@@ -327,8 +324,7 @@ impl<'a> Optimizer<'a> {
         let max_t = tables.iter().map(KernelTable::len).max().unwrap_or(1);
         let mut seen: Vec<LayerParams> = Vec::new();
         for t in 0..self.cfg.local_configs.min(max_t) {
-            let modes: Vec<KernelMode> =
-                tables.iter().map(|tab| tab.get_clamped(t).mode).collect();
+            let modes: Vec<KernelMode> = tables.iter().map(|tab| tab.get_clamped(t).mode).collect();
             let ops: u64 = tables.iter().map(|tab| tab.get_clamped(t).ops).sum();
             let params = if modes.iter().any(KernelMode::is_speculative) {
                 LayerParams::Predictive(modes)
@@ -382,8 +378,7 @@ impl<'a> Optimizer<'a> {
         batch: &Tensor4,
         baseline: f64,
     ) -> (BTreeMap<NodeId, usize>, usize) {
-        let mut current: BTreeMap<NodeId, usize> =
-            options.keys().map(|&l| (l, 0usize)).collect();
+        let mut current: BTreeMap<NodeId, usize> = options.keys().map(|&l| (l, 0usize)).collect();
         let simulate = |cur: &BTreeMap<NodeId, usize>| -> f64 {
             snapea_obs::counter("optimizer/probes").inc();
             let mut params = NetworkParams::new();
@@ -432,6 +427,7 @@ impl<'a> Optimizer<'a> {
 
 fn spec_accuracy(spec: &SpecNet<'_>, data: &[LabeledImage], batch: &Tensor4) -> f64 {
     let acts = spec.forward(batch);
+    // lint:allow(P1) forward returns one activation per node and the graph is non-empty by construction
     let logits = acts.last().expect("non-empty graph").to_matrix();
     let preds = argmax_rows(&logits);
     preds
@@ -468,7 +464,10 @@ mod tests {
             "loss {} exceeds epsilon",
             out.accuracy_loss()
         );
-        assert!(out.final_ops <= out.exact_ops, "optimizer made things worse");
+        assert!(
+            out.final_ops <= out.exact_ops,
+            "optimizer made things worse"
+        );
         assert!(out.exact_ops < out.full_macs);
         assert_eq!(out.per_layer.len(), net.conv_ids().len());
     }

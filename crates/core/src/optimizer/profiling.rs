@@ -18,9 +18,9 @@
 //! measure *real* network accuracy, exactly as in the paper, so surrogate
 //! mis-rankings are corrected before any parameter is adopted.
 
+use crate::exec::{layer_plan, GatherTable, WindowPlan};
 use crate::params::KernelMode;
 use crate::reorder::{predictive_reorder, sign_reorder, ReorderedKernel};
-use crate::exec::{layer_plan, GatherTable, WindowPlan};
 use snapea_nn::ops::Conv2d;
 use snapea_tensor::Tensor4;
 
@@ -276,7 +276,7 @@ pub fn profile_layer_kernels(
             if neg_partials.is_empty() {
                 continue;
             }
-            neg_partials.sort_by(|a, b| a.partial_cmp(b).expect("no NaN partial sums"));
+            neg_partials.sort_by(f32::total_cmp);
             let positive_mass: f64 = scans.iter().map(|sc| sc.full.max(0.0) as f64).sum();
 
             for &q in threshold_quantiles {
@@ -378,7 +378,7 @@ pub fn profile_layer_kernels_baseline(
             if neg_partials.is_empty() {
                 continue;
             }
-            neg_partials.sort_by(|a, b| a.partial_cmp(b).expect("no NaN partial sums"));
+            neg_partials.sort_by(f32::total_cmp);
             let positive_mass: f64 = scans.iter().map(|sc| sc.full.max(0.0) as f64).sum();
 
             for &q in threshold_quantiles {
@@ -456,7 +456,10 @@ mod tests {
                 .iter()
                 .any(|c| matches!(c.mode, KernelMode::Speculate(_)))
         });
-        assert!(any_spec, "no speculative candidate survived a budget of 1.0");
+        assert!(
+            any_spec,
+            "no speculative candidate survived a budget of 1.0"
+        );
     }
 
     #[test]

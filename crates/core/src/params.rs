@@ -171,7 +171,10 @@ mod tests {
     fn serde_round_trip() {
         let mut p = NetworkParams::new();
         p.set(1, LayerParams::uniform(2, KernelParams::new(0.25, 8)));
-        p.set(2, LayerParams::Predictive(vec![KernelMode::Exact, KernelMode::spec(-1.0, 4)]));
+        p.set(
+            2,
+            LayerParams::Predictive(vec![KernelMode::Exact, KernelMode::spec(-1.0, 4)]),
+        );
         let json = serde_json::to_string(&p).unwrap();
         let back: NetworkParams = serde_json::from_str(&json).unwrap();
         assert_eq!(p, back);

@@ -70,18 +70,13 @@ impl ReorderedKernel {
 /// negatives first drives the partial sum below zero soonest, maximising the
 /// number of skipped MACs. This is the natural implementation choice for the
 /// paper's "negative subset".
-fn push_negatives_descending(
-    order: &mut Vec<u32>,
-    weights: &[f32],
-    skip: impl Fn(u32) -> bool,
-) {
+fn push_negatives_descending(order: &mut Vec<u32>, weights: &[f32], skip: impl Fn(u32) -> bool) {
     let mut negs: Vec<u32> = (0..weights.len() as u32)
         .filter(|&i| weights[i as usize] < 0.0 && !skip(i))
         .collect();
     negs.sort_by(|&a, &b| {
         weights[a as usize]
-            .partial_cmp(&weights[b as usize])
-            .expect("weights are not NaN")
+            .total_cmp(&weights[b as usize])
             .then(a.cmp(&b))
     });
     order.extend(negs);
@@ -135,8 +130,7 @@ pub fn predictive_reorder(weights: &[f32], groups: usize) -> ReorderedKernel {
     let mut sorted: Vec<u32> = (0..weights.len() as u32).collect();
     sorted.sort_by(|&a, &b| {
         weights[a as usize]
-            .partial_cmp(&weights[b as usize])
-            .expect("weights are not NaN")
+            .total_cmp(&weights[b as usize])
             .then(a.cmp(&b))
     });
     // Partition into `groups` near-equal contiguous chunks; from each take
@@ -152,14 +146,14 @@ pub fn predictive_reorder(weights: &[f32], groups: usize) -> ReorderedKernel {
             .max_by(|&a, &b| {
                 weights[a as usize]
                     .abs()
-                    .partial_cmp(&weights[b as usize].abs())
-                    .expect("weights are not NaN")
+                    .total_cmp(&weights[b as usize].abs())
                     .then(a.cmp(&b))
             })
+            // lint:allow(P1) hi is clamped to at least lo + 1, so the group slice is never empty
             .expect("non-empty group");
         spec.push(pick);
     }
-    let in_spec: std::collections::HashSet<u32> = spec.iter().copied().collect();
+    let in_spec: std::collections::BTreeSet<u32> = spec.iter().copied().collect();
     let mut order = spec.clone();
     for (i, &w) in weights.iter().enumerate() {
         if w >= 0.0 && !in_spec.contains(&(i as u32)) {
@@ -185,17 +179,19 @@ pub fn predictive_reorder(weights: &[f32], groups: usize) -> ReorderedKernel {
 ///
 /// Panics if `count == 0` or `count > weights.len()`.
 pub fn magnitude_reorder(weights: &[f32], count: usize) -> ReorderedKernel {
-    assert!(count >= 1 && count <= weights.len(), "bad speculative count");
+    assert!(
+        count >= 1 && count <= weights.len(),
+        "bad speculative count"
+    );
     let mut by_mag: Vec<u32> = (0..weights.len() as u32).collect();
     by_mag.sort_by(|&a, &b| {
         weights[b as usize]
             .abs()
-            .partial_cmp(&weights[a as usize].abs())
-            .expect("weights are not NaN")
+            .total_cmp(&weights[a as usize].abs())
             .then(a.cmp(&b))
     });
     let spec: Vec<u32> = by_mag[..count].to_vec();
-    let in_spec: std::collections::HashSet<u32> = spec.iter().copied().collect();
+    let in_spec: std::collections::BTreeSet<u32> = spec.iter().copied().collect();
     let mut order = spec;
     for (i, &w) in weights.iter().enumerate() {
         if w >= 0.0 && !in_spec.contains(&(i as u32)) {
@@ -308,7 +304,11 @@ mod tests {
     #[test]
     fn index_buffer_round_trips_weights() {
         let w = [0.5, -1.0, 0.0, 2.0, -0.25, 0.7];
-        for r in [sign_reorder(&w), predictive_reorder(&w, 3), magnitude_reorder(&w, 2)] {
+        for r in [
+            sign_reorder(&w),
+            predictive_reorder(&w, 3),
+            magnitude_reorder(&w, 2),
+        ] {
             for (p, &orig) in r.order().iter().enumerate() {
                 assert_eq!(r.weights()[p], w[orig as usize]);
             }

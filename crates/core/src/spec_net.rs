@@ -11,7 +11,7 @@ use snapea_nn::data::LabeledImage;
 use snapea_nn::graph::{Graph, NodeId, Op};
 use snapea_nn::loss::argmax_rows;
 use snapea_tensor::Tensor4;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A network bound to a set of speculation parameters.
 ///
@@ -41,8 +41,8 @@ impl<'a> SpecNet<'a> {
         self.params
     }
 
-    fn configs(&self) -> HashMap<NodeId, LayerConfig> {
-        let mut map = HashMap::new();
+    fn configs(&self) -> BTreeMap<NodeId, LayerConfig> {
+        let mut map = BTreeMap::new();
         for (id, p) in self.params.iter() {
             if let LayerParams::Predictive(_) = p {
                 if let Op::Conv(conv) = &self.net.node(id).op {
@@ -65,18 +65,14 @@ impl<'a> SpecNet<'a> {
 
     /// Forward pass reusing `cached` activations of an unspeculated forward,
     /// recomputing only from `root` on (the Local-Optimization fast path).
-    pub fn forward_from(
-        &self,
-        input: &Tensor4,
-        cached: &[Tensor4],
-        root: NodeId,
-    ) -> Vec<Tensor4> {
+    pub fn forward_from(&self, input: &Tensor4, cached: &[Tensor4], root: NodeId) -> Vec<Tensor4> {
         let configs = self.configs();
-        self.net.forward_from(input, cached, root, &mut |id, conv, x| {
-            configs
-                .get(&id)
-                .map(|cfg| execute_conv(conv, x, cfg).output)
-        })
+        self.net
+            .forward_from(input, cached, root, &mut |id, conv, x| {
+                configs
+                    .get(&id)
+                    .map(|cfg| execute_conv(conv, x, cfg).output)
+            })
     }
 
     /// Classification accuracy over labelled images (batched as one tensor).
@@ -87,6 +83,7 @@ impl<'a> SpecNet<'a> {
         let refs: Vec<&LabeledImage> = images.iter().collect();
         let batch = snapea_nn::data::SynthShapes::batch_refs(&refs);
         let acts = self.forward(&batch);
+        // lint:allow(P1) forward returns one activation per node and the graph is non-empty by construction
         let logits = acts.last().expect("non-empty graph").to_matrix();
         let preds = argmax_rows(&logits);
         preds
@@ -197,6 +194,7 @@ pub fn profile_network_full(
     if include_fc {
         for id in net.linear_ids() {
             let Op::Linear(lin) = &net.node(id).op else {
+                // lint:allow(P1) linear_ids filters on Op::Linear, so this arm cannot be reached
                 unreachable!("linear_ids returns linear nodes");
             };
             let as_conv = lin.to_conv();
@@ -206,7 +204,12 @@ pub fn profile_network_full(
             } else {
                 // Terminal classifier: no ReLU downstream, early activation
                 // is unsound — dense execution.
-                crate::exec::LayerProfile::dense(input.shape().n, as_conv.c_out(), 1, as_conv.window_len())
+                crate::exec::LayerProfile::dense(
+                    input.shape().n,
+                    as_conv.c_out(),
+                    1,
+                    as_conv.window_len(),
+                )
             };
             layers.push((id, net.node(id).name.clone(), profile));
         }
@@ -233,7 +236,11 @@ mod tests {
             let batch = SynthShapes::batch_refs(&refs);
             let logits = net.logits(&batch);
             let preds = argmax_rows(&logits);
-            preds.iter().zip(&data).filter(|(p, d)| **p == d.label).count() as f64
+            preds
+                .iter()
+                .zip(&data)
+                .filter(|(p, d)| **p == d.label)
+                .count() as f64
                 / data.len() as f64
         };
         assert_eq!(spec.accuracy(&data), base);
@@ -305,10 +312,12 @@ mod tests {
         // mini GoogLeNet/SqueezeNet preserve that property.
         let data = SynthShapes::new(zoo::INPUT_SIZE, 4).generate(2, 61);
         let batch = SynthShapes::batch(&data);
-        for build in [zoo::mini_googlenet as fn(usize) -> crate::spec_net::Graph, zoo::mini_squeezenet] {
+        for build in [
+            zoo::mini_googlenet as fn(usize) -> crate::spec_net::Graph,
+            zoo::mini_squeezenet,
+        ] {
             let net = build(4);
-            let with_fc =
-                profile_network_full(&net, &NetworkParams::new(), &batch, false, true);
+            let with_fc = profile_network_full(&net, &NetworkParams::new(), &batch, false, true);
             let conv_only = profile_network(&net, &NetworkParams::new(), &batch, false);
             assert_eq!(
                 with_fc.layers.len(),
@@ -330,7 +339,10 @@ mod tests {
         let prof = profile_network_full(&net, &NetworkParams::new(), &batch, false, true);
         let fc_ids = net.linear_ids();
         let fc6 = prof.layer(fc_ids[0]).expect("fc6 profiled");
-        assert!(fc6.total_ops() < fc6.full_macs(), "fc6 should terminate early");
+        assert!(
+            fc6.total_ops() < fc6.full_macs(),
+            "fc6 should terminate early"
+        );
         let fc8 = prof.layer(fc_ids[2]).expect("fc8 profiled");
         assert_eq!(fc8.total_ops(), fc8.full_macs(), "classifier runs dense");
     }

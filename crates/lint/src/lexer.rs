@@ -1,0 +1,399 @@
+//! A lightweight, comment- and string-aware Rust tokenizer.
+//!
+//! The lint rules only need a faithful *token stream with line numbers*:
+//! identifiers, punctuation, literals, and comments — enough to tell
+//! `HashMap` the identifier from `"HashMap"` the string literal, and to
+//! find `// lint:allow(...)` annotations. Full parsing (`syn`) is
+//! deliberately avoided: the CI registry cache is offline and the rules
+//! below are expressible over tokens plus a little brace-depth state.
+//!
+//! Handled: line comments (incl. doc `///` and `//!`), nested block
+//! comments, string literals with escapes, raw strings `r#"…"#`, byte and
+//! raw-byte strings, char literals vs lifetimes, raw identifiers `r#ident`,
+//! and numeric literals with suffixes.
+
+/// One lexical token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based line number of the token's first character.
+    pub line: usize,
+    /// What the token is.
+    pub kind: TokKind,
+}
+
+/// Token kinds. Literal *contents* are only retained where a rule needs
+/// them (identifiers and line comments); everything else is shape-only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `as`, …).
+    Ident(String),
+    /// A single punctuation character (`.`, `[`, `!`, …).
+    Punct(char),
+    /// A string, byte-string, or raw-string literal.
+    Str,
+    /// A character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`) or the loop-label form (`'outer:`).
+    Lifetime,
+    /// A numeric literal, including any type suffix (`1_000u64`, `1.5e-3`).
+    Num,
+    /// A `//` comment; `text` is everything after the slashes, `doc` marks
+    /// `///` and `//!` forms (rule annotations are never doc comments).
+    LineComment {
+        /// Comment body, excluding the leading slashes.
+        text: String,
+        /// Whether this is a `///` or `//!` doc comment.
+        doc: bool,
+    },
+    /// A `/* … */` comment (possibly nested, possibly multi-line).
+    BlockComment,
+}
+
+impl TokKind {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True for comment tokens (excluded from the code-token stream).
+    pub fn is_comment(&self) -> bool {
+        matches!(self, TokKind::LineComment { .. } | TokKind::BlockComment)
+    }
+}
+
+/// Tokenizes `src`. The lexer is total: malformed input (an unterminated
+/// string, say) consumes to end-of-file rather than failing, because a lint
+/// must never panic on the code it is inspecting — `rustc` reports syntax
+/// errors, not us.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, line: usize, kind: TokKind) {
+        self.out.push(Token { line, kind });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_literal(line);
+                }
+                'b' if self.peek(1) == Some('r')
+                    && matches!(self.peek(2), Some('"') | Some('#')) =>
+                {
+                    self.bump();
+                    self.bump();
+                    self.raw_string(line);
+                }
+                'r' if matches!(self.peek(1), Some('"')) => {
+                    self.bump();
+                    self.raw_string(line);
+                }
+                'r' if self.peek(1) == Some('#') && self.peek(2) == Some('"') => {
+                    self.bump();
+                    self.raw_string(line);
+                }
+                'r' if self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) => {
+                    // Raw identifier r#type.
+                    self.bump();
+                    self.bump();
+                    self.ident(line);
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if is_ident_start(c) => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(line, TokKind::Punct(c));
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        self.bump();
+        self.bump();
+        let doc = matches!(self.peek(0), Some('/') | Some('!'));
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(line, TokKind::LineComment { text, doc });
+    }
+
+    fn block_comment(&mut self, line: usize) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.push(line, TokKind::BlockComment);
+    }
+
+    fn string(&mut self, line: usize) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(line, TokKind::Str);
+    }
+
+    /// Raw string, positioned at the `#…#"` or `"` after the `r`.
+    fn raw_string(&mut self, line: usize) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(line, TokKind::Str);
+    }
+
+    fn char_literal(&mut self, line: usize) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(line, TokKind::Char);
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime): a lifetime is a
+    /// quote followed by an identifier *not* closed by another quote.
+    fn char_or_lifetime(&mut self, line: usize) {
+        let next = self.peek(1);
+        let is_lifetime = match next {
+            Some('\\') => false,
+            Some(c) if is_ident_start(c) => {
+                // Scan the identifier run; a closing quote right after a
+                // one-char run means a char literal like 'a'.
+                let mut k = 2;
+                while self.peek(k).is_some_and(is_ident_continue) {
+                    k += 1;
+                }
+                self.peek(k) != Some('\'')
+            }
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // quote
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            self.push(line, TokKind::Lifetime);
+        } else {
+            self.char_literal(line);
+        }
+    }
+
+    fn ident(&mut self, line: usize) {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            s.push(c);
+            self.bump();
+        }
+        self.push(line, TokKind::Ident(s));
+    }
+
+    fn number(&mut self, line: usize) {
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            self.bump();
+        }
+        // A fractional part: consume `.` only when a digit follows, so the
+        // range in `0..n` stays two separate punct tokens.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                self.bump();
+            }
+        }
+        self.push(line, TokKind::Num);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_vs_strings_and_comments() {
+        let toks = kinds("let x = \"HashMap\"; // HashMap here\n/* HashMap */ HashMap");
+        let idents: Vec<_> = toks.iter().filter_map(TokKind::ident).collect();
+        assert_eq!(idents, vec!["let", "x", "HashMap"]);
+        assert!(toks.iter().any(|t| matches!(t, TokKind::Str)));
+        assert!(toks.iter().any(|t| matches!(t, TokKind::BlockComment)));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_inside_tokens() {
+        let toks = lex("a\n\"two\nline\"\nb");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2); // string starts on line 2
+        assert_eq!(toks[2].line, 4); // and spans line 3
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let toks = kinds("x<'a>('b', b'\\n', 'c')");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t, TokKind::Lifetime))
+                .count(),
+            1
+        );
+        assert_eq!(
+            toks.iter().filter(|t| matches!(t, TokKind::Char)).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let toks = kinds("r#\"panic!() \"quoted\" unwrap()\"# ident");
+        assert_eq!(toks.len(), 2);
+        assert!(matches!(toks[0], TokKind::Str));
+        assert_eq!(toks[1].ident(), Some("ident"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].ident(), Some("x"));
+    }
+
+    #[test]
+    fn doc_comments_are_marked() {
+        let toks = kinds("/// doc\n//! inner\n// plain lint:allow(P1) r");
+        let docs: Vec<bool> = toks
+            .iter()
+            .filter_map(|t| match t {
+                TokKind::LineComment { doc, .. } => Some(*doc),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(docs, vec![true, true, false]);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let toks = kinds("1_000u64 1.5e-3 0..n a[0]");
+        assert!(matches!(toks[0], TokKind::Num));
+        // `0..n` lexes as Num, '.', '.', Ident.
+        let dots = toks
+            .iter()
+            .filter(|t| matches!(t, TokKind::Punct('.')))
+            .count();
+        assert!(dots >= 2);
+    }
+}

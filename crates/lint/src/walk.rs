@@ -1,0 +1,179 @@
+//! Workspace traversal: finds the source files the rules apply to and
+//! aggregates per-file findings into a [`LintReport`].
+//!
+//! Scope: every `crates/<name>/src/**/*.rs` plus the facade crate's
+//! `src/**/*.rs` at the workspace root. Integration tests (`tests/`),
+//! examples, and benches are deliberately out of scope — they neither
+//! affect results nor run in library context — while `#[cfg(test)]`
+//! regions *inside* scanned files are excluded by the rule engine itself.
+//! Directory iteration is sorted so reports are byte-stable run to run.
+
+use crate::rules::{lint_source, FileCtx, FileKind, Finding};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Aggregate result of linting a workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintReport {
+    /// Workspace root the walk started from.
+    pub root: String,
+    /// Unsuppressed findings, in (file, line) order.
+    pub findings: Vec<Finding>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when the tree is clean.
+    pub fn passed(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the whole report as one JSON object (`findings` is an array
+    /// of [`Finding::to_json_string`] objects).
+    pub fn to_json_string(&self) -> String {
+        let items: Vec<String> = self.findings.iter().map(Finding::to_json_string).collect();
+        format!(
+            "{{\"files_scanned\":{},\"findings\":[{}],\"passed\":{}}}",
+            self.files_scanned,
+            items.join(","),
+            self.passed()
+        )
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.render_text());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "lint: {} file(s) scanned, {} finding(s)\n",
+            self.files_scanned,
+            self.findings.len()
+        ));
+        out
+    }
+}
+
+/// Errors from the filesystem walk (rule analysis itself is total).
+#[derive(Debug)]
+pub struct WalkError {
+    path: PathBuf,
+    err: io::Error,
+}
+
+impl std::fmt::Display for WalkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint walk: {}: {}", self.path.display(), self.err)
+    }
+}
+
+impl std::error::Error for WalkError {}
+
+fn walk_err(path: &Path) -> impl FnOnce(io::Error) -> WalkError + '_ {
+    move |err| WalkError {
+        path: path.to_path_buf(),
+        err,
+    }
+}
+
+/// Lints every in-scope source file under `root` (a workspace checkout).
+///
+/// # Errors
+///
+/// Returns a [`WalkError`] when the filesystem cannot be read; findings —
+/// including parse oddities — are never errors.
+pub fn lint_workspace(root: &Path) -> Result<LintReport, WalkError> {
+    let mut findings = Vec::new();
+    let mut files_scanned = 0usize;
+
+    // Crate sources: crates/<name>/src, sorted by crate name.
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir).map_err(walk_err(&crates_dir))? {
+            let entry = entry.map_err(walk_err(&crates_dir))?;
+            if entry.path().join("src").is_dir() {
+                crate_dirs.push(entry.path());
+            }
+        }
+    }
+    crate_dirs.sort();
+    // The facade crate at the workspace root.
+    if root.join("src").is_dir() {
+        crate_dirs.push(root.to_path_buf());
+    }
+
+    for dir in crate_dirs {
+        let crate_name = if dir == *root {
+            "suite".to_string()
+        } else {
+            dir.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default()
+        };
+        let src = dir.join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for file in files {
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let kind = if rel.contains("/bin/") {
+                FileKind::Bin
+            } else {
+                FileKind::Lib
+            };
+            let is_crate_root = file == src.join("lib.rs");
+            let source = fs::read_to_string(&file).map_err(walk_err(&file))?;
+            let ctx = FileCtx {
+                path: &rel,
+                crate_name: &crate_name,
+                kind,
+                is_crate_root,
+            };
+            findings.extend(lint_source(&ctx, &source));
+            files_scanned += 1;
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(LintReport {
+        root: root.to_string_lossy().into_owned(),
+        findings,
+        files_scanned,
+    })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), WalkError> {
+    for entry in fs::read_dir(dir).map_err(walk_err(dir))? {
+        let entry = entry.map_err(walk_err(dir))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Searches upward from `start` for a workspace root: a directory holding
+/// both `Cargo.toml` and `crates/`. Used by the CLI when `--root` is not
+/// given.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir.to_path_buf());
+        }
+        cur = dir.parent();
+    }
+    None
+}

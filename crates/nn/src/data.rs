@@ -45,7 +45,10 @@ impl SynthShapes {
     ///
     /// Panics if `classes` is 0 or exceeds [`MAX_CLASSES`], or `size < 8`.
     pub fn new(size: usize, classes: usize) -> Self {
-        assert!((1..=MAX_CLASSES).contains(&classes), "1..={MAX_CLASSES} classes");
+        assert!(
+            (1..=MAX_CLASSES).contains(&classes),
+            "1..={MAX_CLASSES} classes"
+        );
         assert!(size >= 8, "images must be at least 8x8");
         Self { size, classes }
     }
@@ -129,6 +132,7 @@ impl SynthShapes {
                     ((xf - cx).abs() <= r * 0.3 && (yf - cy).abs() <= r)
                         || ((yf - cy).abs() <= r * 0.3 && (xf - cx).abs() <= r)
                 }
+                // lint:allow(P1) the constructor asserts label < NUM_CLASSES, covering every arm above
                 _ => unreachable!("label validated above"),
             };
             if inside {
@@ -228,7 +232,11 @@ mod tests {
             }
         }
         let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f32>()
+                .sqrt()
         };
         assert!(dist(&means[0], &means[1]) > 0.5);
         assert!(dist(&means[1], &means[2]) > 0.5);

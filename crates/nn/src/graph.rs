@@ -189,7 +189,11 @@ impl Graph {
     }
 
     /// Forward pass with a convolution override hook (see [`ConvOverride`]).
-    pub fn forward_with(&self, input: &Tensor4, conv_override: &mut ConvOverride<'_>) -> Vec<Tensor4> {
+    pub fn forward_with(
+        &self,
+        input: &Tensor4,
+        conv_override: &mut ConvOverride<'_>,
+    ) -> Vec<Tensor4> {
         let mut acts: Vec<Tensor4> = Vec::with_capacity(self.nodes.len());
         for (id, node) in self.nodes.iter().enumerate() {
             let out = self.eval_node(id, node, input, &acts, conv_override);
@@ -253,11 +257,9 @@ impl Graph {
             Op::Flatten => {
                 let x = arg(0);
                 let s = x.shape();
-                Tensor4::from_vec(
-                    Shape4::new(s.n, s.item_len(), 1, 1),
-                    x.as_slice().to_vec(),
-                )
-                .expect("element count preserved")
+                Tensor4::from_vec(Shape4::new(s.n, s.item_len(), 1, 1), x.as_slice().to_vec())
+                    // lint:allow(P1) n × item_len × 1 × 1 is exactly the source tensor's element count
+                    .expect("element count preserved")
             }
             Op::Linear(l) => l.forward(arg(0)),
             Op::Lrn(l) => l.forward(arg(0)),
@@ -294,10 +296,12 @@ impl Graph {
                                 Shape4::new(s.n, s.item_len(), 1, 1),
                                 x.as_slice().to_vec(),
                             )
+                            // lint:allow(P1) n × item_len × 1 × 1 is exactly the source tensor's element count
                             .expect("element count preserved")
                         }
                         Op::Linear(l) => l.forward(arg(0)),
                         Op::Lrn(l) => l.forward(arg(0)),
+                        // lint:allow(P1) the outer match already peeled off Op::MaxPool
                         Op::MaxPool(_) => unreachable!("handled above"),
                     };
                     (o, Aux::None)
@@ -350,6 +354,7 @@ impl Graph {
                     let x_shape = acts[node.inputs[0]].shape();
                     let arg_map = match &aux[id] {
                         Aux::MaxPool(m) => m,
+                        // lint:allow(P1) forward_train stores Aux::MaxPool for every max-pool node
                         Aux::None => panic!("missing argmax for max-pool node {id}"),
                     };
                     accumulate(&mut grads, node.inputs[0], p.backward(x_shape, arg_map, &g));
@@ -368,6 +373,7 @@ impl Graph {
                 Op::Flatten => {
                     let x_shape = acts[node.inputs[0]].shape();
                     let gi = Tensor4::from_vec(x_shape, g.as_slice().to_vec())
+                        // lint:allow(P1) flatten's gradient has the input's element count by construction
                         .expect("element count preserved");
                     accumulate(&mut grads, node.inputs[0], gi);
                 }
@@ -390,12 +396,14 @@ impl Graph {
     /// `[n, classes]` matrix.
     pub fn logits(&self, input: &Tensor4) -> Tensor2 {
         let acts = self.forward(input);
+        // lint:allow(P1) forward returns one activation per node and the graph is non-empty by construction
         acts.last().expect("non-empty graph").to_matrix()
     }
 }
 
 fn accumulate(grads: &mut [Option<Tensor4>], id: NodeId, g: Tensor4) {
     match &mut grads[id] {
+        // lint:allow(P1) all gradients accumulated into a node share that node's activation shape
         Some(existing) => existing.add_assign(&g).expect("gradient shapes agree"),
         slot @ None => *slot = Some(g),
     }
@@ -492,7 +500,11 @@ impl GraphBuilder {
         stride: usize,
         pad: usize,
     ) -> NodeId {
-        self.push(name, Op::MaxPool(MaxPool::with_pad(k, stride, pad)), vec![from])
+        self.push(
+            name,
+            Op::MaxPool(MaxPool::with_pad(k, stride, pad)),
+            vec![from],
+        )
     }
 
     /// Adds an average-pool node.

@@ -116,6 +116,7 @@ impl Conv2d {
             Shape2::new(self.c_out(), self.window_len()),
             self.weight.as_slice().to_vec(),
         )
+        // lint:allow(P1) c_out × window_len is exactly the weight tensor's element count
         .expect("weight layout is contiguous")
     }
 
@@ -155,6 +156,7 @@ impl Conv2d {
                 im2col_into(input, n, self.geom, cols);
                 scratch::with_zeroed(out_shape.c * plane, |prod| {
                     matmul_into(wmat.as_slice(), wmat.shape(), cols, cols_shape, prod)
+                        // lint:allow(P1) wmat, cols and prod all derive from the same conv geometry
                         .expect("im2col shape is consistent");
                     for co in 0..out_shape.c {
                         let row = &prod[co * plane..(co + 1) * plane];
@@ -207,6 +209,7 @@ impl Conv2d {
                         // dW contribution: dOut × colsᵀ
                         let mut dw = Tensor2::zeros(Shape2::new(out_shape.c, rows));
                         matmul_t_into(go, go_shape, cols, cols_shape, dw.as_mut_slice())
+                            // lint:allow(P1) go, cols and dw all derive from the same conv geometry
                             .expect("shapes agree");
                         // db contribution: row sums of dOut
                         let db: Vec<f32> = (0..out_shape.c)
@@ -216,20 +219,17 @@ impl Conv2d {
                         // item's disjoint slice
                         scratch::with_zeroed(rows * plane, |dcols| {
                             t_matmul_into(wmat.as_slice(), wmat.shape(), go, go_shape, dcols)
+                                // lint:allow(P1) wmat, go and dcols all derive from the same conv geometry
                                 .expect("shapes agree");
                             col2im_item_slice(
-                                dcols,
-                                gi_item,
-                                in_shape.c,
-                                in_shape.h,
-                                in_shape.w,
-                                self.geom,
+                                dcols, gi_item, in_shape.c, in_shape.h, in_shape.w, self.geom,
                             );
                         });
                         (dw, db)
                     })
                 });
             for (dw, db) in per_item {
+                // lint:allow(P1) every per-item dW was allocated with grad_w's own shape
                 grad_w.add_assign(&dw).expect("same shape");
                 for (g, d) in grad_b.iter_mut().zip(db) {
                     *g += d;
@@ -237,6 +237,7 @@ impl Conv2d {
             }
         }
         let grad_w4 = Tensor4::from_vec(self.weight.shape(), grad_w.into_vec())
+            // lint:allow(P1) grad_w is a [c_out, window_len] matrix matching the weight tensor's element count
             .expect("weight layout is contiguous");
         (grad_in, grad_w4, grad_b)
     }
@@ -292,7 +293,10 @@ mod tests {
             let slow = conv_reference(&conv, &x);
             assert_eq!(fast.shape(), slow.shape());
             for (a, b) in fast.iter().zip(slow.iter()) {
-                assert!((a - b).abs() < 1e-4, "{a} vs {b} (k={k} s={stride} p={pad})");
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "{a} vs {b} (k={k} s={stride} p={pad})"
+                );
             }
         }
     }

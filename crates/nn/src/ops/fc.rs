@@ -72,6 +72,7 @@ impl Linear {
         let s = input.shape();
         assert_eq!(s.item_len(), self.c_in(), "linear input features");
         let x = input.to_matrix(); // [n, c_in]
+                                   // lint:allow(P1) the input feature count is asserted against c_in above
         let y = x.matmul_t(&self.weight).expect("shapes agree"); // [n, c_out]
         let mut out = Tensor4::zeros(Shape4::new(s.n, self.c_out(), 1, 1));
         for n in 0..s.n {
@@ -89,7 +90,8 @@ impl Linear {
         let s = input.shape();
         let x = input.to_matrix(); // [n, c_in]
         let go = grad_out.to_matrix(); // [n, c_out]
-        // dW = goᵀ × x  → [c_out, c_in]
+                                       // dW = goᵀ × x  → [c_out, c_in]
+                                       // lint:allow(P1) go and x share the batch dimension of the same forward pass
         let gw = go.t_matmul(&x).expect("shapes agree");
         // db = column sums of go
         let mut gb = vec![0.0f32; self.c_out()];
@@ -99,7 +101,9 @@ impl Linear {
             }
         }
         // dX = go × W → [n, c_in]
+        // lint:allow(P1) go has c_out columns, matching the weight matrix's row count
         let gx = go.matmul(&self.weight).expect("shapes agree");
+        // lint:allow(P1) gx is [n, c_in], exactly the input shape's element count
         let grad_in = Tensor4::from_vec(s, gx.into_vec()).expect("element count preserved");
         (grad_in, gw, gb)
     }
@@ -112,6 +116,7 @@ impl Linear {
     pub fn to_conv(&self) -> crate::ops::Conv2d {
         let shape = snapea_tensor::Shape4::new(self.c_out(), self.c_in(), 1, 1);
         let weight = snapea_tensor::Tensor4::from_vec(shape, self.weight.as_slice().to_vec())
+            // lint:allow(P1) c_out × c_in × 1 × 1 is exactly the weight matrix's element count
             .expect("weight layout is contiguous");
         crate::ops::Conv2d::from_parts(
             weight,
@@ -139,11 +144,8 @@ mod tests {
     #[test]
     fn forward_is_affine() {
         let mut l = Linear::new(3, 2, &mut rng(0));
-        *l.weight_mut() = Tensor2::from_vec(
-            Shape2::new(2, 3),
-            vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5],
-        )
-        .unwrap();
+        *l.weight_mut() =
+            Tensor2::from_vec(Shape2::new(2, 3), vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5]).unwrap();
         l.bias_mut().copy_from_slice(&[1.0, -1.0]);
         let x = Tensor4::from_vec(Shape4::new(1, 3, 1, 1), vec![2.0, 4.0, 6.0]).unwrap();
         let y = l.forward(&x);

@@ -112,11 +112,7 @@ mod tests {
     #[test]
     fn forward_preserves_sign_and_shrinks() {
         let lrn = Lrn::new(3, 0.5, 0.75, 2.0);
-        let x = Tensor4::from_vec(
-            Shape4::new(1, 4, 1, 1),
-            vec![3.0, -2.0, 1.0, 0.0],
-        )
-        .unwrap();
+        let x = Tensor4::from_vec(Shape4::new(1, 4, 1, 1), vec![3.0, -2.0, 1.0, 0.0]).unwrap();
         let y = lrn.forward(&x);
         for (&yy, &xx) in y.iter().zip(x.iter()) {
             assert!(yy.abs() <= xx.abs() + 1e-6);

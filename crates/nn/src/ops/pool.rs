@@ -183,7 +183,8 @@ impl AvgPool {
                     for ox in 0..os.w {
                         let g = grad_out[(n, c, oy, ox)] * norm;
                         for (iy, ix) in
-                            self.geom.window_coords(oy, ox, input_shape.h, input_shape.w)
+                            self.geom
+                                .window_coords(oy, ox, input_shape.h, input_shape.w)
                         {
                             grad_in[(n, c, iy, ix)] += g;
                         }

@@ -29,22 +29,14 @@ mod tests {
 
     #[test]
     fn relu_clamps_negatives() {
-        let x = Tensor4::from_vec(
-            Shape4::new(1, 1, 2, 2),
-            vec![-1.0, 0.0, 2.0, -0.5],
-        )
-        .unwrap();
+        let x = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![-1.0, 0.0, 2.0, -0.5]).unwrap();
         let y = relu(&x);
         assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
     }
 
     #[test]
     fn relu_backward_masks_gradient() {
-        let x = Tensor4::from_vec(
-            Shape4::new(1, 1, 2, 2),
-            vec![-1.0, 0.0, 2.0, 3.0],
-        )
-        .unwrap();
+        let x = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![-1.0, 0.0, 2.0, 3.0]).unwrap();
         let go = Tensor4::full(x.shape(), 5.0);
         let gi = relu_backward(&x, &go);
         assert_eq!(gi.as_slice(), &[0.0, 0.0, 5.0, 5.0]);

@@ -31,13 +31,21 @@ pub fn negative_fraction(net: &Graph, batch: &Tensor4) -> NegativeStats {
         }
         let a = &acts[id];
         let n = a.iter().filter(|v| **v < 0.0).count();
-        per_layer.push((id, net.node(id).name.clone(), n as f64 / a.shape().len() as f64));
+        per_layer.push((
+            id,
+            net.node(id).name.clone(),
+            n as f64 / a.shape().len() as f64,
+        ));
         neg += n;
         total += a.shape().len();
     }
     NegativeStats {
         per_layer,
-        overall: if total == 0 { 0.0 } else { neg as f64 / total as f64 },
+        overall: if total == 0 {
+            0.0
+        } else {
+            neg as f64 / total as f64
+        },
     }
 }
 

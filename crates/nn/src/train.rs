@@ -1,12 +1,12 @@
 //! SGD-with-momentum training.
 
+use crate::data::LabeledImage;
 use crate::graph::{Graph, Op, ParamGrad};
 use crate::loss::{accuracy, cross_entropy};
-use crate::data::LabeledImage;
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use snapea_tensor::{Tensor2, Tensor4};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Hyper-parameters for [`Trainer`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,7 +52,7 @@ enum Velocity {
 /// place.
 pub struct Trainer {
     config: TrainConfig,
-    velocity: HashMap<usize, Velocity>,
+    velocity: BTreeMap<usize, Velocity>,
 }
 
 impl Trainer {
@@ -60,7 +60,7 @@ impl Trainer {
     pub fn new(config: TrainConfig) -> Self {
         Self {
             config,
-            velocity: HashMap::new(),
+            velocity: BTreeMap::new(),
         }
     }
 
@@ -78,6 +78,7 @@ impl Trainer {
     /// Runs one optimisation step on a batch. Returns `(loss, accuracy)`.
     pub fn step(&mut self, net: &mut Graph, batch: &Tensor4, labels: &[usize]) -> (f32, f64) {
         let (acts, aux) = net.forward_train(batch);
+        // lint:allow(P1) forward returns one activation per node and the graph is non-empty by construction
         let logits = acts.last().expect("non-empty graph").to_matrix();
         let (loss, grad) = cross_entropy(&logits, labels);
         let acc = accuracy(&logits, labels);
@@ -99,11 +100,10 @@ impl Trainer {
                         )
                     });
                     let Velocity::Conv(vw, vb) = vel else {
+                        // lint:allow(P1) the entry was created two lines up with the matching variant
                         unreachable!("velocity kind matches node kind")
                     };
-                    for ((v, &g), &w) in
-                        vw.iter_mut().zip(gw.iter()).zip(conv.weight().iter())
-                    {
+                    for ((v, &g), &w) in vw.iter_mut().zip(gw.iter()).zip(conv.weight().iter()) {
                         *v = cfg.momentum * *v + g + cfg.weight_decay * w;
                     }
                     for (v, &g) in vb.iter_mut().zip(gb.iter()) {
@@ -120,6 +120,7 @@ impl Trainer {
                         )
                     });
                     let Velocity::Linear(vw, vb) = vel else {
+                        // lint:allow(P1) the entry was created two lines up with the matching variant
                         unreachable!("velocity kind matches node kind")
                     };
                     for ((v, &g), &w) in vw
@@ -136,6 +137,7 @@ impl Trainer {
                     let (vw, vb) = (vw.clone(), vb.clone());
                     lin.apply_step(&vw, &vb, cfg.lr);
                 }
+                // lint:allow(P1) backward produces gradients of the node's own parameter kind
                 _ => unreachable!("gradient kind matches node kind"),
             }
         }
@@ -152,7 +154,7 @@ impl Trainer {
         rng: &mut StdRng,
     ) -> EpochStats {
         let _span = snapea_obs::span!("train/epoch");
-        let started = std::time::Instant::now();
+        let started = snapea_obs::Stopwatch::start();
         let mut order: Vec<usize> = (0..data.len()).collect();
         order.shuffle(rng);
         let mut total_loss = 0.0f64;
@@ -174,7 +176,7 @@ impl Trainer {
         snapea_obs::counter("train/epochs").inc();
         snapea_obs::counter("train/images").add(seen as u64);
         if snapea_obs::enabled() {
-            let secs = started.elapsed().as_secs_f64();
+            let secs = started.elapsed_secs();
             snapea_obs::event!(
                 "train/epoch",
                 epoch = snapea_obs::counter("train/epochs").get(),

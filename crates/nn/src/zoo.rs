@@ -215,29 +215,106 @@ pub fn mini_googlenet(classes: usize) -> Graph {
     let r1 = b.relu("conv1/relu", c1);
     let p1 = b.max_pool("pool1/2x2", r1, 2, 2); // 32 -> 16
     let n1 = b.lrn("pool1/norm1", p1, Lrn::default());
-    let c2r = b.conv("conv2/3x3_reduce", n1, 16, 16, ConvGeom::square(1, 1, 0), &mut rng);
+    let c2r = b.conv(
+        "conv2/3x3_reduce",
+        n1,
+        16,
+        16,
+        ConvGeom::square(1, 1, 0),
+        &mut rng,
+    );
     let r2r = b.relu("conv2/relu_reduce", c2r);
-    let c2 = b.conv("conv2/3x3", r2r, 16, 24, ConvGeom::square(3, 1, 1), &mut rng);
+    let c2 = b.conv(
+        "conv2/3x3",
+        r2r,
+        16,
+        24,
+        ConvGeom::square(3, 1, 1),
+        &mut rng,
+    );
     let r2 = b.relu("conv2/relu", c2);
     let n2 = b.lrn("conv2/norm2", r2, Lrn::default());
     let p2 = b.max_pool("pool2/2x2", n2, 2, 2); // 16 -> 8
 
     // Inception 3a, 3b at 8×8.
-    let (i3a, c3a) = inception(&mut b, "inception_3a", p2, 24, (8, 6, 12, 2, 4, 4), &mut rng);
-    let (i3b, c3b) = inception(&mut b, "inception_3b", i3a, c3a, (10, 8, 14, 3, 6, 4), &mut rng);
+    let (i3a, c3a) = inception(
+        &mut b,
+        "inception_3a",
+        p2,
+        24,
+        (8, 6, 12, 2, 4, 4),
+        &mut rng,
+    );
+    let (i3b, c3b) = inception(
+        &mut b,
+        "inception_3b",
+        i3a,
+        c3a,
+        (10, 8, 14, 3, 6, 4),
+        &mut rng,
+    );
     let p3 = b.max_pool("pool3/2x2", i3b, 2, 2); // 8 -> 4
 
     // Inception 4a..4e at 4×4.
-    let (i4a, c4a) = inception(&mut b, "inception_4a", p3, c3b, (12, 8, 14, 2, 4, 4), &mut rng);
-    let (i4b, c4b) = inception(&mut b, "inception_4b", i4a, c4a, (10, 8, 14, 3, 6, 4), &mut rng);
-    let (i4c, c4c) = inception(&mut b, "inception_4c", i4b, c4b, (8, 8, 16, 3, 6, 4), &mut rng);
-    let (i4d, c4d) = inception(&mut b, "inception_4d", i4c, c4c, (8, 9, 18, 4, 8, 4), &mut rng);
-    let (i4e, c4e) = inception(&mut b, "inception_4e", i4d, c4d, (16, 10, 20, 4, 8, 8), &mut rng);
+    let (i4a, c4a) = inception(
+        &mut b,
+        "inception_4a",
+        p3,
+        c3b,
+        (12, 8, 14, 2, 4, 4),
+        &mut rng,
+    );
+    let (i4b, c4b) = inception(
+        &mut b,
+        "inception_4b",
+        i4a,
+        c4a,
+        (10, 8, 14, 3, 6, 4),
+        &mut rng,
+    );
+    let (i4c, c4c) = inception(
+        &mut b,
+        "inception_4c",
+        i4b,
+        c4b,
+        (8, 8, 16, 3, 6, 4),
+        &mut rng,
+    );
+    let (i4d, c4d) = inception(
+        &mut b,
+        "inception_4d",
+        i4c,
+        c4c,
+        (8, 9, 18, 4, 8, 4),
+        &mut rng,
+    );
+    let (i4e, c4e) = inception(
+        &mut b,
+        "inception_4e",
+        i4d,
+        c4d,
+        (16, 10, 20, 4, 8, 8),
+        &mut rng,
+    );
     let p4 = b.max_pool("pool4/2x2", i4e, 2, 2); // 4 -> 2
 
     // Inception 5a, 5b at 2×2.
-    let (i5a, c5a) = inception(&mut b, "inception_5a", p4, c4e, (16, 10, 20, 4, 8, 8), &mut rng);
-    let (i5b, c5b) = inception(&mut b, "inception_5b", i5a, c5a, (24, 12, 24, 4, 8, 8), &mut rng);
+    let (i5a, c5a) = inception(
+        &mut b,
+        "inception_5a",
+        p4,
+        c4e,
+        (16, 10, 20, 4, 8, 8),
+        &mut rng,
+    );
+    let (i5b, c5b) = inception(
+        &mut b,
+        "inception_5b",
+        i5a,
+        c5a,
+        (24, 12, 24, 4, 8, 8),
+        &mut rng,
+    );
 
     let gap = b.avg_pool("pool5/gap", i5b, 2, 2); // 2 -> 1
     let f = b.flatten("flatten", gap);
@@ -371,7 +448,11 @@ mod tests {
             let mut last_h = INPUT_SIZE;
             for id in net.conv_ids() {
                 let h = acts[id].shape().h;
-                assert!(h <= last_h, "{w}: conv {} grew spatially", net.node(id).name);
+                assert!(
+                    h <= last_h,
+                    "{w}: conv {} grew spatially",
+                    net.node(id).name
+                );
                 last_h = last_h.min(h);
             }
             for id in net.linear_ids() {
@@ -411,6 +492,9 @@ mod tests {
         // VGG.
         let vgg = mini_vgg(10).model_size_bytes();
         let squeeze = mini_squeezenet(10).model_size_bytes();
-        assert!(vgg > squeeze, "VGG {vgg} should exceed SqueezeNet {squeeze}");
+        assert!(
+            vgg > squeeze,
+            "VGG {vgg} should exceed SqueezeNet {squeeze}"
+        );
     }
 }

@@ -37,7 +37,12 @@ pub enum Json {
 impl Json {
     /// Builds an object from key/value pairs.
     pub fn obj<K: Into<String>, V: Into<Json>>(pairs: Vec<(K, V)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v.into())).collect())
+        Json::Obj(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        )
     }
 
     /// Looks up a key of an object.
@@ -162,7 +167,7 @@ fn fmt_u64(v: u64, buf: &mut [u8; 20]) -> &str {
             break;
         }
     }
-    std::str::from_utf8(&buf[i..]).expect("digits are ASCII")
+    std::str::from_utf8(&buf[i..]).unwrap_or("0")
 }
 
 impl fmt::Display for Json {
@@ -316,7 +321,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -348,7 +353,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -371,7 +376,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -382,7 +387,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             pairs.push((key, value));
@@ -399,7 +404,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let start = self.pos;
@@ -435,8 +440,8 @@ impl<'a> Parser<'a> {
                                 .bytes
                                 .get(self.pos + 1..self.pos + 5)
                                 .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| self.err("bad \\u escape"))?;
                             // Surrogate pairs are not needed for our own
@@ -471,7 +476,7 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+            .map_err(|_| self.err("bad number"))?;
         if !is_float {
             if let Ok(v) = text.parse::<u64>() {
                 return Ok(Json::U64(v));
@@ -540,7 +545,9 @@ mod tests {
         assert_eq!(roundtrip(&v), v);
         assert_eq!(v.get("ms").and_then(Json::as_f64), Some(12.25));
         assert_eq!(
-            v.get("inner").and_then(|i| i.get("k")).and_then(Json::as_u64),
+            v.get("inner")
+                .and_then(|i| i.get("k"))
+                .and_then(Json::as_u64),
             Some(3)
         );
     }
@@ -574,6 +581,9 @@ mod tests {
     #[test]
     fn whitespace_tolerated() {
         let v = parse(" { \"a\" : [ 1 , 2 ] } \n").unwrap();
-        assert_eq!(v.get("a").and_then(Json::as_array).map(<[Json]>::len), Some(2));
+        assert_eq!(
+            v.get("a").and_then(Json::as_array).map(<[Json]>::len),
+            Some(2)
+        );
     }
 }

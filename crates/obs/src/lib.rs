@@ -44,4 +44,4 @@ pub use metrics::{counter, gauge, histogram, registry, Counter, Gauge, Histogram
 pub use report::Report;
 pub use run::{git_rev, RunHandle};
 pub use sink::{enabled, FileSink, MemorySink, Sink, StderrSink};
-pub use span::SpanGuard;
+pub use span::{SpanGuard, Stopwatch};

@@ -117,7 +117,10 @@ impl Histogram {
 
     /// Per-bucket counts, one per bound plus the overflow bucket.
     pub fn bucket_counts(&self) -> Vec<u64> {
-        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// The configured bounds.
@@ -145,9 +148,19 @@ impl Registry {
         }
     }
 
+    /// Locks the instrument tables, recovering from poisoning: interning
+    /// only inserts leaked `'static` entries, so a panicked holder cannot
+    /// leave the maps in a broken state, and metrics must never take the
+    /// process down.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Instruments> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Interns (or retrieves) the counter `name`.
     pub fn counter(&self, name: &str) -> &'static Counter {
-        let mut g = self.inner.lock().expect("registry poisoned");
+        let mut g = self.lock();
         if let Some(c) = g.counters.get(name) {
             return c;
         }
@@ -158,7 +171,7 @@ impl Registry {
 
     /// Interns (or retrieves) the gauge `name`.
     pub fn gauge(&self, name: &str) -> &'static Gauge {
-        let mut g = self.inner.lock().expect("registry poisoned");
+        let mut g = self.lock();
         if let Some(v) = g.gauges.get(name) {
             return v;
         }
@@ -170,7 +183,7 @@ impl Registry {
     /// Interns (or retrieves) the histogram `name` with `bounds` (bounds are
     /// fixed at first registration).
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> &'static Histogram {
-        let mut g = self.inner.lock().expect("registry poisoned");
+        let mut g = self.lock();
         if let Some(h) = g.histograms.get(name) {
             return h;
         }
@@ -182,7 +195,7 @@ impl Registry {
     /// Snapshot of every instrument as a JSON object (counters and gauges as
     /// scalars, histograms as `{count, sum, mean}`).
     pub fn snapshot(&self) -> Json {
-        let g = self.inner.lock().expect("registry poisoned");
+        let g = self.lock();
         let mut pairs: Vec<(String, Json)> = Vec::new();
         for (name, c) in &g.counters {
             pairs.push((name.clone(), Json::U64(c.get())));
@@ -206,7 +219,7 @@ impl Registry {
     /// Resets nothing — instruments are monotonic for the process lifetime —
     /// but reads a single counter for tests and reports.
     pub fn counter_value(&self, name: &str) -> Option<u64> {
-        let g = self.inner.lock().expect("registry poisoned");
+        let g = self.lock();
         g.counters.get(name).map(|c| c.get())
     }
 }
@@ -274,12 +287,20 @@ mod tests {
         gauge("test/metrics/snapg").set(0.5);
         histogram("test/metrics/snaph", &[1.0]).observe(0.25);
         let snap = registry().snapshot();
-        assert!(snap.get("test/metrics/snap").and_then(Json::as_u64).unwrap_or(0) >= 7);
+        assert!(
+            snap.get("test/metrics/snap")
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+                >= 7
+        );
         assert_eq!(
             snap.get("test/metrics/snapg").and_then(Json::as_f64),
             Some(0.5)
         );
-        assert!(snap.get("test/metrics/snaph").and_then(|h| h.get("count")).is_some());
+        assert!(snap
+            .get("test/metrics/snaph")
+            .and_then(|h| h.get("count"))
+            .is_some());
     }
 
     #[test]

@@ -108,7 +108,11 @@ impl Report {
             }
             let e = parse(line)?;
             report.events += 1;
-            let kind = e.get("kind").and_then(Json::as_str).unwrap_or("?").to_string();
+            let kind = e
+                .get("kind")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string();
             *report.kinds.entry(kind.clone()).or_insert(0) += 1;
             match kind.as_str() {
                 "span" => {
@@ -184,9 +188,11 @@ impl Report {
                 total_ms,
             })
             .collect();
-        report
-            .phases
-            .sort_by(|a, b| b.total_ms.partial_cmp(&a.total_ms).unwrap_or(std::cmp::Ordering::Equal));
+        report.phases.sort_by(|a, b| {
+            b.total_ms
+                .partial_cmp(&a.total_ms)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         Ok(report)
     }
 
@@ -373,7 +379,10 @@ mod tests {
 
         let j = r.to_json();
         assert_eq!(j.get("events").and_then(Json::as_u64), Some(8));
-        assert!(j.get("exec").and_then(|x| x.get("saved_fraction")).is_some());
+        assert!(j
+            .get("exec")
+            .and_then(|x| x.get("saved_fraction"))
+            .is_some());
         assert_eq!(
             j.get("exec")
                 .and_then(|x| x.get("gather_cache_hits"))

@@ -52,6 +52,7 @@ pub fn git_rev(repo_root: &Path) -> Option<String> {
     None
 }
 
+#[allow(clippy::disallowed_methods)] // the obs layer owns the wall clock
 fn unix_now() -> u64 {
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -79,6 +80,7 @@ pub fn env_threads() -> u64 {
 /// (conventionally `repro-results/`), installing a [`FileSink`] for
 /// `events.jsonl`. Returns the handle, or `None` when the directory or the
 /// event log cannot be created (observability failures never abort a run).
+#[allow(clippy::disallowed_methods)] // the obs layer owns the wall clock
 pub fn start(results_root: &Path) -> Option<RunHandle> {
     let started_unix = unix_now();
     let run_id = format!("{}-{}", started_unix, std::process::id());
@@ -156,10 +158,7 @@ mod tests {
 
     #[test]
     fn git_rev_reads_head_chain() {
-        let dir = std::env::temp_dir().join(format!(
-            "snapea-obs-git-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("snapea-obs-git-{}", std::process::id()));
         let git = dir.join(".git");
         std::fs::create_dir_all(git.join("refs/heads")).unwrap();
         std::fs::write(git.join("HEAD"), "ref: refs/heads/main\n").unwrap();
@@ -181,22 +180,20 @@ mod tests {
     #[test]
     fn manifest_fields_round_trip() {
         let _guard = crate::sink::test_lock();
-        let root = std::env::temp_dir().join(format!(
-            "snapea-obs-run-{}",
-            std::process::id()
-        ));
+        let root = std::env::temp_dir().join(format!("snapea-obs-run-{}", std::process::id()));
         let mut run = start(&root).expect("start run");
         run.set("experiments", Json::Arr(vec![Json::from("fig8")]));
-        run.set("experiments", Json::Arr(vec![Json::from("fig8"), Json::from("fig9")]));
+        run.set(
+            "experiments",
+            Json::Arr(vec![Json::from("fig8"), Json::from("fig9")]),
+        );
         let events = run.events_path();
         crate::event!("test/run", ok = true);
         let manifest_path = run.finish(&root).expect("finish run");
         crate::sink::clear();
 
-        let manifest = crate::json::parse(
-            &std::fs::read_to_string(&manifest_path).unwrap(),
-        )
-        .expect("manifest parses");
+        let manifest = crate::json::parse(&std::fs::read_to_string(&manifest_path).unwrap())
+            .expect("manifest parses");
         assert!(manifest.get("elapsed_s").and_then(Json::as_f64).is_some());
         assert!(
             manifest.get("threads").and_then(Json::as_u64).unwrap_or(0) >= 1,

@@ -40,6 +40,16 @@ fn sinks() -> &'static Mutex<Vec<Box<dyn Sink>>> {
     SINKS.get_or_init(|| Mutex::new(Vec::new()))
 }
 
+/// Locks the sink registry, recovering from poisoning: a sink that panicked
+/// mid-emit leaves the `Vec` itself intact, and observability must never
+/// take the process down with it.
+fn lock_sinks() -> std::sync::MutexGuard<'static, Vec<Box<dyn Sink>>> {
+    sinks()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[allow(clippy::disallowed_methods)] // the obs layer owns the wall clock
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
@@ -61,14 +71,14 @@ pub fn enabled() -> bool {
 
 /// Installs a sink. Events emitted from now on are fanned out to it.
 pub fn install(sink: Box<dyn Sink>) {
-    sinks().lock().expect("sink registry poisoned").push(sink);
+    lock_sinks().push(sink);
     HAS_SINK.store(true, Ordering::Relaxed);
 }
 
 /// Removes every sink (used by tests and at manifest close), flushing them
 /// first.
 pub fn clear() {
-    let mut g = sinks().lock().expect("sink registry poisoned");
+    let mut g = lock_sinks();
     for s in g.iter_mut() {
         s.flush();
     }
@@ -85,12 +95,15 @@ pub fn emit(kind: &str, fields: Vec<(String, Json)>) {
         return;
     }
     let mut pairs: Vec<(String, Json)> = Vec::with_capacity(fields.len() + 3);
-    pairs.push(("seq".to_string(), Json::U64(SEQ.fetch_add(1, Ordering::Relaxed))));
+    pairs.push((
+        "seq".to_string(),
+        Json::U64(SEQ.fetch_add(1, Ordering::Relaxed)),
+    ));
     pairs.push(("t_ms".to_string(), Json::F64(now_ms())));
     pairs.push(("kind".to_string(), Json::Str(kind.to_string())));
     pairs.extend(fields);
     let event = Json::Obj(pairs);
-    let mut g = sinks().lock().expect("sink registry poisoned");
+    let mut g = lock_sinks();
     for s in g.iter_mut() {
         s.emit(&event);
     }
@@ -98,7 +111,7 @@ pub fn emit(kind: &str, fields: Vec<(String, Json)>) {
 
 /// Flushes every installed sink.
 pub fn flush() {
-    let mut g = sinks().lock().expect("sink registry poisoned");
+    let mut g = lock_sinks();
     for s in g.iter_mut() {
         s.flush();
     }
@@ -174,7 +187,10 @@ impl MemorySink {
 
     /// Clone of every event captured so far.
     pub fn events(&self) -> Vec<Json> {
-        self.buffer.lock().expect("memory sink poisoned").clone()
+        self.buffer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 }
 
@@ -182,7 +198,7 @@ impl Sink for MemorySink {
     fn emit(&mut self, event: &Json) {
         self.buffer
             .lock()
-            .expect("memory sink poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(event.clone());
     }
 }
@@ -284,10 +300,7 @@ mod tests {
 
     #[test]
     fn file_sink_writes_jsonl() {
-        let dir = std::env::temp_dir().join(format!(
-            "snapea-obs-test-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("snapea-obs-test-{}", std::process::id()));
         let path = dir.join("events.jsonl");
         let mut fs = FileSink::create(&path).expect("create file sink");
         fs.emit(&Json::obj(vec![("kind", Json::from("a"))]));

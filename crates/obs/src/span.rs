@@ -36,6 +36,7 @@ pub fn enter(name: &str) -> SpanGuard {
 
 /// Opens a span with an additional free-form detail string (e.g. the layer
 /// name) that is attached to the emitted event but not to the metric path.
+#[allow(clippy::disallowed_methods)] // the obs layer owns the wall clock
 pub fn enter_detail(name: &str, detail: Option<String>) -> SpanGuard {
     let depth = PATH.with(|p| {
         let mut p = p.borrow_mut();
@@ -81,7 +82,10 @@ impl Drop for SpanGuard {
             let ms = elapsed.as_secs_f64() * 1e3;
             let mut fields = vec![
                 ("path".to_string(), crate::json::Json::from(path)),
-                ("depth".to_string(), crate::json::Json::from(self.depth as u64)),
+                (
+                    "depth".to_string(),
+                    crate::json::Json::from(self.depth as u64),
+                ),
                 ("ms".to_string(), crate::json::Json::from(ms)),
             ];
             if let Some(d) = self.detail.take() {
@@ -89,6 +93,44 @@ impl Drop for SpanGuard {
             }
             sink::emit("span", fields);
         }
+    }
+}
+
+/// A plain monotonic stopwatch, for callers that want a duration number
+/// rather than a recorded span (e.g. per-worker busy time, epoch wall time).
+///
+/// This is the sanctioned way for the rest of the workspace to read the
+/// wall clock: the `snapea-lint` D2 rule bans `Instant::now()` outside
+/// obs and bench, precisely so timing reads are auditable in one place
+/// and never feed back into results.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the stopwatch now.
+    #[allow(clippy::disallowed_methods)] // the obs layer owns the wall clock
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`], saturating at
+    /// `u64::MAX` (~584 years).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Milliseconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed_secs() * 1e3
     }
 }
 

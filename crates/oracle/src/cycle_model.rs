@@ -76,7 +76,10 @@ pub fn pe_array_bounds(pe_count: usize, lanes: usize, profile: &LayerProfile) ->
         .map(|c| (c + 1) * windows / chunks_per_kernel - c * windows / chunks_per_kernel)
         .filter(|&len| len > 0)
         .collect();
-    let groups_per_plane: u64 = chunk_lens.iter().map(|&len| len.div_ceil(lanes) as u64).sum();
+    let groups_per_plane: u64 = chunk_lens
+        .iter()
+        .map(|&len| len.div_ceil(lanes) as u64)
+        .sum();
     let max_groups_per_unit = chunk_lens
         .iter()
         .map(|&len| len.div_ceil(lanes) as u64)
@@ -110,11 +113,7 @@ pub fn pe_array_bounds(pe_count: usize, lanes: usize, profile: &LayerProfile) ->
     let max_unit_ub = wl as u64 + max_plane_max * max_groups_per_unit;
     let upper = (total_busy_ub + fills_ub).div_ceil(pe_count as u64) + max_unit_ub;
 
-    CycleBounds {
-        lower,
-        upper,
-        macs,
-    }
+    CycleBounds { lower, upper, macs }
 }
 
 #[cfg(test)]

@@ -112,6 +112,7 @@ impl CaseConfig {
             })
             .collect();
         let bias: Vec<f32> = (0..self.c_out).map(|_| wr.uniform(-0.2, 0.2)).collect();
+        // lint:allow(P1) wv is generated with exactly wshape.len() elements two lines up
         let weight = Tensor4::from_vec(wshape, wv).expect("weight element count");
         let conv = Conv2d::from_parts(weight, bias, self.geom);
 
@@ -128,6 +129,7 @@ impl CaseConfig {
                 }
             })
             .collect();
+        // lint:allow(P1) iv is generated with exactly ishape.len() elements above
         let input = Tensor4::from_vec(ishape, iv).expect("input element count");
         (conv, input)
     }
@@ -226,8 +228,9 @@ mod tests {
         assert!(cases.iter().any(|c| c.geom.pad > 0));
         assert!(cases.iter().any(|c| c.geom.stride > c.geom.kh));
         assert!(cases.iter().any(|c| c.geom.kh > c.h + 2 * c.geom.pad));
-        assert!(cases
+        assert!(cases.iter().any(|c| c
+            .modes
             .iter()
-            .any(|c| c.modes.iter().any(|m| matches!(m, KernelMode::Speculate(p) if !p.threshold.is_finite()))));
+            .any(|m| matches!(m, KernelMode::Speculate(p) if !p.threshold.is_finite()))));
     }
 }

@@ -126,14 +126,22 @@ impl SelfCheckReport {
             100.0 * self.mac_savings(),
         );
         for f in &self.failures {
-            let _ = write!(s, "\nFAILED case seed={:#018x}\n  config: {}", f.seed, f.config);
+            let _ = write!(
+                s,
+                "\nFAILED case seed={:#018x}\n  config: {}",
+                f.seed, f.config
+            );
             for m in &f.messages {
                 let _ = write!(s, "\n  - {m}");
             }
             if let Some(m) = &f.minimized {
                 let _ = write!(s, "\n  minimized: {m}");
             }
-            let _ = write!(s, "\n  replay: snapea-tool selfcheck --replay {:#018x}", f.seed);
+            let _ = write!(
+                s,
+                "\n  replay: snapea-tool selfcheck --replay {:#018x}",
+                f.seed
+            );
         }
         s
     }
@@ -187,7 +195,11 @@ fn tol(terms: usize) -> f32 {
 fn locate(idx: usize, kernels: usize, windows: usize, ow: usize) -> String {
     let (pair, w) = (idx / windows.max(1), idx % windows.max(1));
     let (n, k) = (pair / kernels.max(1), pair % kernels.max(1));
-    format!("image {n} kernel {k} window {w} (oy {}, ox {})", w / ow.max(1), w % ow.max(1))
+    format!(
+        "image {n} kernel {k} window {w} (oy {}, ox {})",
+        w / ow.max(1),
+        w % ow.max(1)
+    )
 }
 
 struct ConvCheck {
@@ -456,9 +468,12 @@ fn check_sim(
     messages: &mut Vec<String>,
 ) -> u64 {
     let mut checks = 0u64;
-    for (cname, cfg) in [("snapea", AccelConfig::snapea()), ("eyeriss", AccelConfig::eyeriss())] {
-        let layer = LayerWorkload::new("case", profile.clone(), input_words)
-            .with_spatial(out_h, out_w);
+    for (cname, cfg) in [
+        ("snapea", AccelConfig::snapea()),
+        ("eyeriss", AccelConfig::eyeriss()),
+    ] {
+        let layer =
+            LayerWorkload::new("case", profile.clone(), input_words).with_spatial(out_h, out_w);
         let (run, cycles) = map_layer(&cfg, &layer, |_| {});
         let bounds = pe_array_bounds(cfg.pe_count(), cfg.lanes_per_pe, profile);
         if run.macs != bounds.macs {
@@ -540,6 +555,7 @@ fn check_aux(seed: u64, input: &Tensor4, messages: &mut Vec<String>) -> u64 {
         .map(|_| r.uniform(-1.0, 1.0))
         .collect();
     let bias: Vec<f32> = (0..out_features).map(|_| r.uniform(-0.5, 0.5)).collect();
+    // lint:allow(P1) wv is generated with exactly out_features × features elements above
     let weight = Tensor2::from_vec(Shape2::new(out_features, features), wv).expect("fc weight");
     let lin = Linear::from_parts(weight, bias);
     let got = lin.forward(input);
@@ -576,7 +592,14 @@ pub fn run_case(case_seed: u64, opts: &HarnessOptions) -> CaseOutcome {
     let oh = reference::conv_out_dim(s.h, geom.kh, geom.stride, geom.pad);
     let ow = reference::conv_out_dim(s.w, geom.kw, geom.stride, geom.pad);
     let input_words = s.item_len() as u64;
-    cc.checks += check_sim("exact", &cc.exact_profile, oh, ow, input_words, &mut cc.messages);
+    cc.checks += check_sim(
+        "exact",
+        &cc.exact_profile,
+        oh,
+        ow,
+        input_words,
+        &mut cc.messages,
+    );
     if let Some(p) = cc.predictive_profile.clone() {
         cc.checks += check_sim("predictive", &p, oh, ow, input_words, &mut cc.messages);
     }
@@ -616,12 +639,14 @@ fn minimize(
             Shape4::new(1, cfg.c_in, cfg.h, cfg.w),
             input.item(n).to_vec(),
         )
+        // lint:allow(P1) item(n) is a c_in × h × w slice of the input's own shape
         .expect("item slice matches shape");
         for k in 0..cfg.c_out {
             let weight = Tensor4::from_vec(
                 Shape4::new(1, cfg.c_in, geom.kh, geom.kw),
                 conv.weight().item(k).to_vec(),
             )
+            // lint:allow(P1) item(k) is a c_in × kh × kw slice of the weight tensor's own shape
             .expect("kernel slice matches shape");
             let sub_conv = Conv2d::from_parts(weight, vec![conv.bias()[k]], geom);
             let sub = check_conv(
@@ -694,9 +719,18 @@ mod tests {
         assert!(!r.passed());
         assert_eq!(r.failures.len(), 3, "every case trips the injected bug");
         let text = r.render_text();
-        assert!(text.contains("seed=0x"), "failure must print the seed:\n{text}");
-        assert!(text.contains("config:"), "failure must print the config:\n{text}");
-        assert!(text.contains("replay:"), "failure must print a replay line:\n{text}");
+        assert!(
+            text.contains("seed=0x"),
+            "failure must print the seed:\n{text}"
+        );
+        assert!(
+            text.contains("config:"),
+            "failure must print the config:\n{text}"
+        );
+        assert!(
+            text.contains("replay:"),
+            "failure must print a replay line:\n{text}"
+        );
         assert!(
             text.contains("minimized:"),
             "failure must include a minimized reproduction:\n{text}"

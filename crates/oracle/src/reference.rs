@@ -65,10 +65,7 @@ pub fn conv_dense(weight: &Tensor4, bias: &[f32], geom: ConvGeom, input: &Tensor
                             for kx in 0..geom.kw {
                                 let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
                                 let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
-                                if iy >= 0
-                                    && ix >= 0
-                                    && (iy as usize) < s.h
-                                    && (ix as usize) < s.w
+                                if iy >= 0 && ix >= 0 && (iy as usize) < s.h && (ix as usize) < s.w
                                 {
                                     acc += input[(n, c, iy as usize, ix as usize)]
                                         * weight[(o, c, ky, kx)];
@@ -98,7 +95,10 @@ pub fn relu(t: &Tensor4) -> Tensor4 {
 /// windows).
 pub fn maxpool(input: &Tensor4, k: usize, stride: usize, pad: usize) -> (Tensor4, Vec<u32>) {
     let s = input.shape();
-    let (oh, ow) = (pool_out_dim(s.h, k, stride, pad), pool_out_dim(s.w, k, stride, pad));
+    let (oh, ow) = (
+        pool_out_dim(s.h, k, stride, pad),
+        pool_out_dim(s.w, k, stride, pad),
+    );
     let mut out = Tensor4::zeros(Shape4::new(s.n, s.c, oh, ow));
     let mut arg = Vec::with_capacity(s.n * s.c * oh * ow);
     for n in 0..s.n {
@@ -134,7 +134,10 @@ pub fn maxpool(input: &Tensor4, k: usize, stride: usize, pad: usize) -> (Tensor4
 /// full `k × k` window area.
 pub fn avgpool(input: &Tensor4, k: usize, stride: usize, pad: usize) -> Tensor4 {
     let s = input.shape();
-    let (oh, ow) = (pool_out_dim(s.h, k, stride, pad), pool_out_dim(s.w, k, stride, pad));
+    let (oh, ow) = (
+        pool_out_dim(s.h, k, stride, pad),
+        pool_out_dim(s.w, k, stride, pad),
+    );
     let mut out = Tensor4::zeros(Shape4::new(s.n, s.c, oh, ow));
     for n in 0..s.n {
         for c in 0..s.c {
@@ -206,15 +209,11 @@ pub struct OracleOrder {
 }
 
 /// Ascending `(value, index)` comparison per the reordering spec's
-/// `partial_cmp`-plus-index tie-break (NaN-free weights; `-0.0` and `0.0`
-/// compare equal and fall through to the index).
+/// `total_cmp`-plus-index tie-break (total order, so `-0.0` sorts before
+/// `0.0` and no NaN escape hatch is needed) — mirroring `snapea`'s
+/// `reorder` module exactly.
 fn by_value(weights: &[f32]) -> impl Fn(&usize, &usize) -> std::cmp::Ordering + '_ {
-    |&a, &b| {
-        weights[a]
-            .partial_cmp(&weights[b])
-            .expect("oracle weights are never NaN")
-            .then(a.cmp(&b))
-    }
+    |&a, &b| weights[a].total_cmp(&weights[b]).then(a.cmp(&b))
 }
 
 /// Exact-mode order: non-negative weights in original order, then negative
@@ -481,11 +480,7 @@ mod tests {
     #[test]
     fn dense_conv_identity_kernel() {
         // A 1x1 identity kernel reproduces the input.
-        let x = Tensor4::from_vec(
-            Shape4::new(1, 1, 2, 2),
-            vec![1.0, -2.0, 3.0, 4.0],
-        )
-        .unwrap();
+        let x = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0, -2.0, 3.0, 4.0]).unwrap();
         let w = Tensor4::from_vec(Shape4::new(1, 1, 1, 1), vec![1.0]).unwrap();
         let y = conv_dense(&w, &[0.0], ConvGeom::square(1, 1, 0), &x);
         assert_eq!(y.as_slice(), x.as_slice());
@@ -493,11 +488,7 @@ mod tests {
 
     #[test]
     fn walk_matches_full_value_when_nothing_terminates() {
-        let x = Tensor4::from_vec(
-            Shape4::new(1, 1, 2, 2),
-            vec![1.0, 2.0, 3.0, 4.0],
-        )
-        .unwrap();
+        let x = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let w = [0.5, 0.25, 0.125, 1.0];
         let ord = exact_order(&w);
         let r = walk_window(&x, 0, 0, 0, &w, &ord, ConvGeom::square(2, 1, 0), 0.1);
@@ -509,11 +500,7 @@ mod tests {
 
     #[test]
     fn pool_references_agree_on_simple_case() {
-        let x = Tensor4::from_vec(
-            Shape4::new(1, 1, 2, 2),
-            vec![1.0, 5.0, 3.0, 2.0],
-        )
-        .unwrap();
+        let x = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0, 5.0, 3.0, 2.0]).unwrap();
         let (y, arg) = maxpool(&x, 2, 2, 0);
         assert_eq!(y.as_slice(), &[5.0]);
         assert_eq!(arg, vec![1]);

@@ -18,7 +18,10 @@ const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
 /// Mixes a seed and an index into an independent stream seed, so case `i`
 /// of run `seed` can be replayed without generating cases `0..i`.
 pub fn mix(seed: u64, index: u64) -> u64 {
-    finalize(seed.wrapping_add(index.wrapping_mul(GOLDEN)).wrapping_add(GOLDEN))
+    finalize(
+        seed.wrapping_add(index.wrapping_mul(GOLDEN))
+            .wrapping_add(GOLDEN),
+    )
 }
 
 fn finalize(mut z: u64) -> u64 {
@@ -73,18 +76,24 @@ mod tests {
 
     #[test]
     fn streams_are_deterministic_and_seed_sensitive() {
-        let a: Vec<u64> = (0..8).map({
-            let mut r = OracleRng::new(1);
-            move |_| r.next_u64()
-        }).collect();
-        let b: Vec<u64> = (0..8).map({
-            let mut r = OracleRng::new(1);
-            move |_| r.next_u64()
-        }).collect();
-        let c: Vec<u64> = (0..8).map({
-            let mut r = OracleRng::new(2);
-            move |_| r.next_u64()
-        }).collect();
+        let a: Vec<u64> = (0..8)
+            .map({
+                let mut r = OracleRng::new(1);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map({
+                let mut r = OracleRng::new(1);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let c: Vec<u64> = (0..8)
+            .map({
+                let mut r = OracleRng::new(2);
+                move |_| r.next_u64()
+            })
+            .collect();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

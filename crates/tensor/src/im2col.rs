@@ -10,7 +10,9 @@
 use crate::{Shape2, Tensor2, Tensor4};
 
 /// Geometry of a 2-D convolution: kernel size, stride and zero padding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct ConvGeom {
     /// Kernel height.
     pub kh: usize,
@@ -68,6 +70,7 @@ pub fn im2col(input: &Tensor4, n: usize, geom: ConvGeom) -> Tensor2 {
 /// # Panics
 ///
 /// Panics if `n` is out of bounds or `out` has the wrong length.
+// lint:allow(P2) rows/cols derive from the asserted buffer length; iy/ix are bounds-checked before use
 pub fn im2col_into(input: &Tensor4, n: usize, geom: ConvGeom, out: &mut [f32]) {
     let s = input.shape();
     let (oh, ow) = (geom.out_h(s.h), geom.out_w(s.w));
@@ -142,6 +145,7 @@ pub fn col2im_item(
 /// # Panics
 ///
 /// Panics if either slice has the wrong length for `(c, h, w, geom)`.
+// lint:allow(P2) both slice lengths are asserted above the loops; iy/ix are bounds-checked before use
 pub fn col2im_item_slice(
     cols: &[f32],
     grad_item: &mut [f32],
@@ -173,8 +177,7 @@ pub fn col2im_item_slice(
                         if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        grad_item[(ci * h + iy as usize) * w + ix as usize] +=
-                            src[oy * ow + ox];
+                        grad_item[(ci * h + iy as usize) * w + ix as usize] += src[oy * ow + ox];
                     }
                 }
             }

@@ -39,6 +39,7 @@ mod tensor4;
 
 pub mod im2col;
 pub mod init;
+pub mod num;
 pub mod par;
 pub mod q16;
 pub mod scratch;

@@ -47,6 +47,7 @@ fn axpy(out: &mut [f32], a: f32, b: &[f32]) {
 /// instead of once per step. Vectorization still happens across the
 /// independent `n` dimension, never across `k`.
 #[inline]
+// lint:allow(P2) j < n = out.len() by the loop bound; every b row is debug-asserted to length n
 fn axpy_k8(out: &mut [f32], a: &[f32; AXPY_K_UNROLL], b: [&[f32]; AXPY_K_UNROLL]) {
     let n = out.len();
     for bq in b {
@@ -71,6 +72,8 @@ fn axpy_k8(out: &mut [f32], a: &[f32; AXPY_K_UNROLL], b: [&[f32]; AXPY_K_UNROLL]
 /// `a` holds the `k` coefficients for this output row; `bs(p)` must return
 /// the RHS row-`p` slice aligned with `out`.
 #[inline]
+// lint:allow(P1) the try_into target is a p..p+AXPY_K_UNROLL window with p < k8 ≤ k − AXPY_K_UNROLL + …, always exactly block-sized
+// lint:allow(P2) p stays below k = a.len() by both while bounds
 fn axpy_k_loop<'a>(out: &mut [f32], a: &[f32], bs: impl Fn(usize) -> &'a [f32]) {
     let k = a.len();
     let k8 = k - k % AXPY_K_UNROLL;
@@ -123,6 +126,7 @@ fn check_slices(
 ///
 /// Returns a [`ShapeError`] if the inner dimensions disagree or any slice
 /// length does not match its shape.
+// lint:allow(P2) row/tile indices are derived from chunks_mut geometry and check_slices-validated shapes
 pub fn matmul_into(
     lhs: &[f32],
     lhs_shape: Shape2,
@@ -136,7 +140,15 @@ pub fn matmul_into(
         )));
     }
     let (m, k, n) = (lhs_shape.rows, lhs_shape.cols, rhs_shape.cols);
-    check_slices("matmul_into", lhs, lhs_shape, rhs, rhs_shape, out.len(), m * n)?;
+    check_slices(
+        "matmul_into",
+        lhs,
+        lhs_shape,
+        rhs,
+        rhs_shape,
+        out.len(),
+        m * n,
+    )?;
     if m == 0 || n == 0 {
         return Ok(());
     }
@@ -167,6 +179,7 @@ pub fn matmul_into(
 ///
 /// Returns a [`ShapeError`] if `lhs_shape.rows != rhs_shape.rows` or any
 /// slice length does not match its shape.
+// lint:allow(P2) p0 < k and row0+di < m by the block loops; slice windows sized from check_slices-validated shapes
 pub fn t_matmul_into(
     lhs: &[f32],
     lhs_shape: Shape2,
@@ -180,7 +193,15 @@ pub fn t_matmul_into(
         )));
     }
     let (m, k, n) = (lhs_shape.cols, lhs_shape.rows, rhs_shape.cols);
-    check_slices("t_matmul_into", lhs, lhs_shape, rhs, rhs_shape, out.len(), m * n)?;
+    check_slices(
+        "t_matmul_into",
+        lhs,
+        lhs_shape,
+        rhs,
+        rhs_shape,
+        out.len(),
+        m * n,
+    )?;
     if m == 0 || n == 0 {
         return Ok(());
     }
@@ -200,7 +221,11 @@ pub fn t_matmul_into(
             for (di, out_row) in slab.chunks_mut(n).enumerate() {
                 let a8: [f32; AXPY_K_UNROLL] =
                     std::array::from_fn(|q| lhs[(p0 + q) * m + row0 + di]);
-                axpy_k8(out_row, &a8, std::array::from_fn(|q| &rhs[(p0 + q) * n..][..n]));
+                axpy_k8(
+                    out_row,
+                    &a8,
+                    std::array::from_fn(|q| &rhs[(p0 + q) * n..][..n]),
+                );
             }
             p0 += AXPY_K_UNROLL;
         }
@@ -226,6 +251,7 @@ pub fn t_matmul_into(
 ///
 /// Returns a [`ShapeError`] if `lhs_shape.cols != rhs_shape.cols` or any
 /// slice length does not match its shape.
+// lint:allow(P2) row indices bounded by chunks_mut geometry; j < n = rhs rows by the take(n)
 pub fn matmul_t_into(
     lhs: &[f32],
     lhs_shape: Shape2,
@@ -239,7 +265,15 @@ pub fn matmul_t_into(
         )));
     }
     let (m, k, n) = (lhs_shape.rows, lhs_shape.cols, rhs_shape.rows);
-    check_slices("matmul_t_into", lhs, lhs_shape, rhs, rhs_shape, out.len(), m * n)?;
+    check_slices(
+        "matmul_t_into",
+        lhs,
+        lhs_shape,
+        rhs,
+        rhs_shape,
+        out.len(),
+        m * n,
+    )?;
     if m == 0 || n == 0 {
         return Ok(());
     }
@@ -304,6 +338,7 @@ impl Tensor2 {
     pub fn eye(n: usize) -> Self {
         let mut m = Self::zeros(Shape2::new(n, n));
         for i in 0..n {
+            // lint:allow(P2) (i, i) with i < n indexes inside the freshly allocated n × n matrix
             m[(i, i)] = 1.0;
         }
         m
@@ -418,6 +453,7 @@ impl Tensor2 {
     /// # Errors
     ///
     /// Returns a [`ShapeError`] if `self.cols != rhs.rows`.
+    // lint:allow(P2) tile bounds j0..j1 clamp to n and p < k = rhs rows by the shape check above
     pub fn matmul_sparse_lhs(&self, rhs: &Tensor2) -> Result<Tensor2, ShapeError> {
         if self.shape.cols != rhs.shape.rows {
             return Err(ShapeError::new(format!(
@@ -570,7 +606,11 @@ mod tests {
     #[test]
     fn transposed_products_agree_with_explicit_transpose() {
         let a = mat(3, 2, &[1.0, -2.0, 0.5, 4.0, -1.0, 2.0]);
-        let b = mat(3, 4, &(0..12).map(|i| i as f32 * 0.25 - 1.0).collect::<Vec<_>>());
+        let b = mat(
+            3,
+            4,
+            &(0..12).map(|i| i as f32 * 0.25 - 1.0).collect::<Vec<_>>(),
+        );
         let fast = a.t_matmul(&b).unwrap();
         let slow = a.transpose().matmul(&b).unwrap();
         assert_eq!(fast, slow);
@@ -706,9 +746,23 @@ mod tests {
         let ak = lcg_mat(4, 1, &mut seed);
         let bk = lcg_mat(1, 9, &mut seed);
         let mut out = vec![0.0f32; 4 * 9];
-        matmul_into(ak.as_slice(), ak.shape(), bk.as_slice(), bk.shape(), &mut out).unwrap();
+        matmul_into(
+            ak.as_slice(),
+            ak.shape(),
+            bk.as_slice(),
+            bk.shape(),
+            &mut out,
+        )
+        .unwrap();
         let doubled: Vec<f32> = out.iter().map(|v| v + v).collect();
-        matmul_into(ak.as_slice(), ak.shape(), bk.as_slice(), bk.shape(), &mut out).unwrap();
+        matmul_into(
+            ak.as_slice(),
+            ak.shape(),
+            bk.as_slice(),
+            bk.shape(),
+            &mut out,
+        )
+        .unwrap();
         assert_eq!(out, doubled);
 
         let at = lcg_mat(6, 4, &mut seed); // lhsᵀ is 4×6
@@ -727,9 +781,7 @@ mod tests {
         let a = mat(2, 3, &[0.0; 6]);
         let b = mat(3, 2, &[0.0; 6]);
         let mut short = vec![0.0f32; 3];
-        assert!(
-            matmul_into(a.as_slice(), a.shape(), b.as_slice(), b.shape(), &mut short).is_err()
-        );
+        assert!(matmul_into(a.as_slice(), a.shape(), b.as_slice(), b.shape(), &mut short).is_err());
         assert!(matmul_into(&[0.0; 5], a.shape(), b.as_slice(), b.shape(), &mut short).is_err());
     }
 

@@ -1,0 +1,85 @@
+//! Audited narrowing conversions for kernel and simulator arithmetic.
+//!
+//! The `snapea-lint` N1 rule bans bare `as` casts to narrow integers in the
+//! hot kernel/simulator files: a silent wrap there corrupts results instead
+//! of failing. These helpers are the sanctioned replacements — each one
+//! states its saturation/rounding contract, debug-asserts the in-range
+//! invariant the caller relies on, and degrades to saturation (never a
+//! wrap) in release builds.
+
+/// Saturating `f32 → i16` for the fixed-point quantiser: values outside
+/// `i16` range clamp to the nearest bound, `NaN` maps to 0 (the semantics
+/// of Rust's saturating float-to-int `as`, made explicit).
+///
+/// The input is expected to be pre-rounded; this function only narrows.
+#[inline]
+pub fn sat_i16(v: f32) -> i16 {
+    v.clamp(i16::MIN as f32, i16::MAX as f32) as i16
+}
+
+/// Narrows an operation count to the `u32` the per-window `ops` counters
+/// use, saturating at `u32::MAX`. Window lengths are `c·k·k ≤ 2¹⁵` for any
+/// layer in scope, so saturation is unreachable in practice; counters
+/// prefer a pegged maximum over a wrapped-to-small lie if that ever changes.
+#[inline]
+pub fn ops_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+/// Narrows an element index to `u32` (window ids, tap permutation entries).
+/// Debug builds assert the index fits; release builds saturate, which turns
+/// an impossible out-of-range id into an out-of-bounds panic at the use
+/// site rather than silently aliasing element 0.
+#[inline]
+pub fn idx_u32(n: usize) -> u32 {
+    debug_assert!(u32::try_from(n).is_ok(), "index {n} exceeds u32::MAX");
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+/// Narrows an element offset to the signed `i32` tap-offset encoding
+/// (negative values are the executor's "out of bounds / padding" marker,
+/// so offsets must stay in `0..=i32::MAX`). Debug builds assert the offset
+/// fits; release builds saturate.
+#[inline]
+pub fn idx_i32(n: usize) -> i32 {
+    debug_assert!(i32::try_from(n).is_ok(), "offset {n} exceeds i32::MAX");
+    i32::try_from(n).unwrap_or(i32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sat_i16_rounds_are_clamped_not_wrapped() {
+        assert_eq!(sat_i16(0.0), 0);
+        assert_eq!(sat_i16(123.0), 123);
+        assert_eq!(sat_i16(-123.0), -123);
+        assert_eq!(sat_i16(40000.0), i16::MAX);
+        assert_eq!(sat_i16(-40000.0), i16::MIN);
+        assert_eq!(sat_i16(f32::NAN), 0);
+        assert_eq!(sat_i16(f32::INFINITY), i16::MAX);
+        assert_eq!(sat_i16(f32::NEG_INFINITY), i16::MIN);
+    }
+
+    #[test]
+    fn unsigned_narrowing_saturates() {
+        assert_eq!(ops_u32(0), 0);
+        assert_eq!(ops_u32(4_000_000_000), 4_000_000_000);
+        assert_eq!(ops_u32(usize::MAX), u32::MAX);
+        assert_eq!(idx_u32(7), 7);
+    }
+
+    #[test]
+    fn signed_narrowing_saturates() {
+        assert_eq!(idx_i32(0), 0);
+        assert_eq!(idx_i32(2_000_000_000), 2_000_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds i32::MAX")]
+    #[cfg(debug_assertions)]
+    fn signed_narrowing_asserts_in_debug() {
+        let _ = idx_i32(usize::MAX);
+    }
+}

@@ -47,7 +47,6 @@ use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 /// Cached thread count; 0 means "not resolved yet".
 static THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -118,17 +117,24 @@ where
     F: Fn(usize, T) -> R + Sync,
 {
     let nested = IN_WORKER.with(Cell::get);
-    let workers = if nested { 1 } else { threads().min(tasks.len()) };
+    let workers = if nested {
+        1
+    } else {
+        threads().min(tasks.len())
+    };
     if workers <= 1 {
-        return tasks.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
     }
 
     let n_tasks = tasks.len();
     snapea_obs::counter("par/invocations").inc();
     snapea_obs::counter("par/tasks").add(n_tasks as u64);
 
-    let queue: Mutex<VecDeque<(usize, T)>> =
-        Mutex::new(tasks.into_iter().enumerate().collect());
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(tasks.into_iter().enumerate().collect());
     let mut slots: Vec<Option<R>> = (0..n_tasks).map(|_| None).collect();
     let mut busy_ns: Vec<u64> = Vec::with_capacity(workers);
 
@@ -137,19 +143,29 @@ where
             .map(|_| {
                 s.spawn(|| {
                     IN_WORKER.with(|w| w.set(true));
-                    let started = Instant::now();
+                    let started = snapea_obs::Stopwatch::start();
                     let mut done: Vec<(usize, R)> = Vec::new();
                     loop {
-                        let next = queue.lock().expect("pool queue poisoned").pop_front();
+                        // A poisoned queue only means another worker's task
+                        // panicked; the VecDeque itself is still coherent,
+                        // and that panic is re-raised at join below.
+                        let next = queue
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .pop_front();
                         let Some((i, t)) = next else { break };
                         done.push((i, f(i, t)));
                     }
-                    (done, started.elapsed().as_nanos() as u64)
+                    (done, started.elapsed_ns())
                 })
             })
             .collect();
         for h in handles {
-            let (done, ns) = h.join().expect("pool worker panicked");
+            let (done, ns) = match h.join() {
+                Ok(r) => r,
+                // Documented contract: panics in `f` propagate to the caller.
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
             busy_ns.push(ns);
             for (i, r) in done {
                 slots[i] = Some(r);
@@ -169,6 +185,7 @@ where
 
     slots
         .into_iter()
+        // lint:allow(P1) queue drains exactly once per index and every worker joined, so each slot was written
         .map(|r| r.expect("every task produced a result"))
         .collect()
 }
@@ -221,8 +238,7 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let nested: Vec<Vec<R>> =
-        parallel_map_chunks(n, chunk, |_, range| range.map(&f).collect());
+    let nested: Vec<Vec<R>> = parallel_map_chunks(n, chunk, |_, range| range.map(&f).collect());
     let mut out = Vec::with_capacity(n);
     for v in nested {
         out.extend(v);

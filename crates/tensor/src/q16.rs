@@ -69,7 +69,7 @@ impl Q16Format {
     /// Quantises an `f32` to fixed point, rounding to nearest and saturating.
     pub fn quantize(self, v: f32) -> Q16 {
         let scaled = (v * (1i32 << self.frac_bits) as f32).round();
-        Q16(scaled.clamp(i16::MIN as f32, i16::MAX as f32) as i16)
+        Q16(crate::num::sat_i16(scaled))
     }
 
     /// Converts a fixed-point value back to `f32`.

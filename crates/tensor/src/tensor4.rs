@@ -128,7 +128,11 @@ impl Tensor4 {
         // Computed from `item_len` rather than `offset(n, 0, 0, 0)` so that
         // degenerate shapes with a zero channel/spatial axis yield an empty
         // slice instead of tripping the offset bounds check.
-        assert!(n < self.shape.n, "item {n} out of bounds for {}", self.shape);
+        assert!(
+            n < self.shape.n,
+            "item {n} out of bounds for {}",
+            self.shape
+        );
         let len = self.shape.item_len();
         &self.data[n * len..(n + 1) * len]
     }
@@ -139,7 +143,11 @@ impl Tensor4 {
     ///
     /// Panics if `n` is out of bounds.
     pub fn item_mut(&mut self, n: usize) -> &mut [f32] {
-        assert!(n < self.shape.n, "item {n} out of bounds for {}", self.shape);
+        assert!(
+            n < self.shape.n,
+            "item {n} out of bounds for {}",
+            self.shape
+        );
         let len = self.shape.item_len();
         &mut self.data[n * len..(n + 1) * len]
     }
@@ -190,6 +198,7 @@ impl Tensor4 {
             crate::Shape2::new(self.shape.n, self.shape.item_len()),
             self.data.clone(),
         )
+        // lint:allow(P1) n × item_len is by definition the element count of this tensor's own data
         .expect("shape product is preserved")
     }
 

@@ -36,7 +36,10 @@ fn main() {
     let snapea = simulate(&AccelConfig::snapea(), &model, &wl);
     let eyeriss = simulate(&AccelConfig::eyeriss(), &model, &wl.to_dense());
 
-    println!("\n{:<12} {:>12} {:>14} {:>10}", "machine", "cycles", "energy (uJ)", "util");
+    println!(
+        "\n{:<12} {:>12} {:>14} {:>10}",
+        "machine", "cycles", "energy (uJ)", "util"
+    );
     for (name, r) in [("SnaPEA", &snapea), ("EYERISS", &eyeriss)] {
         println!(
             "{:<12} {:>12} {:>14.3} {:>9.1}%",

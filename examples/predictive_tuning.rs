@@ -28,7 +28,11 @@ fn main() {
     println!("training MiniAlexNet...");
     for epoch in 0..10 {
         let s = trainer.epoch(&mut net, &train, &mut rng);
-        println!("  epoch {epoch:2}: loss {:.3}, train acc {:.1}%", s.loss, s.accuracy * 100.0);
+        println!(
+            "  epoch {epoch:2}: loss {:.3}, train acc {:.1}%",
+            s.loss,
+            s.accuracy * 100.0
+        );
     }
     println!("eval accuracy: {:.1}%\n", evaluate(&net, &eval, 32) * 100.0);
 
@@ -57,7 +61,11 @@ fn main() {
         println!(
             "  {:<8} {}  ops {:>9} (exact {:>9}, dense {:>9})",
             l.name,
-            if l.predictive { "predictive" } else { "exact     " },
+            if l.predictive {
+                "predictive"
+            } else {
+                "exact     "
+            },
             l.ops,
             l.exact_ops,
             l.full_macs

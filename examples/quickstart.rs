@@ -52,10 +52,7 @@ fn main() {
         .count();
     println!("predictive mode (Th=0.05, N=4):");
     println!("  executed MACs   : {}", pred.profile.total_ops());
-    println!(
-        "  MACs eliminated : {:.1}%",
-        pred.profile.savings() * 100.0
-    );
+    println!("  MACs eliminated : {:.1}%", pred.profile.savings() * 100.0);
     println!(
         "  positives squashed: {squashed} of {} outputs",
         dense.shape().len()

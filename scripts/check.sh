@@ -19,8 +19,28 @@ SNAPEA_THREADS=1 cargo test --workspace -q --offline
 echo "==> cargo test -q --offline (SNAPEA_THREADS=4)"
 SNAPEA_THREADS=4 cargo test --workspace -q --offline
 
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Domain-specific static analysis (DESIGN.md §8): the workspace must lint
+# clean, and — same protocol as selfcheck --inject-bug below — the lint
+# must prove it *can* fail, on a fixture with a planted violation.
+LINT=./target/release/snapea-tool
+echo "==> snapea-tool lint"
+"$LINT" lint --root .
+echo "==> snapea-tool lint negative smoke (planted violation must fail)"
+FIXTURE=$(mktemp -d)
+trap 'rm -rf "$FIXTURE"' EXIT
+mkdir -p "$FIXTURE/crates/core/src"
+printf '[workspace]\n' > "$FIXTURE/Cargo.toml"
+printf '#![forbid(unsafe_code)]\nuse std::collections::HashMap;\n' \
+  > "$FIXTURE/crates/core/src/lib.rs"
+if "$LINT" lint --root "$FIXTURE" > /dev/null 2>&1; then
+  echo "ERROR: planted D1 violation went undetected"; exit 1
+fi
 
 # Differential selfcheck: the speculative executor, kernels, and cycle
 # simulator fuzzed against the snapea-oracle reference models, serial and

@@ -45,8 +45,7 @@ fn conv_forward_is_bit_identical_across_thread_counts() {
 fn conv_backward_is_bit_identical_across_thread_counts() {
     let (conv, input) = mini_layer();
     let grad_out = init::uniform4(conv.out_shape(input.shape()), 1.0, &mut init::rng(7));
-    let ((gi1, gw1, gb1), (gi4, gw4, gb4)) =
-        at_both_threads(|| conv.backward(&input, &grad_out));
+    let ((gi1, gw1, gb1), (gi4, gw4, gb4)) = at_both_threads(|| conv.backward(&input, &grad_out));
     assert_eq!(gi1.as_slice(), gi4.as_slice(), "grad_input");
     assert_eq!(gw1.as_slice(), gw4.as_slice(), "grad_weight");
     assert_eq!(gb1, gb4, "grad_bias");

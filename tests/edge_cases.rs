@@ -40,8 +40,18 @@ fn assert_exact_walk_matches(conv: &Conv2d, input: &Tensor4) {
         &snapea_suite::core::params::LayerParams::Exact,
     );
     assert_eq!(r.output.as_slice().len(), walk.output.as_slice().len());
-    for (i, (a, b)) in r.output.as_slice().iter().zip(walk.output.as_slice()).enumerate() {
-        assert_eq!(a.to_bits(), b.to_bits(), "element {i}: executor {a} vs oracle {b}");
+    for (i, (a, b)) in r
+        .output
+        .as_slice()
+        .iter()
+        .zip(walk.output.as_slice())
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "element {i}: executor {a} vs oracle {b}"
+        );
     }
     assert_eq!(r.profile.ops_slice(), &walk.ops[..]);
 }
@@ -135,7 +145,11 @@ fn all_negative_weights_terminate_every_window_after_one_mac() {
 
     let res = execute_conv(&conv, &input, &LayerConfig::exact(&conv));
     let windows = res.profile.windows() * res.profile.images() * res.profile.kernels();
-    assert_eq!(res.profile.total_ops(), windows as u64, "exactly one MAC per window");
+    assert_eq!(
+        res.profile.total_ops(),
+        windows as u64,
+        "exactly one MAC per window"
+    );
     assert!(res.output.as_slice().iter().all(|&v| v < 0.0));
     assert_exact_matches_oracle(&conv, &input);
 }
@@ -164,7 +178,10 @@ fn all_negative_inputs_terminate_at_the_negative_region_boundary() {
 
     let res = execute_conv(&conv, &input, &LayerConfig::exact(&conv));
     for &ops in res.profile.ops_slice() {
-        assert_eq!(ops as usize, neg_start, "every window stops entering the negative region");
+        assert_eq!(
+            ops as usize, neg_start,
+            "every window stops entering the negative region"
+        );
     }
     assert!(res.output.as_slice().iter().all(|&v| v.max(0.0) == 0.0));
     // Signed inputs: only the walk-vs-walk check applies (sign-check

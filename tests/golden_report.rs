@@ -24,8 +24,7 @@ fn golden(name: &str) -> String {
 
 fn run_report_json() -> String {
     let events = format!("{}/tests/golden/events.jsonl", env!("CARGO_MANIFEST_DIR"));
-    let args =
-        Args::parse_with_flags(["report", events.as_str(), "--json"], &["json"]).unwrap();
+    let args = Args::parse_with_flags(["report", events.as_str(), "--json"], &["json"]).unwrap();
     commands::run(&args).expect("report succeeds on the fixture log")
 }
 
@@ -49,5 +48,8 @@ fn report_json_output_is_parsable_with_expected_fields() {
     let exec = doc.get("exec").expect("exec section");
     assert_eq!(exec.get("full_macs").and_then(Json::as_u64), Some(1500));
     assert_eq!(exec.get("performed_macs").and_then(Json::as_u64), Some(700));
-    assert!(doc.get("phases").and_then(Json::as_array).is_some_and(|p| p.len() == 2));
+    assert!(doc
+        .get("phases")
+        .and_then(Json::as_array)
+        .is_some_and(|p| p.len() == 2));
 }

@@ -2,15 +2,15 @@
 
 use proptest::prelude::*;
 use snapea_suite::core::exec::{run_window, KernelExec, LayerConfig};
-use snapea_suite::oracle::OracleRng;
-use snapea_suite::tensor::im2col::{col2im, im2col};
-use snapea_suite::tensor::{Shape2, Tensor2};
 use snapea_suite::core::params::KernelParams;
 use snapea_suite::core::pau::{Pau, TerminationKind};
 use snapea_suite::core::reorder::{magnitude_reorder, predictive_reorder, sign_reorder};
 use snapea_suite::nn::ops::Conv2d;
+use snapea_suite::oracle::OracleRng;
 use snapea_suite::tensor::im2col::ConvGeom;
+use snapea_suite::tensor::im2col::{col2im, im2col};
 use snapea_suite::tensor::q16::{Q16Format, QAcc};
+use snapea_suite::tensor::{Shape2, Tensor2};
 use snapea_suite::tensor::{Shape4, Tensor4};
 
 fn weights_strategy(max_len: usize) -> impl Strategy<Value = Vec<f32>> {

@@ -29,7 +29,10 @@ fn injected_bug_reports_seed_and_config() {
     let broken = run_selfcheck(4, 0xC0FFEE, &opts);
     assert_eq!(broken.failures.len(), 4);
     for f in &broken.failures {
-        assert!(f.config.contains("seed="), "config line must carry the seed");
+        assert!(
+            f.config.contains("seed="),
+            "config line must carry the seed"
+        );
         assert!(!f.messages.is_empty());
         assert!(
             f.minimized.is_some(),
@@ -37,7 +40,9 @@ fn injected_bug_reports_seed_and_config() {
         );
         // The printed seed replays the exact failing case, standalone.
         assert!(run_case(f.seed, &opts).failure.is_some());
-        assert!(run_case(f.seed, &HarnessOptions::default()).failure.is_none());
+        assert!(run_case(f.seed, &HarnessOptions::default())
+            .failure
+            .is_none());
     }
     let text = broken.render_text();
     assert!(text.contains("replay: snapea-tool selfcheck --replay 0x"));
@@ -60,5 +65,8 @@ fn selfcheck_report_is_thread_count_invariant() {
         })
         .collect();
     par::set_threads(1);
-    assert_eq!(texts[0], texts[1], "selfcheck must not depend on SNAPEA_THREADS");
+    assert_eq!(
+        texts[0], texts[1],
+        "selfcheck must not depend on SNAPEA_THREADS"
+    );
 }

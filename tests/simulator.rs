@@ -7,7 +7,12 @@ use snapea_suite::accel::workload::{LayerWorkload, NetworkWorkload};
 use snapea_suite::accel::{AccelConfig, EnergyModel};
 use snapea_suite::core::exec::LayerProfile;
 
-fn workload_from(ops: Vec<u32>, kernels: usize, windows: usize, window_len: usize) -> NetworkWorkload {
+fn workload_from(
+    ops: Vec<u32>,
+    kernels: usize,
+    windows: usize,
+    window_len: usize,
+) -> NetworkWorkload {
     let profile = LayerProfile::from_ops(1, kernels, windows, window_len, ops);
     NetworkWorkload {
         name: "prop".into(),
@@ -121,5 +126,8 @@ fn network_level_speedup_holds() {
     );
     assert!(sn_pred.speedup_over(&ey) > 1.5);
     // Per-layer cycle totals add up.
-    assert_eq!(sn.cycles, sn.per_layer.iter().map(|l| l.cycles).sum::<u64>());
+    assert_eq!(
+        sn.cycles,
+        sn.per_layer.iter().map(|l| l.cycles).sum::<u64>()
+    );
 }
