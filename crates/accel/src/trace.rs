@@ -100,6 +100,71 @@ impl LayerTrace {
             );
         }
     }
+
+    /// Exports this layer's cycle-accurate PE timeline through the obs sinks
+    /// as `sim/pe/phase` events: one `fill` slice per weight/index buffer
+    /// load, one `compute` slice per dispatched unit, and one `stall` slice
+    /// per PE waiting at the end-of-layer barrier. `start_cycle` values are
+    /// offset by `base_cycle` so consecutive layers share one virtual clock
+    /// (layer boundaries are synchronisation barriers). Timestamps are pure
+    /// virtual time — no wall clock — so the timeline is a deterministic
+    /// function of the workload. Returns the next layer's base cycle.
+    pub fn emit_pe_phases(&self, base_cycle: u64) -> u64 {
+        if !snapea_obs::enabled() {
+            return base_cycle + self.cycles;
+        }
+        for u in &self.units {
+            if u.fill_cycles > 0 {
+                snapea_obs::event!(
+                    "sim/pe/phase",
+                    layer = self.name.clone(),
+                    pe = u.pe as u64,
+                    phase = "fill",
+                    start_cycle = base_cycle + u.start_cycle,
+                    cycles = u.fill_cycles,
+                    kernel = u.kernel as u64,
+                );
+            }
+            if u.busy_cycles > 0 {
+                snapea_obs::event!(
+                    "sim/pe/phase",
+                    layer = self.name.clone(),
+                    pe = u.pe as u64,
+                    phase = "compute",
+                    start_cycle = base_cycle + u.start_cycle + u.fill_cycles,
+                    cycles = u.busy_cycles,
+                    kernel = u.kernel as u64,
+                    image = u.image as u64,
+                    macs = u.macs,
+                );
+            }
+        }
+        for (pe, a) in self.per_pe.iter().enumerate() {
+            let wait = self.cycles - a.finish_cycle();
+            if wait > 0 && a.units > 0 {
+                snapea_obs::event!(
+                    "sim/pe/phase",
+                    layer = self.name.clone(),
+                    pe = pe as u64,
+                    phase = "stall",
+                    start_cycle = base_cycle + a.finish_cycle(),
+                    cycles = wait,
+                );
+            }
+        }
+        base_cycle + self.cycles
+    }
+}
+
+/// Emits the cycle-accurate PE timeline of a whole network trace (see
+/// [`LayerTrace::emit_pe_phases`]): layers are laid out back to back on one
+/// shared virtual clock. Returns the network's total cycle count.
+pub fn emit_pe_timeline(traces: &[LayerTrace]) -> u64 {
+    let mut base = 0;
+    for t in traces {
+        base = t.emit_pe_phases(base);
+    }
+    base
 }
 
 /// Traces one layer's execution on `cfg`.
@@ -246,6 +311,117 @@ mod tests {
         }
         let imb = trace.imbalance();
         assert!((0.0..1.0).contains(&imb), "imbalance {imb}");
+    }
+
+    #[test]
+    fn pe_timeline_events_are_cycle_accurate_and_deterministic() {
+        use snapea_obs::Json;
+        // Unique layer names so concurrent tests' events can be filtered out
+        // (the sink list is process-global).
+        let mk = |name: &str, seed: usize| {
+            let ops: Vec<u32> = (0..2 * 4 * 32)
+                .map(|i| ((i * seed) % 18) as u32 + 1)
+                .collect();
+            LayerWorkload::new(name, LayerProfile::from_ops(2, 4, 32, 18, ops), 64)
+        };
+        let net = NetworkWorkload {
+            name: "pt".into(),
+            layers: vec![mk("pt-layer-a", 13), mk("pt-layer-b", 7)],
+        };
+        let cfg = AccelConfig::snapea();
+        let traces = trace_network(&cfg, &net);
+
+        let capture = || {
+            let mem = snapea_obs::MemorySink::new();
+            snapea_obs::sink::install(Box::new(mem.clone()));
+            let total = emit_pe_timeline(&traces);
+            snapea_obs::sink::clear();
+            let events: Vec<Json> = mem
+                .events()
+                .into_iter()
+                .filter(|e| {
+                    e.get("kind").and_then(Json::as_str) == Some("sim/pe/phase")
+                        && e.get("layer")
+                            .and_then(Json::as_str)
+                            .is_some_and(|l| l.starts_with("pt-layer-"))
+                })
+                .collect();
+            (total, events)
+        };
+        let (total, events) = capture();
+        assert_eq!(
+            total,
+            traces.iter().map(|t| t.cycles).sum::<u64>(),
+            "timeline spans the whole network"
+        );
+        assert!(!events.is_empty());
+
+        // Per-layer compute cycles in the timeline equal the trace's busy
+        // cycles, and every slice fits inside its layer's cycle window.
+        let mut base = 0u64;
+        for t in &traces {
+            let layer_events: Vec<&Json> = events
+                .iter()
+                .filter(|e| e.get("layer").and_then(Json::as_str) == Some(t.name.as_str()))
+                .collect();
+            let cycles_of = |phase: &str| -> u64 {
+                layer_events
+                    .iter()
+                    .filter(|e| e.get("phase").and_then(Json::as_str) == Some(phase))
+                    .filter_map(|e| e.get("cycles").and_then(Json::as_u64))
+                    .sum()
+            };
+            let busy: u64 = t.per_pe.iter().map(|p| p.busy_cycles).sum();
+            let fills: u64 = t.per_pe.iter().map(|p| p.fill_cycles).sum();
+            assert_eq!(cycles_of("compute"), busy, "layer {}", t.name);
+            assert_eq!(cycles_of("fill"), fills, "layer {}", t.name);
+            for e in &layer_events {
+                let start = e.get("start_cycle").and_then(Json::as_u64).unwrap();
+                let cycles = e.get("cycles").and_then(Json::as_u64).unwrap();
+                assert!(start >= base && start + cycles <= base + t.cycles);
+            }
+            base += t.cycles;
+        }
+
+        // Per PE, slices never overlap (each PE is one serial timeline).
+        let mut by_pe: std::collections::BTreeMap<u64, Vec<(u64, u64)>> =
+            std::collections::BTreeMap::new();
+        for e in &events {
+            let pe = e.get("pe").and_then(Json::as_u64).unwrap();
+            let start = e.get("start_cycle").and_then(Json::as_u64).unwrap();
+            let cycles = e.get("cycles").and_then(Json::as_u64).unwrap();
+            by_pe.entry(pe).or_default().push((start, start + cycles));
+        }
+        for (pe, mut slices) in by_pe {
+            slices.sort_unstable();
+            for w in slices.windows(2) {
+                assert!(w[0].1 <= w[1].0, "PE {pe} slices overlap: {w:?}");
+            }
+        }
+
+        // The timeline is deterministic: emitting twice (and rendering the
+        // virtual-PE Chrome trace) produces identical payloads.
+        let (_, events2) = capture();
+        let strip = |evs: &[Json]| -> String {
+            evs.iter()
+                .map(|e| {
+                    let Some(pairs) = e.as_object() else {
+                        return String::new();
+                    };
+                    pairs
+                        .iter()
+                        .filter(|(k, _)| !matches!(k.as_str(), "seq" | "t_ms" | "tid"))
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&events), strip(&events2));
+        let jsonl: String = events.iter().map(|e| format!("{e}\n")).collect();
+        let doc = snapea_obs::chrome_trace(&jsonl, snapea_obs::Selection::VirtualPe).unwrap();
+        assert!(snapea_obs::validate_chrome_trace(&doc).unwrap() > 0);
     }
 
     #[test]

@@ -51,10 +51,18 @@ fn main() {
         snapea_obs::event!("run/phase", phase = "datasets");
         datasets()
     };
-    let trained = {
+    // Training is by far the most expensive phase; skip it when every
+    // requested experiment is model-free (hardware tables, PE timelines).
+    let needs_train = all
+        || ids
+            .iter()
+            .any(|id| !matches!(*id, "table2" | "table3" | "petrace"));
+    let trained = if needs_train {
         let _span = snapea_obs::span!("repro/train");
         snapea_obs::event!("run/phase", phase = "train", cache = "repro-cache/");
         all_trained(&data)
+    } else {
+        Vec::new()
     };
     for tw in &trained {
         snapea_obs::event!(
@@ -98,6 +106,7 @@ fn main() {
     run_exp("table1", &|| experiments::table1(&trained));
     run_exp("table2", &experiments::table2);
     run_exp("table3", &experiments::table3);
+    run_exp("petrace", &experiments::petrace);
     run_exp("fig1", &|| experiments::fig1(&trained, &data));
     run_exp("fig2", &|| experiments::fig2(&trained, &data));
     run_exp("fig8", &|| experiments::fig8(&trained, &data));

@@ -259,6 +259,78 @@ pub fn table3() -> ExperimentResult {
     }
 }
 
+/// `petrace`: cycle-accurate virtual PE timelines for a small deterministic
+/// synthetic workload. The layer traces drive `sim/pe/phase` events through
+/// the obs sinks (fill/compute/stall per PE on a shared virtual clock), so a
+/// repro run's `events.jsonl` can be rendered with `snapea-tool trace
+/// <events.jsonl> --pe-trace pe.json` and loaded in Perfetto. The workload
+/// is synthetic and untrained — the artefact is the timeline itself, and the
+/// experiment runs in milliseconds.
+pub fn petrace() -> ExperimentResult {
+    use snapea::exec::LayerProfile;
+    use snapea_accel::trace::{emit_pe_timeline, trace_network};
+    use snapea_accel::workload::{LayerWorkload, NetworkWorkload};
+
+    // Deterministic per-window op counts with enough variance to exercise
+    // early termination, stragglers, and the end-of-layer barrier.
+    let mk = |name: &str, kernels: usize, windows: usize, wl: usize, stride: usize| {
+        let ops: Vec<u32> = (0..2 * kernels * windows)
+            .map(|i| ((i * stride) % wl) as u32 + 1)
+            .collect();
+        LayerWorkload::new(
+            name,
+            LayerProfile::from_ops(2, kernels, windows, wl, ops),
+            (windows * 4) as u64,
+        )
+    };
+    let net = NetworkWorkload {
+        name: "petrace".into(),
+        layers: vec![
+            mk("conv1", 8, 64, 27, 13),
+            mk("conv2", 16, 32, 36, 7),
+            mk("conv3", 16, 16, 18, 5),
+        ],
+    };
+    let cfg = AccelConfig::snapea();
+    let traces = trace_network(&cfg, &net);
+    for tr in &traces {
+        tr.emit_events();
+    }
+    let total_cycles = emit_pe_timeline(&traces);
+
+    let mut t = Table::new(vec!["Layer", "Cycles", "Units", "PEs", "Imbalance"]);
+    let mut rows = Vec::new();
+    for tr in &traces {
+        let active = tr.per_pe.iter().filter(|p| p.units > 0).count();
+        t.row(vec![
+            tr.name.clone(),
+            tr.cycles.to_string(),
+            tr.units.len().to_string(),
+            active.to_string(),
+            pct(tr.imbalance()),
+        ]);
+        rows.push(json!({
+            "layer": tr.name,
+            "cycles": tr.cycles,
+            "units": tr.units.len(),
+            "active_pes": active,
+            "imbalance": tr.imbalance(),
+        }));
+    }
+    let mut text = t.render();
+    text.push_str(&format!(
+        "total: {total_cycles} cycles across {} layers; render the PE timeline with\n\
+         `snapea-tool trace repro-results/<run>/events.jsonl --pe-trace pe-trace.json`\n",
+        traces.len()
+    ));
+    ExperimentResult {
+        id: "petrace",
+        title: "PE timeline: cycle-accurate fill/compute/stall trace".into(),
+        text,
+        json: json!({"total_cycles": total_cycles, "layers": rows}),
+    }
+}
+
 /// Shared engine for Figures 8 and 9: per-network speedup & energy reduction
 /// of SnaPEA over the baseline under the given parameter source.
 fn overall_benefit(

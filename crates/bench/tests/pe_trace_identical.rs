@@ -1,0 +1,58 @@
+//! The virtual-PE Chrome trace is a pure function of the simulated workload:
+//! running the `petrace` experiment under different worker-pool sizes must
+//! produce byte-identical `--pe-trace` output. Wall-clock timestamps and
+//! thread ids differ between runs, but none of them reach the virtual
+//! timebase (pid 2), which is sorted by `(start_cycle, pe, phase)`.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Runs `repro petrace` in a fresh directory with the given thread count and
+/// returns the virtual-PE trace rendered from its event log.
+fn pe_trace_with_threads(threads: &str) -> String {
+    let dir =
+        std::env::temp_dir().join(format!("snapea-petrace-t{threads}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("petrace")
+        .current_dir(&dir)
+        .env("SNAPEA_LOG", "off")
+        .env("SNAPEA_THREADS", threads)
+        .status()
+        .expect("spawn repro");
+    assert!(
+        status.success(),
+        "repro petrace failed under SNAPEA_THREADS={threads}"
+    );
+    let events = find_events(&dir.join("repro-results")).expect("run wrote events.jsonl");
+    let log = std::fs::read_to_string(&events).expect("read event log");
+    let trace = snapea_obs::chrome_trace(&log, snapea_obs::Selection::VirtualPe)
+        .expect("render virtual-PE trace");
+    let _ = std::fs::remove_dir_all(&dir);
+    trace
+}
+
+fn find_events(results: &Path) -> Option<PathBuf> {
+    for entry in std::fs::read_dir(results).ok()? {
+        let path = entry.ok()?.path().join("events.jsonl");
+        if path.is_file() {
+            return Some(path);
+        }
+    }
+    None
+}
+
+#[test]
+fn virtual_pe_trace_is_bit_identical_across_thread_counts() {
+    let serial = pe_trace_with_threads("1");
+    let parallel = pe_trace_with_threads("4");
+    assert!(
+        snapea_obs::validate_chrome_trace(&serial).expect("schema-valid") > 0,
+        "trace carries PE events"
+    );
+    assert_eq!(
+        serial, parallel,
+        "virtual-PE timeline must not depend on the worker-pool size"
+    );
+}

@@ -18,7 +18,7 @@ use snapea_nn::data::{LabeledImage, SynthShapes};
 use snapea_nn::graph::{Graph, Op};
 use snapea_nn::train::{evaluate, TrainConfig, Trainer};
 use snapea_nn::zoo::{Workload, INPUT_SIZE};
-use snapea_obs::{Json, Report};
+use snapea_obs::{Json, Report, Selection};
 use snapea_oracle::{run_case, run_selfcheck, HarnessOptions, SelfCheckReport};
 use snapea_tensor::init;
 use std::error::Error;
@@ -483,6 +483,92 @@ pub fn report(args: &Args) -> CmdResult {
     Ok(r.render_text())
 }
 
+/// `trace <events.jsonl> [--chrome out.json] [--pe-trace out.json]`:
+/// converts a structured run-event log into the Chrome trace-event format
+/// loadable in `chrome://tracing` or <https://ui.perfetto.dev>. `--chrome`
+/// writes the full trace (wall-clock spans plus the simulator's virtual-time
+/// PE timelines); `--pe-trace` writes only the PE timelines. With neither
+/// flag, the full trace is printed to stdout. Every written document is
+/// schema-validated before it leaves the process.
+pub fn trace(args: &Args) -> CmdResult {
+    let path = args.required_positional("events.jsonl")?;
+    let text = fs::read_to_string(path)?;
+    let mut outputs: Vec<(&str, &str, Selection)> = Vec::new();
+    if let Some(out) = args.opt("chrome") {
+        outputs.push(("chrome", out, Selection::All));
+    }
+    if let Some(out) = args.opt("pe-trace") {
+        outputs.push(("pe-trace", out, Selection::VirtualPe));
+    }
+    if outputs.is_empty() {
+        let doc = snapea_obs::chrome_trace(&text, Selection::All)?;
+        snapea_obs::validate_chrome_trace(&doc)?;
+        return Ok(format!("{doc}\n"));
+    }
+    let mut rows = Vec::new();
+    for (what, out, selection) in outputs {
+        let doc = snapea_obs::chrome_trace(&text, selection)?;
+        let events = snapea_obs::validate_chrome_trace(&doc)?;
+        fs::write(out, &doc)?;
+        rows.push((what, out.to_string(), events));
+    }
+    if args.flag("json") {
+        let written: Vec<Json> = rows
+            .iter()
+            .map(|(what, out, events)| {
+                Json::obj(vec![
+                    ("kind", Json::from(*what)),
+                    ("path", Json::from(out.as_str())),
+                    ("events", Json::from(*events as u64)),
+                ])
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            ("input", Json::from(path)),
+            ("written", Json::Arr(written)),
+        ]);
+        return Ok(format!("{doc}\n"));
+    }
+    let mut out = String::new();
+    for (what, file, events) in rows {
+        writeln!(out, "{what}: {events} trace event(s) -> {file}")?;
+    }
+    Ok(out)
+}
+
+/// `perf-diff <old.json> <new.json> [--max-regress pct]`: compares two
+/// benchmark documents (`BENCH_*.json` or `perfbench --json` output) field
+/// by field and exits non-zero when any timing regressed by more than the
+/// threshold percentage (default 10). The check script uses this as its
+/// perf regression gate.
+pub fn perf_diff(args: &Args) -> CmdResult {
+    let old_path = args.required_positional("old.json")?;
+    let new_path = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or("missing required argument <new.json>")?;
+    let max_regress: f64 = args.opt_parse("max-regress", 10.0)?;
+    if !max_regress.is_finite() || max_regress < 0.0 {
+        return Err(
+            format!("--max-regress must be a non-negative percentage, got {max_regress}").into(),
+        );
+    }
+    let old = snapea_obs::parse(&fs::read_to_string(old_path)?)?;
+    let new = snapea_obs::parse(&fs::read_to_string(new_path)?)?;
+    let d = snapea_obs::perfdiff::diff(&old, &new);
+    let body = if args.flag("json") {
+        format!("{}\n", d.to_json(max_regress))
+    } else {
+        d.render_text(max_regress)
+    };
+    if d.passed(max_regress) {
+        Ok(body)
+    } else {
+        Err(body.into())
+    }
+}
+
 /// Usage text.
 pub fn usage() -> String {
     "snapea-tool <command> [args] [--json]\n\
@@ -495,6 +581,8 @@ pub fn usage() -> String {
        selfcheck [--cases N] [--seed S] [--replay seed] [--inject-bug]\n\
        lint      [--rule <id>] [--root <dir>]\n\
        report    <events.jsonl>\n\
+       trace     <events.jsonl> [--chrome out.json] [--pe-trace out.json]\n\
+       perf-diff <old.json> <new.json> [--max-regress pct]\n\
      every command accepts --json to emit machine-readable output\n"
         .to_string()
 }
@@ -510,6 +598,8 @@ pub fn run(args: &Args) -> CmdResult {
         "selfcheck" => selfcheck(args),
         "lint" => lint(args),
         "report" => report(args),
+        "trace" => trace(args),
+        "perf-diff" => perf_diff(args),
         "help" | "--help" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n{}", usage()).into()),
     }
@@ -665,6 +755,113 @@ mod tests {
         let args = Args::parse_with_flags(["report", path.as_str(), "--json"], &["json"]).unwrap();
         let doc = snapea_obs::parse(&run(&args).unwrap()).expect("valid json");
         assert_eq!(doc.get("events").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn trace_exports_chrome_and_pe_documents() {
+        let dir = std::env::temp_dir().join(format!("snapea-cli-trace-{}", std::process::id()));
+        let _guard = tempdir::TempDirLike(dir.clone());
+        fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("events.jsonl");
+        fs::write(
+            &log,
+            concat!(
+                "{\"seq\":0,\"t_ms\":0.1,\"kind\":\"sim/pe/phase\",\"tid\":0,\"layer\":\"conv1\",\"pe\":0,\"phase\":\"compute\",\"start_cycle\":0,\"cycles\":12}\n",
+                "{\"seq\":1,\"t_ms\":0.2,\"kind\":\"span\",\"tid\":0,\"span_id\":1,\"parent_id\":0,\"name\":\"optimizer\",\"path\":\"optimizer\",\"depth\":1,\"start_ms\":0.0,\"ms\":10.0}\n",
+            ),
+        )
+        .unwrap();
+        let log_path = log.to_string_lossy().into_owned();
+        let chrome = dir.join("chrome.json").to_string_lossy().into_owned();
+        let pe = dir.join("pe.json").to_string_lossy().into_owned();
+
+        // Stdout mode: the full trace is printed and schema-valid.
+        let args = Args::parse(["trace", log_path.as_str()]).unwrap();
+        let out = run(&args).unwrap();
+        assert!(snapea_obs::validate_chrome_trace(out.trim()).unwrap() >= 2);
+
+        // File mode with --json summary.
+        let args = Args::parse_with_flags(
+            [
+                "trace",
+                log_path.as_str(),
+                "--chrome",
+                chrome.as_str(),
+                "--pe-trace",
+                pe.as_str(),
+                "--json",
+            ],
+            &["json"],
+        )
+        .unwrap();
+        let doc = snapea_obs::parse(&run(&args).unwrap()).expect("valid json");
+        let written = doc.get("written").and_then(Json::as_array).unwrap();
+        assert_eq!(written.len(), 2);
+        let chrome_doc = fs::read_to_string(&chrome).unwrap();
+        let pe_doc = fs::read_to_string(&pe).unwrap();
+        assert!(chrome_doc.contains("\"optimizer\""));
+        assert!(pe_doc.contains("\"compute\"") && !pe_doc.contains("\"optimizer\""));
+    }
+
+    #[test]
+    fn perf_diff_gates_regressions() {
+        let dir = std::env::temp_dir().join(format!("snapea-cli-pdiff-{}", std::process::id()));
+        let _guard = tempdir::TempDirLike(dir.clone());
+        fs::create_dir_all(&dir).unwrap();
+        let old = dir.join("old.json");
+        let new_ok = dir.join("new_ok.json");
+        let new_bad = dir.join("new_bad.json");
+        fs::write(&old, r#"{"kernels":[{"name":"k","kernel_ms":10.0}]}"#).unwrap();
+        fs::write(&new_ok, r#"{"kernels":[{"name":"k","kernel_ms":10.5}]}"#).unwrap();
+        fs::write(&new_bad, r#"{"kernels":[{"name":"k","kernel_ms":12.0}]}"#).unwrap();
+        let p = |x: &std::path::Path| x.to_string_lossy().into_owned();
+
+        let args = Args::parse(["perf-diff", p(&old).as_str(), p(&new_ok).as_str()]).unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("PASS"), "{out}");
+
+        // A planted 20% regression must fail the default 10% gate...
+        let args = Args::parse(["perf-diff", p(&old).as_str(), p(&new_bad).as_str()]).unwrap();
+        let err = run(&args).unwrap_err().to_string();
+        assert!(err.contains("REGRESSION") && err.contains("FAIL"), "{err}");
+
+        // ...and pass an explicitly loosened one.
+        let args = Args::parse([
+            "perf-diff",
+            p(&old).as_str(),
+            p(&new_bad).as_str(),
+            "--max-regress",
+            "25",
+        ])
+        .unwrap();
+        assert!(run(&args).is_ok());
+
+        // JSON mode carries the verdict.
+        let args = Args::parse_with_flags(
+            [
+                "perf-diff",
+                p(&old).as_str(),
+                p(&new_bad).as_str(),
+                "--json",
+            ],
+            &["json"],
+        )
+        .unwrap();
+        let doc = snapea_obs::parse(&run(&args).unwrap_err().to_string()).expect("valid json");
+        assert_eq!(doc.get("passed").and_then(Json::as_bool), Some(false));
+
+        // Missing second positional and bad thresholds are rejected.
+        let args = Args::parse(["perf-diff", p(&old).as_str()]).unwrap();
+        assert!(run(&args).is_err());
+        let args = Args::parse([
+            "perf-diff",
+            p(&old).as_str(),
+            p(&new_ok).as_str(),
+            "--max-regress",
+            "-5",
+        ])
+        .unwrap();
+        assert!(run(&args).is_err());
     }
 
     #[test]

@@ -846,6 +846,15 @@ fn execute_conv_inner(
     collect_stats: bool,
 ) -> ExecResult {
     assert_eq!(cfg.kernels.len(), conv.c_out(), "config kernel count");
+    // Per-layer span (only when a sink is attached) plus an always-on
+    // stopwatch feeding the `exec/layer_ms` latency histogram: one clock
+    // read per layer call, never per window, so the disabled-path budget
+    // holds. Per-(image, kernel) spans are a further opt-in behind
+    // `SNAPEA_TRACE_DETAIL` — a full repro run executes thousands of
+    // layers and would swamp the log otherwise.
+    let _layer_span = snapea_obs::hot_span!("exec/layer");
+    let trace_kernels = snapea_obs::enabled() && snapea_obs::detail_enabled();
+    let layer_clock = snapea_obs::Stopwatch::start();
     let s = input.shape();
     let geom = conv.geom();
     let (plan, cache_hit) = layer_plan_entry(s, geom, conv.c_in());
@@ -887,6 +896,14 @@ fn execute_conv_inner(
         let per_pair: Vec<PredictionStats> =
             snapea_tensor::par::run_tasks(pairs, |pair, (out_slice, ops_slice)| {
                 let (n, k) = (pair / conv.c_out(), pair % conv.c_out());
+                let _kernel_span = if trace_kernels {
+                    Some(snapea_obs::span::enter_detail(
+                        "exec/kernel",
+                        Some(format!("image {n} kernel {k}")),
+                    ))
+                } else {
+                    None
+                };
                 let item = input.item(n);
                 let kexec = &cfg.kernels[k];
                 let rt = &resolved[k][..];
@@ -978,6 +995,7 @@ fn execute_conv_inner(
         &profile,
         if collect_stats { Some(&stats) } else { None },
         cache_hit,
+        layer_clock.elapsed_ms(),
     );
     ExecResult {
         output,
@@ -986,21 +1004,24 @@ fn execute_conv_inner(
     }
 }
 
-/// Charges one layer execution to the global `exec/*` metrics and, when a
-/// sink is installed, emits an `exec/layer` event. Counters are relaxed
-/// atomics charged once per layer call (never per window), and the event
-/// payload is only built behind [`snapea_obs::enabled`], keeping the
+/// Charges one layer execution to the global `exec/*` metrics (including
+/// the `exec/layer_ms` latency log-histogram) and, when a sink is
+/// installed, emits an `exec/layer` event. Counters and the histogram are
+/// relaxed atomics charged once per layer call (never per window), and the
+/// event payload is only built behind [`snapea_obs::enabled`], keeping the
 /// disabled-path overhead within the executor bench's <2% budget.
 fn record_layer_execution(
     profile: &LayerProfile,
     stats: Option<&PredictionStats>,
     gather_cache_hit: bool,
+    elapsed_ms: f64,
 ) {
     let performed = profile.total_ops();
     let dense = profile.full_macs();
     snapea_obs::counter("exec/layer_calls").inc();
     snapea_obs::counter("exec/macs_performed").add(performed);
     snapea_obs::counter("exec/macs_dense").add(dense);
+    snapea_obs::log_histogram("exec/layer_ms").record(elapsed_ms);
     if let Some(s) = stats {
         snapea_obs::counter("exec/windows_negative").add(s.negative_windows);
         snapea_obs::counter("exec/windows_positive").add(s.positive_windows);
@@ -1019,6 +1040,7 @@ fn record_layer_execution(
                 full_macs = dense,
                 savings = profile.savings(),
                 gather_cache_hit = gather_cache_hit,
+                elapsed_ms = elapsed_ms,
                 true_negative_rate = s.true_negative_rate(),
                 false_negative_rate = s.false_negative_rate(),
                 sign_terminations = s.sign_terminations,
@@ -1033,6 +1055,7 @@ fn record_layer_execution(
                 full_macs = dense,
                 savings = profile.savings(),
                 gather_cache_hit = gather_cache_hit,
+                elapsed_ms = elapsed_ms,
             );
         }
     }
@@ -1192,6 +1215,8 @@ pub fn execute_conv_q16(
     fmt: snapea_tensor::q16::Q16Format,
 ) -> ExecResult {
     assert_eq!(cfg.kernels.len(), conv.c_out(), "config kernel count");
+    let _layer_span = snapea_obs::hot_span!("exec/layer");
+    let layer_clock = snapea_obs::Stopwatch::start();
     let s = input.shape();
     let (plan, cache_hit) = layer_plan_entry(s, conv.geom(), conv.c_in());
     let out_shape = conv.out_shape(s);
@@ -1251,7 +1276,7 @@ pub fn execute_conv_q16(
         window_len: conv.window_len(),
         ops,
     };
-    record_layer_execution(&profile, None, cache_hit);
+    record_layer_execution(&profile, None, cache_hit, layer_clock.elapsed_ms());
     ExecResult {
         output,
         profile,

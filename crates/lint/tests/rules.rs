@@ -62,6 +62,37 @@ fn d2_fires_on_wall_clock_outside_obs_and_bench() {
 }
 
 #[test]
+fn d2_sanctions_the_obs_stopwatch_in_result_crates() {
+    // The tracing instrumentation reads the wall clock from result crates
+    // (executor layer timing, pool worker lanes, trainer epochs) — but only
+    // through `snapea_obs::Stopwatch`/`sink::now_ms`, the one audited
+    // entry point. That pattern must stay clean while a raw `Instant` in
+    // the same position keeps firing, otherwise the instrumentation could
+    // silently regress into unsanctioned clock reads.
+    let sanctioned = "fn layer() -> f64 {\n\
+                          let clock = snapea_obs::Stopwatch::start();\n\
+                          let start_ms = snapea_obs::sink::now_ms();\n\
+                          clock.elapsed_ms() + start_ms\n\
+                      }\n";
+    for (path, name) in [
+        ("crates/core/src/exec.rs", "core"),
+        ("crates/tensor/src/par.rs", "tensor"),
+        ("crates/nn/src/train.rs", "nn"),
+    ] {
+        assert!(
+            lint_source(&lib_ctx(path, name), sanctioned).is_empty(),
+            "obs stopwatch flagged in {path}"
+        );
+    }
+    let raw = "fn layer() -> f64 {\n\
+                   let clock = std::time::Instant::now();\n\
+                   clock.elapsed().as_secs_f64()\n\
+               }\n";
+    let f = lint_source(&lib_ctx("crates/core/src/exec.rs", "core"), raw);
+    assert_eq!(rules_of(&f), vec![RuleId::D2]);
+}
+
+#[test]
 fn p1_fires_on_panic_paths_in_lib_code_only() {
     let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
                fn g(x: Option<u8>) -> u8 { x.expect(\"present\") }\n\

@@ -175,6 +175,7 @@ impl Trainer {
         };
         snapea_obs::counter("train/epochs").inc();
         snapea_obs::counter("train/images").add(seen as u64);
+        snapea_obs::log_histogram("train/epoch_ms").record(started.elapsed_ms());
         if snapea_obs::enabled() {
             let secs = started.elapsed_secs();
             snapea_obs::event!(

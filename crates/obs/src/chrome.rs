@@ -1,0 +1,401 @@
+//! Chrome trace-event export: converts an `events.jsonl` run log into the
+//! JSON trace format that `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)
+//! load directly (`{"traceEvents": [...]}` with `ph: "X"` complete events).
+//!
+//! Two timebases coexist in one file, separated by process id:
+//!
+//! * **pid 1 — wall clock.** `span` events become complete (`ph: "X"`)
+//!   slices on their emitting thread's track (`ts`/`dur` in microseconds,
+//!   from `start_ms`/`ms`); any other event that carries both `start_ms`
+//!   and `ms` (e.g. `par/worker` lanes) renders the same way, and remaining
+//!   events become instants (`ph: "i"`).
+//! * **pid 2 — virtual cycles.** `sim/pe/phase` events from the accel
+//!   simulator place each PE's `fill`/`compute`/`stall` phases on a per-PE
+//!   track with **1 µs = 1 cycle**. Virtual events carry no wall-clock or
+//!   envelope-derived field, so this sub-trace is a pure function of the
+//!   simulated workload: bit-identical at any `SNAPEA_THREADS`.
+//!
+//! [`chrome_trace`] renders the combined file; [`Selection::VirtualPe`]
+//! restricts the output to the pid-2 sub-trace (the form the check gate
+//! diffs across thread counts).
+
+use crate::json::{parse, Json, JsonError};
+
+/// Which part of the log to export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selection {
+    /// Everything: wall-clock spans/instants (pid 1) plus virtual PE
+    /// timelines (pid 2).
+    All,
+    /// Only the deterministic virtual-time PE timelines (pid 2).
+    VirtualPe,
+}
+
+/// Envelope fields that never become `args` (they are encoded in the trace
+/// event's own structure instead).
+const ENVELOPE: &[&str] = &["seq", "t_ms", "kind", "tid", "span_id", "parent_id"];
+
+fn args_except(e: &Json, skip: &[&str]) -> Json {
+    let mut out: Vec<(String, Json)> = Vec::new();
+    if let Some(pairs) = e.as_object() {
+        for (k, v) in pairs {
+            if ENVELOPE.contains(&k.as_str()) || skip.contains(&k.as_str()) {
+                continue;
+            }
+            out.push((k.clone(), v.clone()));
+        }
+    }
+    Json::Obj(out)
+}
+
+fn meta(name: &str, pid: u64, tid: Option<u64>, value: &str) -> Json {
+    let mut pairs = vec![
+        ("name".to_string(), Json::from(name)),
+        ("ph".to_string(), Json::from("M")),
+        ("pid".to_string(), Json::U64(pid)),
+    ];
+    if let Some(t) = tid {
+        pairs.push(("tid".to_string(), Json::U64(t)));
+    }
+    pairs.push((
+        "args".to_string(),
+        Json::obj(vec![("name", Json::from(value))]),
+    ));
+    Json::Obj(pairs)
+}
+
+fn complete_event(
+    name: &str,
+    cat: &str,
+    pid: u64,
+    tid: u64,
+    ts_us: f64,
+    dur_us: f64,
+    args: Json,
+) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::from(name)),
+        ("cat".to_string(), Json::from(cat)),
+        ("ph".to_string(), Json::from("X")),
+        ("pid".to_string(), Json::U64(pid)),
+        ("tid".to_string(), Json::U64(tid)),
+        ("ts".to_string(), Json::F64(ts_us)),
+        ("dur".to_string(), Json::F64(dur_us)),
+        ("args".to_string(), args),
+    ])
+}
+
+/// One parsed virtual PE phase, with a deterministic sort key.
+struct PePhase {
+    start_cycle: u64,
+    pe: u64,
+    phase: String,
+    cycles: u64,
+    args: Json,
+}
+
+/// Renders `events.jsonl` text as a Chrome trace-event JSON document.
+///
+/// The output field order is fixed and events are sorted deterministically:
+/// metadata first, then wall-clock events by `seq`, then virtual PE events
+/// by `(start_cycle, pe, phase)` — so the same log always produces the same
+/// bytes, and (for [`Selection::VirtualPe`]) the same *simulation* produces
+/// the same bytes regardless of worker-pool size.
+///
+/// # Errors
+///
+/// Returns an error when a non-blank line is not valid JSON.
+pub fn chrome_trace(jsonl: &str, selection: Selection) -> Result<String, JsonError> {
+    let mut wall: Vec<(u64, Json)> = Vec::new(); // (seq, trace event)
+    let mut pe_phases: Vec<PePhase> = Vec::new();
+    let mut wall_tids: Vec<u64> = Vec::new();
+    let mut pes: Vec<u64> = Vec::new();
+
+    for line in jsonl.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let e = parse(line)?;
+        let kind = e.get("kind").and_then(Json::as_str).unwrap_or("?");
+        let seq = e.get("seq").and_then(Json::as_u64).unwrap_or(0);
+        if kind == "sim/pe/phase" {
+            let pe = e.get("pe").and_then(Json::as_u64).unwrap_or(0);
+            pe_phases.push(PePhase {
+                start_cycle: e.get("start_cycle").and_then(Json::as_u64).unwrap_or(0),
+                pe,
+                phase: e
+                    .get("phase")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                cycles: e.get("cycles").and_then(Json::as_u64).unwrap_or(0),
+                args: args_except(&e, &["pe", "phase", "start_cycle", "cycles"]),
+            });
+            if !pes.contains(&pe) {
+                pes.push(pe);
+            }
+            continue;
+        }
+        if selection == Selection::VirtualPe {
+            continue;
+        }
+        let tid = e.get("tid").and_then(Json::as_u64).unwrap_or(0);
+        if !wall_tids.contains(&tid) {
+            wall_tids.push(tid);
+        }
+        let event = if kind == "span" {
+            let name = e.get("name").and_then(Json::as_str).unwrap_or("span");
+            let ts = e.get("start_ms").and_then(Json::as_f64).unwrap_or(0.0) * 1e3;
+            let dur = e.get("ms").and_then(Json::as_f64).unwrap_or(0.0) * 1e3;
+            let mut args = vec![
+                (
+                    "span_id".to_string(),
+                    Json::U64(e.get("span_id").and_then(Json::as_u64).unwrap_or(0)),
+                ),
+                (
+                    "parent_id".to_string(),
+                    Json::U64(e.get("parent_id").and_then(Json::as_u64).unwrap_or(0)),
+                ),
+            ];
+            if let Json::Obj(extra) = args_except(&e, &["name", "start_ms", "ms"]) {
+                args.extend(extra);
+            }
+            complete_event(name, "span", 1, tid, ts, dur, Json::Obj(args))
+        } else if let (Some(start_ms), Some(ms)) = (
+            e.get("start_ms").and_then(Json::as_f64),
+            e.get("ms").and_then(Json::as_f64),
+        ) {
+            // Any event carrying its own start/duration (e.g. `par/worker`
+            // lane records) renders as a complete slice too.
+            complete_event(
+                kind,
+                "lane",
+                1,
+                tid,
+                start_ms * 1e3,
+                ms * 1e3,
+                args_except(&e, &["start_ms", "ms"]),
+            )
+        } else {
+            let ts = e.get("t_ms").and_then(Json::as_f64).unwrap_or(0.0) * 1e3;
+            Json::Obj(vec![
+                ("name".to_string(), Json::from(kind)),
+                ("cat".to_string(), Json::from("event")),
+                ("ph".to_string(), Json::from("i")),
+                ("pid".to_string(), Json::U64(1)),
+                ("tid".to_string(), Json::U64(tid)),
+                ("ts".to_string(), Json::F64(ts)),
+                ("s".to_string(), Json::from("t")),
+                ("args".to_string(), args_except(&e, &[])),
+            ])
+        };
+        wall.push((seq, event));
+    }
+
+    // Deterministic ordering regardless of input-line order.
+    wall.sort_by_key(|(seq, _)| *seq);
+    pe_phases.sort_by(|a, b| (a.start_cycle, a.pe, &a.phase).cmp(&(b.start_cycle, b.pe, &b.phase)));
+    wall_tids.sort_unstable();
+    pes.sort_unstable();
+
+    let mut events: Vec<Json> = Vec::new();
+    if selection == Selection::All && !wall.is_empty() {
+        events.push(meta("process_name", 1, None, "snapea (wall clock)"));
+        for &tid in &wall_tids {
+            let label = if tid == 0 {
+                "main".to_string()
+            } else {
+                format!("thread {tid}")
+            };
+            events.push(meta("thread_name", 1, Some(tid), &label));
+        }
+    }
+    if !pe_phases.is_empty() {
+        events.push(meta(
+            "process_name",
+            2,
+            None,
+            "snapea-accel virtual PEs (1 us = 1 cycle)",
+        ));
+        for &pe in &pes {
+            events.push(meta("thread_name", 2, Some(pe), &format!("PE {pe}")));
+        }
+    }
+    if selection == Selection::All {
+        events.extend(wall.into_iter().map(|(_, e)| e));
+    }
+    for p in pe_phases {
+        events.push(complete_event(
+            &p.phase,
+            "pe",
+            2,
+            p.pe,
+            p.start_cycle as f64,
+            p.cycles as f64,
+            p.args,
+        ));
+    }
+
+    let doc = Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(events)),
+        ("displayTimeUnit".to_string(), Json::from("ms")),
+    ]);
+    Ok(format!("{doc}\n"))
+}
+
+/// Structural validation of a rendered trace (the programmatic schema check
+/// used by tests and the check-script smoke): the document must parse, hold
+/// a `traceEvents` array, and every entry must carry `name`/`ph`/`pid`
+/// (with `tid`/`ts`/`dur` where the phase requires them). Returns the
+/// number of non-metadata events.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed entry.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc = parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing traceEvents array")?;
+    let mut real = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if e.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("event {i}: missing name"));
+        }
+        if e.get("pid").and_then(Json::as_u64).is_none() {
+            return Err(format!("event {i}: missing pid"));
+        }
+        match ph {
+            "M" => continue,
+            "X" => {
+                for key in ["tid", "ts", "dur"] {
+                    if e.get(key).and_then(Json::as_f64).is_none() {
+                        return Err(format!("event {i}: X without {key}"));
+                    }
+                }
+                let dur = e.get("dur").and_then(Json::as_f64).unwrap_or(-1.0);
+                if dur < 0.0 {
+                    return Err(format!("event {i}: negative dur"));
+                }
+            }
+            "i" => {
+                if e.get("ts").and_then(Json::as_f64).is_none() {
+                    return Err(format!("event {i}: i without ts"));
+                }
+            }
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+        real += 1;
+    }
+    Ok(real)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> String {
+        [
+            r#"{"seq":0,"t_ms":0.1,"kind":"train/loaded","tid":0,"images":4}"#,
+            r#"{"seq":1,"t_ms":5.0,"kind":"span","tid":0,"span_id":2,"parent_id":1,"name":"exec/layer","path":"repro > exec/layer","depth":2,"start_ms":1.0,"ms":4.0,"detail":"conv1"}"#,
+            r#"{"seq":2,"t_ms":6.0,"kind":"span","tid":0,"span_id":1,"parent_id":0,"name":"repro","path":"repro","depth":1,"start_ms":0.5,"ms":5.5}"#,
+            r#"{"seq":3,"t_ms":6.1,"kind":"par/worker","tid":2,"worker":1,"start_ms":2.0,"ms":1.5,"tasks":8}"#,
+            r#"{"seq":4,"t_ms":7.0,"kind":"sim/pe/phase","tid":0,"layer":"conv1","pe":0,"phase":"compute","start_cycle":10,"cycles":90,"macs":720}"#,
+            r#"{"seq":5,"t_ms":7.0,"kind":"sim/pe/phase","tid":0,"layer":"conv1","pe":1,"phase":"stall","start_cycle":80,"cycles":20}"#,
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn renders_valid_trace_with_both_pids() {
+        let out = chrome_trace(&sample_log(), Selection::All).expect("renders");
+        let n = validate_chrome_trace(&out).expect("schema-valid");
+        assert_eq!(n, 6, "six non-metadata events");
+        let doc = parse(&out).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let span = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("exec/layer"))
+            .expect("span slice present");
+        assert_eq!(span.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(span.get("ts").and_then(Json::as_f64), Some(1000.0));
+        assert_eq!(span.get("dur").and_then(Json::as_f64), Some(4000.0));
+        assert_eq!(
+            span.get("args")
+                .and_then(|a| a.get("detail"))
+                .and_then(Json::as_str),
+            Some("conv1")
+        );
+        let lane = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("par/worker"))
+            .expect("worker lane slice");
+        assert_eq!(lane.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(lane.get("tid").and_then(Json::as_u64), Some(2));
+        let pe = events
+            .iter()
+            .find(|e| {
+                e.get("pid").and_then(Json::as_u64) == Some(2) && {
+                    e.get("ph").and_then(Json::as_str) == Some("X")
+                }
+            })
+            .expect("virtual PE slice");
+        assert_eq!(pe.get("ts").and_then(Json::as_f64), Some(10.0));
+    }
+
+    #[test]
+    fn virtual_pe_selection_drops_wall_clock_and_is_input_order_independent() {
+        let out = chrome_trace(&sample_log(), Selection::VirtualPe).expect("renders");
+        let doc = parse(&out).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        assert!(events
+            .iter()
+            .all(|e| e.get("pid").and_then(Json::as_u64) == Some(2)));
+
+        // Shuffled input lines produce byte-identical virtual output (the
+        // sort key is virtual time, not envelope order).
+        let log = sample_log();
+        let mut lines: Vec<&str> = log.lines().collect();
+        lines.reverse();
+        let out2 = chrome_trace(&lines.join("\n"), Selection::VirtualPe).unwrap();
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn instant_events_keep_their_payload_as_args() {
+        let out = chrome_trace(&sample_log(), Selection::All).unwrap();
+        let doc = parse(&out).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let inst = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("train/loaded"))
+            .expect("instant event");
+        assert_eq!(inst.get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(
+            inst.get("args")
+                .and_then(|a| a.get("images"))
+                .and_then(Json::as_u64),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        assert!(chrome_trace("not json", Selection::All).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate_chrome_trace("[]").is_err(), "no traceEvents");
+        assert!(
+            validate_chrome_trace(r#"{"traceEvents":[{"ph":"X"}]}"#).is_err(),
+            "missing fields"
+        );
+        assert_eq!(validate_chrome_trace(r#"{"traceEvents":[]}"#), Ok(0));
+    }
+}

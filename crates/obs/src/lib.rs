@@ -17,8 +17,14 @@
 //! * [`run`] — per-invocation run directories (`repro-results/<run>/`) with
 //!   an `events.jsonl` log and a `manifest.json` stamping git revision,
 //!   configuration, and elapsed time.
-//! * [`report`] — offline aggregation of an event log into per-phase time,
-//!   MAC savings, and PE utilization (the `snapea-tool report` subcommand).
+//! * [`report`] — offline aggregation of an event log into per-phase time
+//!   (total and self/exclusive, from the span tree), MAC savings, and PE
+//!   utilization (the `snapea-tool report` subcommand).
+//! * [`chrome`] — Chrome trace-event export of an event log (wall-clock
+//!   spans plus the simulator's deterministic virtual-time PE timelines),
+//!   loadable in `chrome://tracing` / Perfetto.
+//! * [`perfdiff`] — structural diff of two `BENCH_*.json` documents with a
+//!   regression threshold (the `snapea-tool perf-diff` gate).
 //! * [`json`] — the minimal JSON value/parser/writer backing all of the
 //!   above, so this crate stays dependency-free and buildable offline.
 //!
@@ -27,21 +33,32 @@
 //! `run/…` (snapea-bench), plus `span` for timer closures.
 //!
 //! Environment knobs: `SNAPEA_LOG=off` silences the stderr sink;
-//! `SNAPEA_LOG_FILE=<path>` tees events to a JSONL file.
+//! `SNAPEA_LOG_FILE=<path>` tees events to a JSONL file;
+//! `SNAPEA_TRACE_DETAIL=1` additionally enables the fine-grained trace
+//! sources (per-kernel executor spans, per-worker pool lanes).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod json;
 pub mod metrics;
+pub mod perfdiff;
 pub mod report;
 pub mod run;
 pub mod sink;
 pub mod span;
 
+pub use chrome::{chrome_trace, validate_chrome_trace, Selection};
 pub use json::{parse, Json, JsonError};
-pub use metrics::{counter, gauge, histogram, registry, Counter, Gauge, Histogram, Registry};
+pub use metrics::{
+    counter, gauge, histogram, log_histogram, registry, Counter, Gauge, Histogram, LogHistogram,
+    LogHistogramSnapshot, Registry,
+};
+pub use perfdiff::{DiffRow, PerfDiff};
 pub use report::Report;
 pub use run::{git_rev, RunHandle};
-pub use sink::{enabled, FileSink, MemorySink, Sink, StderrSink};
+pub use sink::{
+    detail_enabled, enabled, set_detail_enabled, FileSink, MemorySink, Sink, StderrSink,
+};
 pub use span::{SpanGuard, Stopwatch};

@@ -1,0 +1,307 @@
+//! Perf regression gating: structural diff of two benchmark JSON documents
+//! (`BENCH_parallel.json`, `BENCH_kernels.json`, or any file of the same
+//! shape) backing the `snapea-tool perf-diff` subcommand and the check
+//! script's regression gate.
+//!
+//! A benchmark document is an object whose array-valued top-level keys hold
+//! rows of measurements; rows are identified by their string-valued fields
+//! (`name`, `detail`, `shape`, …) and compared on their timing fields —
+//! every numeric field ending in `_ms`, plus histogram quantiles named
+//! `p50`/`p90`/`p99`. Lower is better; a row regresses when a timing field
+//! grows by more than the caller's threshold percentage.
+
+use crate::json::Json;
+
+/// One compared timing cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Top-level array the row came from (`benches`, `kernels`, `gemm`, …).
+    pub section: String,
+    /// Identity of the row: its string fields joined with `" | "`.
+    pub key: String,
+    /// The timing field compared (e.g. `kernel_ms`).
+    pub field: String,
+    /// Old (baseline) value.
+    pub old: f64,
+    /// New (candidate) value.
+    pub new: f64,
+}
+
+impl DiffRow {
+    /// Percentage change, positive = slower (`(new - old) / old * 100`).
+    pub fn delta_pct(&self) -> f64 {
+        if self.old <= 0.0 {
+            0.0
+        } else {
+            (self.new - self.old) / self.old * 100.0
+        }
+    }
+}
+
+/// The result of diffing two benchmark documents.
+#[derive(Debug, Clone, Default)]
+pub struct PerfDiff {
+    /// Every timing cell present in both documents.
+    pub rows: Vec<DiffRow>,
+    /// Row identities present only in the old document.
+    pub removed: Vec<String>,
+    /// Row identities present only in the new document.
+    pub added: Vec<String>,
+}
+
+/// `true` for fields compared as timings (lower is better).
+fn is_timing_field(name: &str) -> bool {
+    name.ends_with("_ms") || matches!(name, "p50" | "p90" | "p99")
+}
+
+/// A row's identity: its string-valued fields, in document order.
+fn row_key(row: &Json) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    if let Some(pairs) = row.as_object() {
+        for (_, v) in pairs {
+            if let Some(s) = v.as_str() {
+                parts.push(s);
+            }
+        }
+    }
+    parts.join(" | ")
+}
+
+/// Diffs two benchmark documents (see the module docs for the shape).
+pub fn diff(old: &Json, new: &Json) -> PerfDiff {
+    let mut out = PerfDiff::default();
+    let empty: &[(String, Json)] = &[];
+    let old_pairs = old.as_object().unwrap_or(empty);
+    for (section, old_val) in old_pairs {
+        let Some(old_rows) = old_val.as_array() else {
+            continue;
+        };
+        let new_rows = new
+            .get(section)
+            .and_then(Json::as_array)
+            .unwrap_or(&[] as &[Json]);
+        for old_row in old_rows {
+            let key = row_key(old_row);
+            let Some(new_row) = new_rows.iter().find(|r| row_key(r) == key) else {
+                out.removed.push(format!("{section}: {key}"));
+                continue;
+            };
+            let Some(fields) = old_row.as_object() else {
+                continue;
+            };
+            for (field, v) in fields {
+                if !is_timing_field(field) {
+                    continue;
+                }
+                let (Some(old_ms), Some(new_ms)) =
+                    (v.as_f64(), new_row.get(field).and_then(Json::as_f64))
+                else {
+                    continue;
+                };
+                out.rows.push(DiffRow {
+                    section: section.clone(),
+                    key: key.clone(),
+                    field: field.clone(),
+                    old: old_ms,
+                    new: new_ms,
+                });
+            }
+        }
+        for new_row in new_rows {
+            let key = row_key(new_row);
+            if !old_rows.iter().any(|r| row_key(r) == key) {
+                out.added.push(format!("{section}: {key}"));
+            }
+        }
+    }
+    out
+}
+
+impl PerfDiff {
+    /// Rows slower by more than `max_regress_pct` percent.
+    pub fn regressions(&self, max_regress_pct: f64) -> Vec<&DiffRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.delta_pct() > max_regress_pct)
+            .collect()
+    }
+
+    /// `true` when no timing regressed past the threshold.
+    pub fn passed(&self, max_regress_pct: f64) -> bool {
+        self.regressions(max_regress_pct).is_empty()
+    }
+
+    /// JSON form: every compared cell with its delta, plus the verdict.
+    pub fn to_json(&self, max_regress_pct: f64) -> Json {
+        let rows = Json::Arr(
+            self.rows
+                .iter()
+                .map(|r| {
+                    Json::obj(vec![
+                        ("section", Json::from(r.section.as_str())),
+                        ("key", Json::from(r.key.as_str())),
+                        ("field", Json::from(r.field.as_str())),
+                        ("old", Json::F64(r.old)),
+                        ("new", Json::F64(r.new)),
+                        ("delta_pct", Json::F64(r.delta_pct())),
+                        ("regressed", Json::Bool(r.delta_pct() > max_regress_pct)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("max_regress_pct", Json::F64(max_regress_pct)),
+            ("compared", Json::U64(self.rows.len() as u64)),
+            (
+                "regressions",
+                Json::U64(self.regressions(max_regress_pct).len() as u64),
+            ),
+            (
+                "removed",
+                Json::Arr(
+                    self.removed
+                        .iter()
+                        .map(|s| Json::from(s.as_str()))
+                        .collect(),
+                ),
+            ),
+            (
+                "added",
+                Json::Arr(self.added.iter().map(|s| Json::from(s.as_str())).collect()),
+            ),
+            ("passed", Json::Bool(self.passed(max_regress_pct))),
+            ("rows", rows),
+        ])
+    }
+
+    /// Human-readable table, worst regression first.
+    pub fn render_text(&self, max_regress_pct: f64) -> String {
+        let mut out = String::new();
+        let mut rows: Vec<&DiffRow> = self.rows.iter().collect();
+        rows.sort_by(|a, b| {
+            b.delta_pct()
+                .partial_cmp(&a.delta_pct())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out.push_str(&format!(
+            "{:<10} {:<44} {:<14} {:>10} {:>10} {:>8}\n",
+            "section", "row", "field", "old ms", "new ms", "delta"
+        ));
+        for r in &rows {
+            let mark = if r.delta_pct() > max_regress_pct {
+                "  << REGRESSION"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "{:<10} {:<44} {:<14} {:>10.3} {:>10.3} {:>+7.1}%{}\n",
+                r.section,
+                r.key,
+                r.field,
+                r.old,
+                r.new,
+                r.delta_pct(),
+                mark
+            ));
+        }
+        for k in &self.removed {
+            out.push_str(&format!("removed: {k}\n"));
+        }
+        for k in &self.added {
+            out.push_str(&format!("added:   {k}\n"));
+        }
+        let n = self.regressions(max_regress_pct).len();
+        out.push_str(&format!(
+            "{} cell(s) compared, {} regression(s) above {:.1}%: {}\n",
+            self.rows.len(),
+            n,
+            max_regress_pct,
+            if n == 0 { "PASS" } else { "FAIL" }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn bench_doc(kernel_ms: f64) -> Json {
+        parse(&format!(
+            r#"{{"generated_by":"perfbench","reps":5,
+                "kernels":[
+                  {{"name":"executor_exact","detail":"n8","baseline_ms":56.0,"kernel_ms":{kernel_ms},"speedup":1.5,"bit_identical":true}},
+                  {{"name":"matmul","detail":"96x288","baseline_ms":2.5,"kernel_ms":1.5,"speedup":1.7,"bit_identical":true}}
+                ]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let d = diff(&bench_doc(37.0), &bench_doc(37.0));
+        assert!(d.passed(10.0));
+        assert!(d.regressions(0.0).is_empty(), "zero delta everywhere");
+        // baseline_ms + kernel_ms on both rows = 4 compared cells.
+        assert_eq!(d.rows.len(), 4);
+        assert!(d.removed.is_empty() && d.added.is_empty());
+    }
+
+    #[test]
+    fn planted_regression_fails_the_gate() {
+        let d = diff(&bench_doc(37.0), &bench_doc(37.0 * 1.2));
+        assert!(!d.passed(10.0), "20% slower must fail a 10% gate");
+        let regs = d.regressions(10.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].field, "kernel_ms");
+        assert!((regs[0].delta_pct() - 20.0).abs() < 1e-9);
+        // A looser gate tolerates it.
+        assert!(d.passed(25.0));
+        let text = d.render_text(10.0);
+        assert!(text.contains("REGRESSION"), "{text}");
+        assert!(text.contains("FAIL"), "{text}");
+    }
+
+    #[test]
+    fn speedups_never_fail() {
+        let d = diff(&bench_doc(37.0), &bench_doc(20.0));
+        assert!(d.passed(10.0));
+        assert!(d.render_text(10.0).contains("PASS"));
+    }
+
+    #[test]
+    fn added_and_removed_rows_are_reported() {
+        let old = bench_doc(37.0);
+        let new = parse(
+            r#"{"kernels":[
+                {"name":"executor_exact","detail":"n8","baseline_ms":56.0,"kernel_ms":37.0},
+                {"name":"brand_new","detail":"x","kernel_ms":1.0}
+            ]}"#,
+        )
+        .unwrap();
+        let d = diff(&old, &new);
+        assert_eq!(d.removed, vec!["kernels: matmul | 96x288".to_string()]);
+        assert_eq!(d.added, vec!["kernels: brand_new | x".to_string()]);
+        // Missing rows do not crash the gate; they are surfaced instead.
+        assert!(d.passed(10.0));
+    }
+
+    #[test]
+    fn quantile_fields_are_compared() {
+        let old = parse(r#"{"hist":[{"name":"k","p50":1.0,"p99":2.0,"count":10}]}"#).unwrap();
+        let new = parse(r#"{"hist":[{"name":"k","p50":1.0,"p99":3.0,"count":12}]}"#).unwrap();
+        let d = diff(&old, &new);
+        assert_eq!(d.rows.len(), 2, "p50 and p99 compared, count ignored");
+        assert!(!d.passed(10.0), "p99 rose 50%");
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        let d = diff(&bench_doc(10.0), &bench_doc(12.0));
+        let j = d.to_json(10.0);
+        assert_eq!(j.get("passed").and_then(Json::as_bool), Some(false));
+        let back = parse(&j.to_string()).unwrap();
+        assert_eq!(back.get("compared").and_then(Json::as_u64), Some(4));
+    }
+}

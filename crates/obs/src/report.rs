@@ -13,8 +13,12 @@ pub struct PhaseRow {
     pub path: String,
     /// Number of times the span closed.
     pub count: u64,
-    /// Total milliseconds across all closures.
+    /// Total milliseconds across all closures (inclusive of child spans).
     pub total_ms: f64,
+    /// Self (exclusive) milliseconds: total minus the time spent in child
+    /// spans, reconstructed from the `span_id`/`parent_id` tree. For logs
+    /// from builds without span ids this equals `total_ms`.
+    pub self_ms: f64,
 }
 
 /// Training trajectory summary from `train/epoch` events.
@@ -100,7 +104,11 @@ impl Report {
     /// over).
     pub fn from_jsonl(text: &str) -> Result<Report, JsonError> {
         let mut report = Report::default();
+        // Per-path (count, total_ms); self time needs a second pass over the
+        // span records once every child's parent link has been seen.
         let mut spans: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+        let mut span_records: Vec<(Option<u64>, f64, String)> = Vec::new(); // (id, ms, path)
+        let mut child_ms: BTreeMap<u64, f64> = BTreeMap::new(); // parent id -> sum of child ms
         let mut util_weighted = 0.0f64;
         for line in text.lines() {
             if line.trim().is_empty() {
@@ -121,9 +129,14 @@ impl Report {
                         .and_then(Json::as_str)
                         .unwrap_or("?")
                         .to_string();
-                    let slot = spans.entry(path).or_insert((0, 0.0));
+                    let ms = f(&e, "ms").unwrap_or(0.0);
+                    let slot = spans.entry(path.clone()).or_insert((0, 0.0));
                     slot.0 += 1;
-                    slot.1 += f(&e, "ms").unwrap_or(0.0);
+                    slot.1 += ms;
+                    span_records.push((u(&e, "span_id"), ms, path));
+                    if let Some(parent) = u(&e, "parent_id").filter(|&p| p != 0) {
+                        *child_ms.entry(parent).or_insert(0.0) += ms;
+                    }
                 }
                 "train/epoch" => {
                     let t = report.train.get_or_insert(TrainSummary {
@@ -180,17 +193,26 @@ impl Report {
                 s.mean_utilization = util_weighted / s.cycles as f64;
             }
         }
+        // Exclusive time: each span's ms minus its direct children's, folded
+        // back onto the span's path (negative residue from clock skew clamps
+        // to zero).
+        let mut self_by_path: BTreeMap<&str, f64> = BTreeMap::new();
+        for (id, ms, path) in &span_records {
+            let children = id.and_then(|i| child_ms.get(&i)).copied().unwrap_or(0.0);
+            *self_by_path.entry(path.as_str()).or_insert(0.0) += (ms - children).max(0.0);
+        }
         report.phases = spans
-            .into_iter()
-            .map(|(path, (count, total_ms))| PhaseRow {
-                path,
+            .iter()
+            .map(|(path, &(count, total_ms))| PhaseRow {
+                path: path.clone(),
                 count,
                 total_ms,
+                self_ms: self_by_path.get(path.as_str()).copied().unwrap_or(0.0),
             })
             .collect();
         report.phases.sort_by(|a, b| {
-            b.total_ms
-                .partial_cmp(&a.total_ms)
+            b.self_ms
+                .partial_cmp(&a.self_ms)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         Ok(report)
@@ -213,6 +235,7 @@ impl Report {
                         ("path", Json::from(p.path.clone())),
                         ("count", Json::U64(p.count)),
                         ("total_ms", Json::F64(p.total_ms)),
+                        ("self_ms", Json::F64(p.self_ms)),
                     ])
                 })
                 .collect(),
@@ -273,11 +296,13 @@ impl Report {
             }
         }
         if !self.phases.is_empty() {
-            out.push_str("\nphase                                        count   total ms\n");
+            out.push_str(
+                "\nphase                                        count   total ms    self ms\n",
+            );
             for p in &self.phases {
                 out.push_str(&format!(
-                    "  {:<42} {:>5} {:>10.1}\n",
-                    p.path, p.count, p.total_ms
+                    "  {:<42} {:>5} {:>10.1} {:>10.1}\n",
+                    p.path, p.count, p.total_ms, p.self_ms
                 ));
             }
         }
@@ -327,8 +352,9 @@ mod tests {
         [
             r#"{"seq":0,"t_ms":0.1,"kind":"train/epoch","epoch":1,"loss":1.5,"accuracy":0.4}"#,
             r#"{"seq":1,"t_ms":0.2,"kind":"train/epoch","epoch":2,"loss":0.9,"accuracy":0.6}"#,
-            r#"{"seq":2,"t_ms":0.3,"kind":"span","path":"optimizer","depth":1,"ms":10.0}"#,
-            r#"{"seq":3,"t_ms":0.4,"kind":"span","path":"optimizer","depth":1,"ms":5.0}"#,
+            r#"{"seq":2,"t_ms":0.3,"kind":"span","span_id":2,"parent_id":1,"name":"optimizer/local","path":"optimizer > optimizer/local","depth":2,"ms":4.0}"#,
+            r#"{"seq":3,"t_ms":0.3,"kind":"span","span_id":1,"parent_id":0,"name":"optimizer","path":"optimizer","depth":1,"ms":10.0}"#,
+            r#"{"seq":8,"t_ms":0.4,"kind":"span","span_id":3,"parent_id":0,"name":"optimizer","path":"optimizer","depth":1,"ms":5.0}"#,
             r#"{"seq":4,"t_ms":0.5,"kind":"exec/layer","layer":"conv1","full_macs":1000,"performed_macs":600,"gather_cache_hit":false}"#,
             r#"{"seq":5,"t_ms":0.6,"kind":"exec/layer","layer":"conv2","full_macs":1000,"performed_macs":400,"gather_cache_hit":true}"#,
             r#"{"seq":6,"t_ms":0.7,"kind":"sim/layer","layer":"conv1","cycles":100,"utilization":0.5,"imbalance":1.5}"#,
@@ -341,7 +367,7 @@ mod tests {
     #[test]
     fn aggregates_all_sections() {
         let r = Report::from_jsonl(&sample_log()).expect("parses");
-        assert_eq!(r.events, 8);
+        assert_eq!(r.events, 9);
         assert_eq!(r.kinds.get("train/epoch"), Some(&2));
 
         let t = r.train.as_ref().expect("train summary");
@@ -362,23 +388,48 @@ mod tests {
         assert!((s.mean_utilization - 0.8).abs() < 1e-12);
         assert_eq!(s.max_imbalance, 1.5);
 
-        assert_eq!(r.phases.len(), 1);
+        assert_eq!(r.phases.len(), 2);
+        // "optimizer" ran twice for 15ms total; 4ms of the first run was
+        // spent inside "optimizer/local", so its self time is 11ms. Rows are
+        // sorted by self time.
+        assert_eq!(r.phases[0].path, "optimizer");
         assert_eq!(r.phases[0].count, 2);
         assert!((r.phases[0].total_ms - 15.0).abs() < 1e-12);
+        assert!((r.phases[0].self_ms - 11.0).abs() < 1e-12);
+        assert_eq!(r.phases[1].path, "optimizer > optimizer/local");
+        assert!((r.phases[1].total_ms - 4.0).abs() < 1e-12);
+        assert!((r.phases[1].self_ms - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spans_without_ids_fall_back_to_total_as_self() {
+        let log = concat!(
+            "{\"seq\":0,\"t_ms\":0.1,\"kind\":\"span\",\"path\":\"legacy\",\"ms\":7.0}\n",
+            "{\"seq\":1,\"t_ms\":0.2,\"kind\":\"span\",\"path\":\"legacy\",\"ms\":3.0}\n",
+        );
+        let r = Report::from_jsonl(log).unwrap();
+        assert_eq!(r.phases.len(), 1);
+        assert!((r.phases[0].total_ms - 10.0).abs() < 1e-12);
+        assert!((r.phases[0].self_ms - 10.0).abs() < 1e-12);
     }
 
     #[test]
     fn text_and_json_render() {
         let r = Report::from_jsonl(&sample_log()).unwrap();
         let text = r.render_text();
-        assert!(text.contains("events: 8"));
+        assert!(text.contains("events: 9"));
+        assert!(text.contains("self ms"));
         assert!(text.contains("optimizer"));
         assert!(text.contains("50.0% saved"));
         assert!(text.contains("window-plan cache: 1 hits, 1 misses"));
         assert!(text.contains("mean PE utilization 80.0%"));
 
         let j = r.to_json();
-        assert_eq!(j.get("events").and_then(Json::as_u64), Some(8));
+        assert_eq!(j.get("events").and_then(Json::as_u64), Some(9));
+        let phases = j.get("phases").and_then(Json::as_array).unwrap();
+        assert!(phases
+            .iter()
+            .all(|p| p.get("self_ms").and_then(Json::as_f64).is_some()));
         assert!(j
             .get("exec")
             .and_then(|x| x.get("saved_fraction"))
@@ -391,7 +442,7 @@ mod tests {
         );
         // The JSON form must itself parse back.
         let round = crate::json::parse(&j.to_string()).unwrap();
-        assert_eq!(round.get("events").and_then(Json::as_u64), Some(8));
+        assert_eq!(round.get("events").and_then(Json::as_u64), Some(9));
     }
 
     #[test]

@@ -33,17 +33,40 @@ pub trait Sink: Send {
 }
 
 static HAS_SINK: AtomicBool = AtomicBool::new(false);
-static SEQ: AtomicU64 = AtomicU64::new(0);
 
-fn sinks() -> &'static Mutex<Vec<Box<dyn Sink>>> {
-    static SINKS: OnceLock<Mutex<Vec<Box<dyn Sink>>>> = OnceLock::new();
-    SINKS.get_or_init(|| Mutex::new(Vec::new()))
+/// Small per-thread integer ids for event attribution (allocation order of
+/// first emission, so ids are compact but not stable across runs — consumers
+/// must treat them as opaque lane labels).
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TID: std::cell::OnceCell<u64> = const { std::cell::OnceCell::new() };
+}
+
+/// This thread's small integer id (assigned on first use).
+pub fn thread_id() -> u64 {
+    TID.with(|t| *t.get_or_init(|| NEXT_TID.fetch_add(1, Ordering::Relaxed)))
+}
+
+/// The sink table: the sequence counter lives **inside** the same mutex as
+/// the sinks, so the `seq` order of events is exactly the order they reach
+/// every sink — a JSONL file shuffled by post-processing re-sorts to one
+/// unique, gap-free order.
+#[derive(Default)]
+struct SinkTable {
+    seq: u64,
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+fn sinks() -> &'static Mutex<SinkTable> {
+    static SINKS: OnceLock<Mutex<SinkTable>> = OnceLock::new();
+    SINKS.get_or_init(|| Mutex::new(SinkTable::default()))
 }
 
 /// Locks the sink registry, recovering from poisoning: a sink that panicked
-/// mid-emit leaves the `Vec` itself intact, and observability must never
+/// mid-emit leaves the table itself intact, and observability must never
 /// take the process down with it.
-fn lock_sinks() -> std::sync::MutexGuard<'static, Vec<Box<dyn Sink>>> {
+fn lock_sinks() -> std::sync::MutexGuard<'static, SinkTable> {
     sinks()
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -69,9 +92,42 @@ pub fn enabled() -> bool {
     HAS_SINK.load(Ordering::Relaxed)
 }
 
+/// Detail-trace state: 0 = unresolved, 1 = off, 2 = on.
+static DETAIL: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// `true` when `SNAPEA_TRACE_DETAIL` is set to `1` (or `true`) in the
+/// environment: opt-in for the fine-grained trace sources — per-kernel
+/// executor spans and per-worker pool lanes — that would swamp the event
+/// log of a full reproduction run if they were always on. Resolved once
+/// and cached (one relaxed load afterwards); combine with [`enabled`] (no
+/// sink still means no events). Override with [`set_detail_enabled`].
+pub fn detail_enabled() -> bool {
+    match DETAIL.load(Ordering::Relaxed) {
+        0 => {
+            let on = std::env::var("SNAPEA_TRACE_DETAIL")
+                .map(|v| {
+                    let v = v.trim();
+                    v == "1" || v.eq_ignore_ascii_case("true")
+                })
+                .unwrap_or(false);
+            DETAIL.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+        n => n == 2,
+    }
+}
+
+/// Overrides the detail-trace opt-in for the rest of the process (tests and
+/// tools that cannot set the environment before the first resolve). Detail
+/// events carry wall times only and never feed back into results, so
+/// toggling this mid-run is always safe.
+pub fn set_detail_enabled(on: bool) {
+    DETAIL.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
 /// Installs a sink. Events emitted from now on are fanned out to it.
 pub fn install(sink: Box<dyn Sink>) {
-    lock_sinks().push(sink);
+    lock_sinks().sinks.push(sink);
     HAS_SINK.store(true, Ordering::Relaxed);
 }
 
@@ -79,10 +135,10 @@ pub fn install(sink: Box<dyn Sink>) {
 /// first.
 pub fn clear() {
     let mut g = lock_sinks();
-    for s in g.iter_mut() {
+    for s in g.sinks.iter_mut() {
         s.flush();
     }
-    g.clear();
+    g.sinks.clear();
     HAS_SINK.store(false, Ordering::Relaxed);
 }
 
@@ -90,21 +146,34 @@ pub fn clear() {
 ///
 /// Callers should gate on [`enabled`] first (the `event!` macro does); this
 /// function re-checks and is a no-op without sinks.
+///
+/// Every event carries the envelope `seq` (allocated under the sink lock,
+/// so file order and seq order agree), `t_ms`, `kind`, `tid` (small
+/// per-thread id) and — unless the caller supplied one, as `span` events
+/// do — the `span_id` of the innermost span open on the emitting thread.
 pub fn emit(kind: &str, fields: Vec<(String, Json)>) {
     if !enabled() {
         return;
     }
-    let mut pairs: Vec<(String, Json)> = Vec::with_capacity(fields.len() + 3);
-    pairs.push((
-        "seq".to_string(),
-        Json::U64(SEQ.fetch_add(1, Ordering::Relaxed)),
-    ));
+    let mut pairs: Vec<(String, Json)> = Vec::with_capacity(fields.len() + 5);
+    pairs.push(("seq".to_string(), Json::Null)); // patched under the lock
     pairs.push(("t_ms".to_string(), Json::F64(now_ms())));
     pairs.push(("kind".to_string(), Json::Str(kind.to_string())));
+    pairs.push(("tid".to_string(), Json::U64(thread_id())));
+    if !fields.iter().any(|(k, _)| k == "span_id") {
+        let current = crate::span::current_span_id();
+        if current != 0 {
+            pairs.push(("span_id".to_string(), Json::U64(current)));
+        }
+    }
     pairs.extend(fields);
-    let event = Json::Obj(pairs);
+    let mut event = Json::Obj(pairs);
     let mut g = lock_sinks();
-    for s in g.iter_mut() {
+    if let Json::Obj(pairs) = &mut event {
+        pairs[0].1 = Json::U64(g.seq);
+    }
+    g.seq += 1;
+    for s in g.sinks.iter_mut() {
         s.emit(&event);
     }
 }
@@ -112,7 +181,7 @@ pub fn emit(kind: &str, fields: Vec<(String, Json)>) {
 /// Flushes every installed sink.
 pub fn flush() {
     let mut g = lock_sinks();
-    for s in g.iter_mut() {
+    for s in g.sinks.iter_mut() {
         s.flush();
     }
 }
@@ -128,7 +197,12 @@ impl Sink for StderrSink {
         let mut line = format!("[{t:>9.1}ms] {kind:<24}");
         if let Some(pairs) = event.as_object() {
             for (k, v) in pairs {
-                if k == "seq" || k == "t_ms" || k == "kind" {
+                // Envelope and span-tree bookkeeping fields stay out of the
+                // human-oriented line (they are for machine consumers).
+                if matches!(
+                    k.as_str(),
+                    "seq" | "t_ms" | "kind" | "tid" | "span_id" | "parent_id" | "start_ms"
+                ) {
                     continue;
                 }
                 match v {

@@ -4,18 +4,28 @@
 //! tree of enclosing spans: entering a span pushes its name onto a
 //! thread-local path stack, so a span opened as `span!("optimizer/local")`
 //! inside `span!("optimizer")` records the full path
-//! `optimizer > optimizer/local`. On drop the span charges its elapsed time
-//! to the per-path duration/count counters in the [`crate::metrics`]
-//! registry and, when a sink is installed, emits a `span` event carrying the
-//! path, the user-supplied detail string, and the elapsed milliseconds.
+//! `optimizer > optimizer/local`. Every span carries a process-unique
+//! `span_id` and the `parent_id` of the span that encloses it (0 at top
+//! level), so an event log can be reassembled into the exact span tree —
+//! self (exclusive) time, Chrome trace export — rather than a flat list of
+//! durations. On drop the span charges its elapsed time to the per-path
+//! duration/count counters in the [`crate::metrics`] registry and, when a
+//! sink is installed, emits a `span` event carrying the path, ids, the
+//! span's start timestamp, the user-supplied detail string, and the elapsed
+//! milliseconds.
 
 use crate::metrics;
 use crate::sink;
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+/// Allocator for process-unique span ids; id 0 is reserved for "no parent".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
 thread_local! {
-    static PATH: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    /// Stack of `(name, span_id)` for the spans open on this thread.
+    static PATH: RefCell<Vec<(String, u64)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// RAII guard for one timed scope. Create with [`enter`] or the
@@ -23,8 +33,11 @@ thread_local! {
 pub struct SpanGuard {
     name: String,
     detail: Option<String>,
-    start: Instant,
+    start: Stopwatch,
+    start_ms: f64,
     depth: usize,
+    span_id: u64,
+    parent_id: u64,
 }
 
 /// Opens a span named `name` (use `/`-separated names such as
@@ -36,57 +49,98 @@ pub fn enter(name: &str) -> SpanGuard {
 
 /// Opens a span with an additional free-form detail string (e.g. the layer
 /// name) that is attached to the emitted event but not to the metric path.
-#[allow(clippy::disallowed_methods)] // the obs layer owns the wall clock
 pub fn enter_detail(name: &str, detail: Option<String>) -> SpanGuard {
-    let depth = PATH.with(|p| {
+    let span_id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let (depth, parent_id) = PATH.with(|p| {
         let mut p = p.borrow_mut();
-        p.push(name.to_string());
-        p.len()
+        let parent = p.last().map_or(0, |(_, id)| *id);
+        p.push((name.to_string(), span_id));
+        (p.len(), parent)
     });
     SpanGuard {
         name: name.to_string(),
         detail,
-        start: Instant::now(),
+        start: Stopwatch::start(),
+        start_ms: sink::now_ms(),
         depth,
+        span_id,
+        parent_id,
     }
 }
 
 /// The current span path on this thread, joined with `" > "` (empty string
 /// at top level).
 pub fn current_path() -> String {
-    PATH.with(|p| p.borrow().join(" > "))
+    PATH.with(|p| {
+        p.borrow()
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .collect::<Vec<_>>()
+            .join(" > ")
+    })
+}
+
+/// The id of the innermost span open on this thread (0 at top level).
+pub fn current_span_id() -> u64 {
+    PATH.with(|p| p.borrow().last().map_or(0, |(_, id)| *id))
 }
 
 impl SpanGuard {
     /// Elapsed time so far, in milliseconds.
     pub fn elapsed_ms(&self) -> f64 {
-        self.start.elapsed().as_secs_f64() * 1e3
+        self.start.elapsed_ms()
+    }
+
+    /// This span's process-unique id.
+    pub fn span_id(&self) -> u64 {
+        self.span_id
+    }
+
+    /// The id of the span this one was opened inside (0 at top level).
+    pub fn parent_id(&self) -> u64 {
+        self.parent_id
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let elapsed = self.start.elapsed();
+        let elapsed_ms = self.start.elapsed_ms();
         let path = PATH.with(|p| {
             let mut p = p.borrow_mut();
             // Unwind to this guard's depth even if inner guards leaked
             // (e.g. due to a panic being caught above an inner span).
             p.truncate(self.depth);
-            let joined = p.join(" > ");
+            let joined = p
+                .iter()
+                .map(|(name, _)| name.as_str())
+                .collect::<Vec<_>>()
+                .join(" > ");
             p.pop();
             joined
         });
-        metrics::counter(&format!("span/{}/ns", self.name)).add(elapsed.as_nanos() as u64);
+        metrics::counter(&format!("span/{}/ns", self.name)).add((elapsed_ms * 1e6) as u64);
         metrics::counter(&format!("span/{}/count", self.name)).inc();
         if sink::enabled() {
-            let ms = elapsed.as_secs_f64() * 1e3;
             let mut fields = vec![
+                ("span_id".to_string(), crate::json::Json::U64(self.span_id)),
+                (
+                    "parent_id".to_string(),
+                    crate::json::Json::U64(self.parent_id),
+                ),
+                (
+                    "name".to_string(),
+                    crate::json::Json::from(self.name.as_str()),
+                ),
                 ("path".to_string(), crate::json::Json::from(path)),
                 (
                     "depth".to_string(),
                     crate::json::Json::from(self.depth as u64),
                 ),
-                ("ms".to_string(), crate::json::Json::from(ms)),
+                (
+                    "start_ms".to_string(),
+                    crate::json::Json::F64(self.start_ms),
+                ),
+                ("ms".to_string(), crate::json::Json::from(elapsed_ms)),
             ];
             if let Some(d) = self.detail.take() {
                 fields.push(("detail".to_string(), crate::json::Json::from(d)));
@@ -102,7 +156,8 @@ impl Drop for SpanGuard {
 /// This is the sanctioned way for the rest of the workspace to read the
 /// wall clock: the `snapea-lint` D2 rule bans `Instant::now()` outside
 /// obs and bench, precisely so timing reads are auditable in one place
-/// and never feed back into results.
+/// and never feed back into results. The span machinery itself is built on
+/// it for the same reason.
 #[derive(Debug, Clone, Copy)]
 pub struct Stopwatch {
     start: Instant,
@@ -151,9 +206,37 @@ macro_rules! span {
     };
 }
 
+/// Opens a [`SpanGuard`] only when a sink is installed, as an
+/// `Option<SpanGuard>` — for hot paths (per-kernel, per-layer inner loops)
+/// where even the metric-registry charge on drop is unwanted overhead in
+/// silent runs. The metrics totals for such spans therefore only accumulate
+/// while a sink is attached.
+#[macro_export]
+macro_rules! hot_span {
+    ($name:expr) => {
+        if $crate::sink::enabled() {
+            Some($crate::span::enter($name))
+        } else {
+            None
+        }
+    };
+    ($name:expr, $detail:expr) => {
+        if $crate::sink::enabled() {
+            Some($crate::span::enter_detail(
+                $name,
+                Some(($detail).to_string()),
+            ))
+        } else {
+            None
+        }
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json::Json;
+    use crate::sink::MemorySink;
 
     #[test]
     fn spans_accumulate_time_and_count() {
@@ -188,5 +271,68 @@ mod tests {
         let a = s.elapsed_ms();
         let b = s.elapsed_ms();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn span_ids_link_children_to_parents() {
+        let a = enter("test/span/tree-parent");
+        assert!(a.span_id() > 0);
+        assert_eq!(current_span_id(), a.span_id());
+        let b = enter("test/span/tree-child");
+        assert_eq!(b.parent_id(), a.span_id());
+        assert_ne!(b.span_id(), a.span_id());
+        drop(b);
+        assert_eq!(current_span_id(), a.span_id());
+        drop(a);
+        assert_eq!(current_span_id(), 0);
+    }
+
+    #[test]
+    fn span_events_carry_tree_fields() {
+        let _guard = crate::sink::test_lock();
+        crate::sink::clear();
+        let mem = MemorySink::new();
+        crate::sink::install(Box::new(mem.clone()));
+        {
+            let _a = enter("test/span/emit-parent");
+            let _b = enter_detail("test/span/emit-child", Some("conv1".to_string()));
+        }
+        crate::sink::clear();
+        let events: Vec<Json> = mem
+            .events()
+            .into_iter()
+            .filter(|e| {
+                e.get("name")
+                    .and_then(Json::as_str)
+                    .is_some_and(|n| n.starts_with("test/span/emit-"))
+            })
+            .collect();
+        assert_eq!(events.len(), 2, "both spans emitted");
+        // Inner span drops (and thus emits) first.
+        let child = &events[0];
+        let parent = &events[1];
+        assert_eq!(
+            child.get("parent_id").and_then(Json::as_u64),
+            parent.get("span_id").and_then(Json::as_u64),
+            "child links to parent"
+        );
+        assert_eq!(child.get("detail").and_then(Json::as_str), Some("conv1"));
+        let child_start = child
+            .get("start_ms")
+            .and_then(Json::as_f64)
+            .expect("child start_ms");
+        let parent_start = parent
+            .get("start_ms")
+            .and_then(Json::as_f64)
+            .expect("parent start_ms");
+        assert!(child_start >= parent_start, "child starts inside parent");
+    }
+
+    #[test]
+    fn hot_span_is_none_without_sink() {
+        let _guard = crate::sink::test_lock();
+        crate::sink::clear();
+        let s = crate::hot_span!("test/span/hot");
+        assert!(s.is_none(), "no guard when no sink is installed");
     }
 }

@@ -40,7 +40,10 @@
 //! Each multi-threaded invocation charges `par/invocations`, `par/tasks`,
 //! and per-worker busy time (`par/busy_ns`) into the [`snapea_obs`] metrics
 //! registry, and sets the `par/imbalance` gauge (`1 − min/max` worker busy
-//! time — 0.0 is a perfectly balanced dispatch).
+//! time — 0.0 is a perfectly balanced dispatch). With a sink installed and
+//! `SNAPEA_TRACE_DETAIL=1`, every worker additionally emits one
+//! `par/worker` lane event (`worker`, `start_ms`, `ms`, `tasks`) that the
+//! Chrome-trace export renders as a per-thread track.
 
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -133,16 +136,25 @@ where
     let n_tasks = tasks.len();
     snapea_obs::counter("par/invocations").inc();
     snapea_obs::counter("par/tasks").add(n_tasks as u64);
+    // Worker-lane trace events are a double opt-in (sink installed AND
+    // `SNAPEA_TRACE_DETAIL=1`): a full repro run makes thousands of pool
+    // invocations, each of which would add one event per worker. Lanes
+    // carry wall times only — they never feed back into results, so the
+    // bit-identical-for-any-thread-count contract is untouched.
+    let trace_lanes = snapea_obs::enabled() && snapea_obs::detail_enabled();
 
     let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(tasks.into_iter().enumerate().collect());
     let mut slots: Vec<Option<R>> = (0..n_tasks).map(|_| None).collect();
     let mut busy_ns: Vec<u64> = Vec::with_capacity(workers);
 
     std::thread::scope(|s| {
+        let queue = &queue;
+        let f = &f;
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
+            .map(|worker| {
+                s.spawn(move || {
                     IN_WORKER.with(|w| w.set(true));
+                    let start_ms = snapea_obs::sink::now_ms();
                     let started = snapea_obs::Stopwatch::start();
                     let mut done: Vec<(usize, R)> = Vec::new();
                     loop {
@@ -155,6 +167,18 @@ where
                             .pop_front();
                         let Some((i, t)) = next else { break };
                         done.push((i, f(i, t)));
+                    }
+                    if trace_lanes {
+                        // Emitted from the worker thread itself so the
+                        // envelope `tid` separates lanes in the Chrome
+                        // export (one track per worker thread).
+                        snapea_obs::event!(
+                            "par/worker",
+                            worker = worker as u64,
+                            start_ms = start_ms,
+                            ms = started.elapsed_ms(),
+                            tasks = done.len() as u64,
+                        );
                     }
                     (done, started.elapsed_ns())
                 })

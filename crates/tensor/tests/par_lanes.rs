@@ -1,0 +1,63 @@
+//! Worker-lane trace events from the pool: with a sink installed and the
+//! detail opt-in on, every multi-threaded `run_tasks` invocation emits one
+//! `par/worker` event per worker, from the worker's own thread (so the
+//! Chrome export gets one track per lane), and the lanes together account
+//! for every task exactly once.
+//!
+//! Single test function on purpose: the sink and the pool's thread count
+//! are process-wide globals, and this binary owning exactly one test is
+//! what makes setting them race-free.
+
+use snapea_obs::Json;
+use snapea_tensor::par;
+
+#[test]
+fn worker_lanes_are_emitted_under_detail_tracing() {
+    par::set_threads(3);
+    let mem = snapea_obs::MemorySink::new();
+    snapea_obs::sink::install(Box::new(mem.clone()));
+    snapea_obs::set_detail_enabled(true);
+    let out = par::run_tasks((0..64usize).collect::<Vec<_>>(), |i, t| {
+        assert_eq!(i, t);
+        t * 2
+    });
+    snapea_obs::set_detail_enabled(false);
+    snapea_obs::sink::clear();
+
+    // Tracing must not perturb results or ordering.
+    assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+
+    let lanes: Vec<Json> = mem
+        .events()
+        .into_iter()
+        .filter(|e| e.get("kind").and_then(Json::as_str) == Some("par/worker"))
+        .collect();
+    assert_eq!(lanes.len(), 3, "one lane event per worker");
+
+    let mut workers: Vec<u64> = lanes
+        .iter()
+        .map(|e| e.get("worker").and_then(Json::as_u64).expect("worker id"))
+        .collect();
+    workers.sort_unstable();
+    assert_eq!(workers, vec![0, 1, 2]);
+
+    let tasks: u64 = lanes
+        .iter()
+        .map(|e| e.get("tasks").and_then(Json::as_u64).expect("task count"))
+        .sum();
+    assert_eq!(tasks, 64, "every task charged to exactly one lane");
+
+    let mut tids: Vec<u64> = lanes
+        .iter()
+        .map(|e| e.get("tid").and_then(Json::as_u64).expect("envelope tid"))
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert_eq!(tids.len(), 3, "each lane emitted from its own thread");
+
+    for e in &lanes {
+        let start = e.get("start_ms").and_then(Json::as_f64).expect("start_ms");
+        let ms = e.get("ms").and_then(Json::as_f64).expect("ms");
+        assert!(start >= 0.0 && ms >= 0.0 && start.is_finite() && ms.is_finite());
+    }
+}

@@ -79,4 +79,36 @@ if [ "$entries" -lt 1 ] || [ "$entries" -ne "$identical" ]; then
 fi
 echo "    $identical/$entries kernel benches bit-identical"
 
-echo "OK: build, tests (1 and 4 threads), clippy, selfcheck (1 and 4 threads), bench smoke, and kernel bit-identity all clean."
+# Trace-export smoke: a petrace run (training-free, milliseconds) must
+# yield an event log that renders to schema-valid Chrome trace documents
+# on both timebases — the full wall-clock trace and the virtual-PE
+# sub-trace. `snapea-tool trace` validates each document before writing,
+# so a zero exit plus non-empty outputs is the whole check.
+echo "==> trace export smoke (repro petrace -> snapea-tool trace)"
+REPRO=$PWD/target/release/repro
+TOOL=$PWD/target/release/snapea-tool
+mkdir -p "$FIXTURE/trace"
+(cd "$FIXTURE/trace" && SNAPEA_LOG=off "$REPRO" petrace > /dev/null)
+EVENTS=$(find "$FIXTURE/trace/repro-results" -name events.jsonl | head -n 1)
+[ -n "$EVENTS" ] || { echo "ERROR: petrace wrote no events.jsonl"; exit 1; }
+"$TOOL" trace "$EVENTS" --chrome "$FIXTURE/trace/chrome.json" \
+  --pe-trace "$FIXTURE/trace/pe-trace.json" > /dev/null
+for f in chrome.json pe-trace.json; do
+  [ -s "$FIXTURE/trace/$f" ] || { echo "ERROR: trace export missing $f"; exit 1; }
+  grep -q '"traceEvents"' "$FIXTURE/trace/$f" \
+    || { echo "ERROR: $f is not a Chrome trace document"; exit 1; }
+done
+
+# Perf regression gate: a benchmark compared against itself must pass, and
+# — same prove-it-can-fail protocol as the lint and selfcheck smokes — a
+# planted 20% regression must trip the default 10% gate.
+echo "==> snapea-tool perf-diff self-compare (must pass)"
+"$TOOL" perf-diff /tmp/BENCH_parallel.smoke.json /tmp/BENCH_parallel.smoke.json > /dev/null
+echo "==> snapea-tool perf-diff negative smoke (planted 20% regression must fail)"
+printf '{"kernels":[{"name":"gemm_f32","kernel_ms":10.0}]}\n' > "$FIXTURE/perf-old.json"
+printf '{"kernels":[{"name":"gemm_f32","kernel_ms":12.0}]}\n' > "$FIXTURE/perf-new.json"
+if "$TOOL" perf-diff "$FIXTURE/perf-old.json" "$FIXTURE/perf-new.json" > /dev/null 2>&1; then
+  echo "ERROR: planted 20% regression passed the 10% gate"; exit 1
+fi
+
+echo "OK: build, tests (1 and 4 threads), clippy, selfcheck (1 and 4 threads), bench smoke, kernel bit-identity, trace export, and perf-diff gate all clean."

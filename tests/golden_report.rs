@@ -44,12 +44,54 @@ fn report_json_output_is_parsable_with_expected_fields() {
     // Belt and braces beyond the byte comparison: the document must parse
     // and carry the fields scripts key on.
     let doc = snapea_suite::obs::parse(&run_report_json()).expect("valid json");
-    assert_eq!(doc.get("events").and_then(Json::as_u64), Some(5));
+    assert_eq!(doc.get("events").and_then(Json::as_u64), Some(10));
     let exec = doc.get("exec").expect("exec section");
     assert_eq!(exec.get("full_macs").and_then(Json::as_u64), Some(1500));
     assert_eq!(exec.get("performed_macs").and_then(Json::as_u64), Some(700));
-    assert!(doc
+    let phases = doc
         .get("phases")
         .and_then(Json::as_array)
-        .is_some_and(|p| p.len() == 2));
+        .expect("phases array");
+    assert_eq!(phases.len(), 3);
+    // Rows are ordered by self (exclusive) time: the leaf `repro/train` span
+    // outranks its parent `repro`, whose 6 ms are mostly spent in children.
+    assert_eq!(
+        phases[0].get("path").and_then(Json::as_str),
+        Some("repro > repro/train")
+    );
+    assert_eq!(phases[0].get("self_ms").and_then(Json::as_f64), Some(3.5));
+    assert_eq!(phases[1].get("path").and_then(Json::as_str), Some("repro"));
+    assert_eq!(phases[1].get("total_ms").and_then(Json::as_f64), Some(6.0));
+    assert_eq!(phases[1].get("self_ms").and_then(Json::as_f64), Some(1.25));
+}
+
+#[test]
+fn shuffled_event_log_resorts_to_the_unique_seq_order() {
+    // The sink allocates `seq` under the same lock that writes the file, so
+    // a JSONL log shuffled by post-processing (sort, parallel grep, …)
+    // re-sorts to exactly one gap-free order.
+    let original = golden("events.jsonl");
+    let lines: Vec<&str> = original.lines().collect();
+    let seq_of = |line: &str| {
+        snapea_suite::obs::parse(line)
+            .ok()
+            .and_then(|e| e.get("seq").and_then(Json::as_u64))
+            .expect("every event carries seq")
+    };
+    let seqs: Vec<u64> = lines.iter().map(|l| seq_of(l)).collect();
+    let mut sorted = seqs.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), lines.len(), "seq values are unique");
+    assert_eq!(
+        sorted,
+        (0..lines.len() as u64).collect::<Vec<_>>(),
+        "gap-free"
+    );
+
+    let mut shuffled: Vec<&str> = lines.clone();
+    shuffled.reverse();
+    shuffled.swap(0, lines.len() / 2);
+    shuffled.sort_by_key(|l| seq_of(l));
+    assert_eq!(shuffled, lines, "re-sorting by seq restores the file order");
 }

@@ -1,0 +1,96 @@
+//! Golden-file tests pinning the Chrome trace-event export of
+//! `snapea-tool trace`.
+//!
+//! The fixtures live in `tests/golden/`:
+//!
+//! * `events.jsonl` — the structured run-event log (shared with the report
+//!   golden test);
+//! * `chrome.json` — the expected byte-exact full trace (`trace` on stdout);
+//! * `pe-trace.json` — the expected byte-exact virtual-PE sub-trace
+//!   (`trace --pe-trace`).
+//!
+//! To regenerate after an intentional format change:
+//!
+//! ```text
+//! snapea-tool trace tests/golden/events.jsonl > tests/golden/chrome.json
+//! snapea-tool trace tests/golden/events.jsonl --pe-trace tests/golden/pe-trace.json
+//! ```
+
+use snapea_cli::args::Args;
+use snapea_cli::commands;
+use snapea_suite::obs::{chrome_trace, validate_chrome_trace, Json, Selection};
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing fixture {path}: {e}"))
+}
+
+#[test]
+fn trace_stdout_matches_golden_chrome_file() {
+    let events = format!("{}/tests/golden/events.jsonl", env!("CARGO_MANIFEST_DIR"));
+    let args = Args::parse(["trace", events.as_str()]).unwrap();
+    let got = commands::run(&args).expect("trace succeeds on the fixture log");
+    assert_eq!(
+        got,
+        golden("chrome.json"),
+        "`snapea-tool trace` output changed; if intentional, regenerate \
+         tests/golden/chrome.json (see module docs)"
+    );
+}
+
+#[test]
+fn golden_chrome_trace_is_schema_valid_with_both_timebases() {
+    let doc = golden("chrome.json");
+    let n = validate_chrome_trace(&doc).expect("schema-valid");
+    assert_eq!(n, 10, "every fixture event renders");
+    let parsed = snapea_suite::obs::parse(&doc).unwrap();
+    let events = parsed.get("traceEvents").and_then(Json::as_array).unwrap();
+    let pids: Vec<u64> = events
+        .iter()
+        .filter_map(|e| e.get("pid").and_then(Json::as_u64))
+        .collect();
+    assert!(pids.contains(&1), "wall-clock process present");
+    assert!(pids.contains(&2), "virtual-PE process present");
+    // Spans become complete slices carrying their tree links.
+    let span = events
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("repro/train"))
+        .expect("span slice");
+    assert_eq!(span.get("ph").and_then(Json::as_str), Some("X"));
+    assert_eq!(
+        span.get("args")
+            .and_then(|a| a.get("parent_id"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+    // Worker lanes keep their own thread track.
+    let lane = events
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("par/worker"))
+        .expect("worker lane slice");
+    assert_eq!(lane.get("tid").and_then(Json::as_u64), Some(2));
+}
+
+#[test]
+fn pe_trace_matches_golden_and_ignores_input_line_order() {
+    let log = golden("events.jsonl");
+    let want = golden("pe-trace.json");
+    let got = chrome_trace(&log, Selection::VirtualPe).expect("renders");
+    assert_eq!(
+        got, want,
+        "virtual-PE trace changed; if intentional, regenerate \
+         tests/golden/pe-trace.json (see module docs)"
+    );
+    // The virtual sub-trace is sorted by virtual time, not file order: a
+    // shuffled log renders byte-identically.
+    let mut lines: Vec<&str> = log.lines().collect();
+    lines.reverse();
+    let shuffled = chrome_trace(&lines.join("\n"), Selection::VirtualPe).unwrap();
+    assert_eq!(got, shuffled);
+    // And it contains only virtual-time content: no wall-clock process.
+    let parsed = snapea_suite::obs::parse(&want).unwrap();
+    let events = parsed.get("traceEvents").and_then(Json::as_array).unwrap();
+    assert!(events
+        .iter()
+        .all(|e| e.get("pid").and_then(Json::as_u64) == Some(2)));
+}

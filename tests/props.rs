@@ -215,4 +215,74 @@ proptest! {
             prop_assert!((a.max(0.0) - b.max(0.0)).abs() < 1e-3);
         }
     }
+
+    /// Log-histogram quantiles land in exactly the bucket the naive sorted
+    /// nearest-rank reference picks — the histogram loses resolution within
+    /// a bucket (~9%), never across buckets.
+    #[test]
+    fn log_histogram_quantiles_match_naive_reference(
+        samples in prop::collection::vec(1e-6f64..1e6, 1..200),
+    ) {
+        use snapea_suite::obs::LogHistogramSnapshot;
+        let snap = LogHistogramSnapshot::from_samples(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            // Nearest-rank: the ceil(q*n)-th order statistic (1-based).
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let naive = sorted[rank - 1];
+            prop_assert_eq!(
+                snap.quantile_bucket(q),
+                LogHistogramSnapshot::bucket_of(naive),
+                "q={} naive={}", q, naive
+            );
+            // And the midpoint estimate is within one sub-bucket (~±9%).
+            let est = snap.quantile(q);
+            prop_assert!(
+                est >= naive / 1.19 && est <= naive * 1.19,
+                "q={} est={} naive={}", q, est, naive
+            );
+        }
+    }
+
+    /// Histogram merge is exact: commutative, associative, and identical to
+    /// bucketing the concatenated sample set directly.
+    #[test]
+    fn log_histogram_merge_is_commutative_and_associative(
+        a in prop::collection::vec(1e-6f64..1e6, 0..60),
+        b in prop::collection::vec(1e-6f64..1e6, 0..60),
+        c in prop::collection::vec(1e-6f64..1e6, 0..60),
+    ) {
+        use snapea_suite::obs::LogHistogramSnapshot;
+        let (sa, sb, sc) = (
+            LogHistogramSnapshot::from_samples(&a),
+            LogHistogramSnapshot::from_samples(&b),
+            LogHistogramSnapshot::from_samples(&c),
+        );
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba, "merge must be commutative");
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc, "merge must be associative");
+
+        let concat: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(
+            &ab_c,
+            &LogHistogramSnapshot::from_samples(&concat),
+            "merging snapshots must equal bucketing the concatenation"
+        );
+        prop_assert_eq!(ab_c.count(), (a.len() + b.len() + c.len()) as u64);
+
+        let mut with_empty = ab_c.clone();
+        with_empty.merge(&LogHistogramSnapshot::empty());
+        prop_assert_eq!(&with_empty, &ab_c, "empty is the merge identity");
+    }
 }

@@ -1,0 +1,2 @@
+//! Offline placeholder for `bytes` — declared by `snapea-tensor` but unused;
+//! kept resolvable so the manifest does not change shape.

@@ -1,0 +1,440 @@
+//! Offline stand-in for `serde`.
+//!
+//! The CI registry cache has no network access, so the workspace vendors a
+//! minimal serialization framework under the `serde` name: a self-describing
+//! [`Content`] tree plus [`Serialize`]/[`Deserialize`] traits that map types
+//! onto it, and a derive macro (see `serde_derive`) covering the shapes the
+//! workspace actually uses (named structs, tuple structs, unit and newtype
+//! enum variants, external tagging). `serde_json` renders [`Content`] to and
+//! from JSON text.
+//!
+//! This is intentionally *not* API-complete serde; it implements exactly the
+//! surface the SnaPEA reproduction needs and nothing more.
+
+use std::fmt;
+
+/// A self-describing value tree — the data model both traits target.
+///
+/// JSON-shaped on purpose: `serde_json` is the only serializer in the
+/// workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered string-keyed map (insertion order preserved).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Map lookup by key (first match).
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::I64(v) => Some(v as f64),
+            Content::U64(v) => Some(v as f64),
+            Content::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is an unsigned (or non-negative signed)
+    /// integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::I64(v) => Some(v),
+            Content::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The sequence payload, if a sequence.
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// `value["key"]` map indexing; missing keys and non-maps yield `Null`
+/// (mirrors `serde_json::Value`).
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    fn index(&self, key: &str) -> &Content {
+        const NULL: Content = Content::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+/// `value[i]` sequence indexing; out of range and non-sequences yield `Null`.
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+    fn index(&self, i: usize) -> &Content {
+        const NULL: Content = Content::Null;
+        match self {
+            Content::Seq(s) => s.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Serialization or deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    /// A "wrong shape" error: expected `want` while decoding `ty`.
+    pub fn ty(ty: &str, want: &str) -> Self {
+        Error(format!("{ty}: expected {want}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into the [`Content`] data model.
+pub trait Serialize {
+    /// The value as a [`Content`] tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can be rebuilt from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds the value from a [`Content`] tree.
+    fn from_content(c: &Content) -> Result<Self, Error>;
+}
+
+// ---- helpers the derive macro calls -------------------------------------
+
+/// The map entries of `c`, or a shape error naming `ty`.
+pub fn expect_map<'c>(c: &'c Content, ty: &str) -> Result<&'c [(String, Content)], Error> {
+    match c {
+        Content::Map(m) => Ok(m),
+        _ => Err(Error::ty(ty, "map")),
+    }
+}
+
+/// The sequence elements of `c`, or a shape error naming `ty`.
+pub fn expect_seq<'c>(c: &'c Content, ty: &str) -> Result<&'c [Content], Error> {
+    match c {
+        Content::Seq(s) => Ok(s),
+        _ => Err(Error::ty(ty, "sequence")),
+    }
+}
+
+/// Decodes field `key` of struct `ty` from map entries `m`.
+pub fn field<T: Deserialize>(m: &[(String, Content)], key: &str, ty: &str) -> Result<T, Error> {
+    match m.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_content(v),
+        None => Err(Error(format!("{ty}: missing field `{key}`"))),
+    }
+}
+
+/// Element `i` of sequence `s` while decoding `ty`.
+pub fn seq_item<T: Deserialize>(s: &[Content], i: usize, ty: &str) -> Result<T, Error> {
+    match s.get(i) {
+        Some(v) => T::from_content(v),
+        None => Err(Error(format!("{ty}: missing tuple element {i}"))),
+    }
+}
+
+// ---- primitive impls ----------------------------------------------------
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v = c
+                    .as_i64()
+                    .ok_or_else(|| Error::ty(stringify!($t), "integer"))?;
+                <$t>::try_from(v).map_err(|_| Error::ty(stringify!($t), "in-range integer"))
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v = c
+                    .as_u64()
+                    .ok_or_else(|| Error::ty(stringify!($t), "unsigned integer"))?;
+                <$t>::try_from(v).map_err(|_| Error::ty(stringify!($t), "in-range integer"))
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                c.as_f64()
+                    .map(|v| v as $t)
+                    .ok_or_else(|| Error::ty(stringify!($t), "number"))
+            }
+        }
+    )*};
+}
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_bool().ok_or_else(|| Error::ty("bool", "boolean"))
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::ty("String", "string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        expect_seq(c, "Vec")?.iter().map(T::from_content).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let s = expect_seq(c, "tuple")?;
+                Ok(($(seq_item::<$t>(s, $n, "tuple")?,)+))
+            }
+        }
+    )*};
+}
+ser_de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: std::str::FromStr + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        expect_map(c, "BTreeMap")?
+            .iter()
+            .map(|(k, v)| {
+                let key = k
+                    .parse::<K>()
+                    .map_err(|_| Error(format!("BTreeMap: unparsable key `{k}`")))?;
+                Ok((key, V::from_content(v)?))
+            })
+            .collect()
+    }
+}
+
+/// [`Content`] serializes as itself, so `serde_json::Value` documents pass
+/// straight through generic entry points.
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
+}
+
+// ---- Content conversions (used by serde_json's `json!`) -----------------
+
+impl From<bool> for Content {
+    fn from(v: bool) -> Self {
+        Content::Bool(v)
+    }
+}
+impl From<&str> for Content {
+    fn from(v: &str) -> Self {
+        Content::Str(v.to_string())
+    }
+}
+impl From<String> for Content {
+    fn from(v: String) -> Self {
+        Content::Str(v)
+    }
+}
+impl From<f64> for Content {
+    fn from(v: f64) -> Self {
+        Content::F64(v)
+    }
+}
+impl From<f32> for Content {
+    fn from(v: f32) -> Self {
+        Content::F64(v as f64)
+    }
+}
+macro_rules! content_from_int {
+    ($($t:ty => $var:ident as $as:ty),*) => {$(
+        impl From<$t> for Content {
+            fn from(v: $t) -> Self {
+                Content::$var(v as $as)
+            }
+        }
+    )*};
+}
+content_from_int!(i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64, u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64,
+    u64 => U64 as u64, usize => U64 as u64);
+
+impl<T: Into<Content>> From<Vec<T>> for Content {
+    fn from(v: Vec<T>) -> Self {
+        Content::Seq(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Content>> From<&[T]> for Content {
+    fn from(v: &[T]) -> Self {
+        Content::Seq(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,375 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! The offline registry has no `syn`/`quote`, so the input item is parsed
+//! directly from the `proc_macro` token stream. Supported shapes — exactly
+//! what the workspace derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently, like serde),
+//! * enums with unit and tuple variants (externally tagged).
+//!
+//! Generics and `#[serde(...)]` attributes are not supported; hitting either
+//! is a compile-time panic with a clear message rather than silent
+//! miscompilation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let code = gen_serialize(&item);
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Derives the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let code = gen_deserialize(&item);
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// One enum variant: name plus tuple-field arity (0 = unit).
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+/// The parsed derive input.
+enum Item {
+    Named {
+        name: String,
+        fields: Vec<String>,
+    },
+    Tuple {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn parse(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the vendored stub");
+    }
+    match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Named {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Tuple {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            },
+            _ => Item::Tuple { name, arity: 0 },
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            _ => panic!("serde_derive: malformed enum `{name}`"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other} {name}`"),
+    }
+}
+
+/// Advances `i` past `#[...]` attributes (incl. doc comments) and any
+/// visibility modifier.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2, // `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` / `pub(super)` etc.
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field body: `attrs vis name : Type ,` repeated.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        let Some(TokenTree::Ident(id)) = toks.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+        }
+        skip_type(&toks, &mut i);
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances `i` past one type, stopping at a top-level `,` (respects `<...>`
+/// nesting; `<`/`>` are plain puncts in token streams).
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = toks.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Number of top-level comma-separated fields in a tuple body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&toks, &mut i);
+        i += 1; // the comma (or end)
+    }
+    count
+}
+
+/// Variants of an enum body.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        let Some(TokenTree::Ident(id)) = toks.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let arity = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                count_tuple_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!(
+                    "serde_derive: struct variant `{name}` is not supported by the vendored stub"
+                )
+            }
+            _ => 0,
+        };
+        variants.push(Variant { name, arity });
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ---- code generation ----------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Named { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            imp_ser(
+                name,
+                &format!("::serde::Content::Map(::std::vec![{}])", entries.join(", ")),
+            )
+        }
+        Item::Tuple { name, arity: 1 } => imp_ser(name, "::serde::Serialize::to_content(&self.0)"),
+        Item::Tuple { name, arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            imp_ser(
+                name,
+                &format!("::serde::Content::Seq(::std::vec![{}])", entries.join(", ")),
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match v.arity {
+                    0 => format!(
+                        "{name}::{v} => ::serde::Content::Str(::std::string::String::from(\"{v}\"))",
+                        v = v.name
+                    ),
+                    1 => format!(
+                        "{name}::{v}(x0) => ::serde::Content::Map(::std::vec![\
+                         (::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::to_content(x0))])",
+                        v = v.name
+                    ),
+                    n => {
+                        let binds: Vec<String> = (0..n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Serialize::to_content(x{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                             ::serde::Content::Seq(::std::vec![{items}]))])",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            imp_ser(name, &format!("match self {{ {} }}", arms.join(", ")))
+        }
+    }
+}
+
+fn imp_ser(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{ {body} }}\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Named { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(m, \"{f}\", \"{name}\")?"))
+                .collect();
+            imp_de(
+                name,
+                &format!(
+                    "let m = ::serde::expect_map(c, \"{name}\")?;\n\
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Item::Tuple { name, arity: 1 } => imp_de(
+            name,
+            &format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))"),
+        ),
+        Item::Tuple { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::seq_item(s, {i}, \"{name}\")?"))
+                .collect();
+            imp_de(
+                name,
+                &format!(
+                    "let s = ::serde::expect_seq(c, \"{name}\")?;\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit: Vec<&Variant> = variants.iter().filter(|v| v.arity == 0).collect();
+            let data: Vec<&Variant> = variants.iter().filter(|v| v.arity > 0).collect();
+            let mut arms = Vec::new();
+            if !unit.is_empty() {
+                let unit_arms: Vec<String> = unit
+                    .iter()
+                    .map(|v| {
+                        format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v})",
+                            v = v.name
+                        )
+                    })
+                    .collect();
+                arms.push(format!(
+                    "::serde::Content::Str(s) => match s.as_str() {{ {unit_arms}, \
+                     _ => ::std::result::Result::Err(::serde::Error::ty(\"{name}\", \
+                     \"known variant\")) }}",
+                    unit_arms = unit_arms.join(", ")
+                ));
+            }
+            if !data.is_empty() {
+                let data_arms: Vec<String> = data
+                    .iter()
+                    .map(|v| {
+                        if v.arity == 1 {
+                            format!(
+                                "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                                 ::serde::Deserialize::from_content(v)?))",
+                                v = v.name
+                            )
+                        } else {
+                            let inits: Vec<String> = (0..v.arity)
+                                .map(|i| format!("::serde::seq_item(s, {i}, \"{name}\")?"))
+                                .collect();
+                            format!(
+                                "\"{v}\" => {{ let s = ::serde::expect_seq(v, \"{name}\")?; \
+                                 ::std::result::Result::Ok({name}::{v}({inits})) }}",
+                                v = v.name,
+                                inits = inits.join(", ")
+                            )
+                        }
+                    })
+                    .collect();
+                arms.push(format!(
+                    "::serde::Content::Map(m) if m.len() == 1 => {{ \
+                     let (k, v) = &m[0]; match k.as_str() {{ {data_arms}, \
+                     _ => ::std::result::Result::Err(::serde::Error::ty(\"{name}\", \
+                     \"known variant\")) }} }}",
+                    data_arms = data_arms.join(", ")
+                ));
+            }
+            arms.push(format!(
+                "_ => ::std::result::Result::Err(::serde::Error::ty(\"{name}\", \"variant\"))"
+            ));
+            imp_de(name, &format!("match c {{ {} }}", arms.join(", ")))
+        }
+    }
+}
+
+fn imp_de(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(c: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n}}"
+    )
+}

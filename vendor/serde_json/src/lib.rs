@@ -1,0 +1,416 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the vendored `serde` [`Content`] data model to JSON text and
+//! parses it back. Covers the workspace's surface: [`to_string`],
+//! [`to_string_pretty`], [`from_str`], [`Value`] (an alias of
+//! [`serde::Content`]) and the [`json!`] macro (object/array literals with
+//! expression values).
+
+pub use serde::Content;
+
+/// The generic JSON value type (`serde::Content` under its serde_json name).
+pub type Value = serde::Content;
+
+/// Serialization/deserialization failure.
+pub type Error = serde::Error;
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_content(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_content(), Some(2), 0);
+    Ok(out)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_content())
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing input at byte {}", p.pos)));
+    }
+    T::from_content(&v)
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal. Keys are string literals;
+/// values are arbitrary expressions convertible via `Into<Value>`, `null`,
+/// or nested `[...]` / `{...}` literals.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($v:tt)* ]) => { $crate::json_array!([] $($v)*) };
+    ({ $($kv:tt)* }) => { $crate::json_object!([] $($kv)*) };
+    ($other:expr) => { $crate::value_of(&$other) };
+}
+
+/// Internal: converts any serializable expression for [`json!`] (taking a
+/// reference, so `json!` never moves out of its arguments).
+#[doc(hidden)]
+pub fn value_of<T: serde::Serialize + ?Sized>(v: &T) -> Value {
+    v.to_content()
+}
+
+/// Internal: array muncher for [`json!`]. Nested `null` / `[...]` / `{...}`
+/// literal elements are matched at the token level (an `expr` fragment would
+/// be opaque to re-matching) before the plain-expression fallback.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_array {
+    ([ $($done:expr),* ]) => { $crate::Value::Seq(::std::vec![ $($done),* ]) };
+    ([ $($done:expr),* ] null $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($done,)* $crate::Value::Null ] $($($rest)*)?)
+    };
+    ([ $($done:expr),* ] [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($done,)* $crate::json_array!([] $($arr)*) ] $($($rest)*)?)
+    };
+    ([ $($done:expr),* ] { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($done,)* $crate::json_object!([] $($obj)*) ] $($($rest)*)?)
+    };
+    ([ $($done:expr),* ] $v:expr $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($done,)* $crate::value_of(&$v) ] $($($rest)*)?)
+    };
+}
+
+/// Internal: object muncher for [`json!`]; same nesting rules as
+/// [`json_array!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object {
+    ([ $($done:expr),* ]) => { $crate::Value::Map(::std::vec![ $($done),* ]) };
+    ([ $($done:expr),* ] $k:literal : null $(, $($rest:tt)*)?) => {
+        $crate::json_object!(
+            [ $($done,)* (::std::string::String::from($k), $crate::Value::Null) ]
+            $($($rest)*)?
+        )
+    };
+    ([ $($done:expr),* ] $k:literal : [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_object!(
+            [ $($done,)* (::std::string::String::from($k), $crate::json_array!([] $($arr)*)) ]
+            $($($rest)*)?
+        )
+    };
+    ([ $($done:expr),* ] $k:literal : { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_object!(
+            [ $($done,)* (::std::string::String::from($k), $crate::json_object!([] $($obj)*)) ]
+            $($($rest)*)?
+        )
+    };
+    ([ $($done:expr),* ] $k:literal : $v:expr $(, $($rest:tt)*)?) => {
+        $crate::json_object!(
+            [ $($done,)* (::std::string::String::from($k), $crate::value_of(&$v)) ]
+            $($($rest)*)?
+        )
+    };
+}
+
+// ---- writer -------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(n) => write_f64(out, *n),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            if !items.is_empty() {
+                newline(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            if !entries.is_empty() {
+                newline(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(n) = indent {
+        out.push('\n');
+        for _ in 0..n * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{}` prints the shortest decimal that round-trips the f64.
+        let s = v.to_string();
+        out.push_str(&s);
+        // "1" parses back as an integer; keep it a float for fidelity is NOT
+        // required by JSON (1 == 1.0), so the plain form is fine.
+    } else {
+        out.push_str("null"); // JSON has no NaN/Infinity
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser -------------------------------------------------------------
+
+use serde::Error as JErr;
+
+/// Internal error constructor (the shared `serde::Error` is a plain string).
+#[allow(non_snake_case)]
+fn Error(msg: String) -> JErr {
+    JErr(msg)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JErr> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JErr> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_lit("null") => Ok(Value::Null),
+            Some(b't') if self.eat_lit("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_lit("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(Error(format!("bad array at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let k = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    entries.push((k, self.value()?));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(Error(format!("bad object at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(Error(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JErr> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error("bad \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("bad \\u codepoint".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error("bad escape".into())),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one whole UTF-8 char.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| Error("invalid utf-8".into()))?;
+                    let c = s.chars().next().ok_or_else(|| Error("empty".into()))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JErr> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::I64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_value() {
+        let v = json!({"a": 1u64, "b": [1.5f64, -2i64], "s": "x\"y", "n": null, "t": true});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_is_parsable() {
+        let v = json!({"rows": ["a", "b"], "k": 3u64});
+        let back: Value = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+}
