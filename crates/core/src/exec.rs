@@ -874,13 +874,19 @@ fn execute_conv_inner(
     let mut ops = vec![0u32; s.n * conv.c_out() * windows];
     let mut stats = PredictionStats::default();
 
-    // One task per (image, kernel) pair. Flat pair index `n * c_out + k`
-    // addresses both the output plane (`offset(n, k, 0, 0)` = pair *
-    // windows) and the ops layout, so zipping the two `windows`-sized chunk
-    // iterators hands every task its disjoint output/ops slices. Each pair's
-    // stats accumulate privately and merge in ascending pair order — the
-    // same grouping for any thread count, so the f64 masses are
-    // bit-identical whether the pairs ran on one worker or eight.
+    // One task per *block* of consecutive (image, kernel) pairs. Flat pair
+    // index `n * c_out + k` addresses both the output plane
+    // (`offset(n, k, 0, 0)` = pair * windows) and the ops layout, so zipping
+    // the two block-sized chunk iterators hands every task its disjoint
+    // output/ops slices; within a block the pairs are walked ascending. The
+    // block size comes from `chunk_for` with the walk floor: an n=1 serving
+    // layer with 32 kernels still splits into per-kernel-block tasks, while
+    // a tiny layer collapses to one inline task and never pays dispatch.
+    // Each pair's stats still accumulate privately (one `PredictionStats`
+    // per pair, exactly as the serial walk folds them) and merge in
+    // ascending pair order — the same grouping for any thread count and any
+    // block size, so the f64 masses are bit-identical whether the pairs ran
+    // on one worker or eight.
     //
     // Within a pair, interior windows are gathered into [`BATCH`]-wide
     // groups walked through the resolved-tap batch kernels; border windows
@@ -888,62 +894,100 @@ fn execute_conv_inner(
     // border window (and at the end), so per-window results and the
     // order-sensitive stats folds still happen in ascending window order.
     if windows > 0 {
-        let pairs: Vec<(&mut [f32], &mut [u32])> = output
+        let pair_cost = windows * conv.window_len();
+        let chunk = snapea_tensor::par::chunk_for(
+            s.n * conv.c_out(),
+            pair_cost,
+            snapea_tensor::par::WALK_TASK_FLOOR_OPS,
+        );
+        let blocks: Vec<(&mut [f32], &mut [u32])> = output
             .as_mut_slice()
-            .chunks_mut(windows)
-            .zip(ops.chunks_mut(windows))
+            .chunks_mut(chunk * windows)
+            .zip(ops.chunks_mut(chunk * windows))
             .collect();
-        let per_pair: Vec<PredictionStats> =
-            snapea_tensor::par::run_tasks(pairs, |pair, (out_slice, ops_slice)| {
-                let (n, k) = (pair / conv.c_out(), pair % conv.c_out());
-                let _kernel_span = if trace_kernels {
-                    Some(snapea_obs::span::enter_detail(
-                        "exec/kernel",
-                        Some(format!("image {n} kernel {k}")),
-                    ))
-                } else {
-                    None
-                };
-                let item = input.item(n);
-                let kexec = &cfg.kernels[k];
-                let rt = &resolved[k][..];
-                let weights = kexec.reordered.weights();
-                let len = weights.len();
-                let stop1 = unconditional_prefix_len(&kexec.pau, len);
-                let bias = conv.bias()[k];
-                let mut st = PredictionStats::default();
-                let mut lanes = [(0usize, 0i32); BATCH];
-                let mut nl = 0usize;
-                for w in 0..windows {
-                    let base = plan.window_base(w);
-                    if base >= 0 {
-                        lanes[nl] = (w, base);
-                        nl += 1;
-                        if nl < BATCH {
-                            continue;
-                        }
-                        nl = 0;
-                        let bases = lanes.map(|(_, b)| b);
-                        let accs = prefix_batch(weights, rt, item, &bases, bias, stop1);
-                        // Each lane's full value accumulates in the same
-                        // per-lane order as the scalar walk; only the folds
-                        // below are order-sensitive, and they run ascending.
-                        let fulls = if collect_stats {
-                            Some(full_values_batch(weights, rt, item, &bases, bias))
+        let per_block: Vec<Vec<PredictionStats>> =
+            snapea_tensor::par::run_tasks(blocks, |bi, (out_blk, ops_blk)| {
+                out_blk
+                    .chunks_mut(windows)
+                    .zip(ops_blk.chunks_mut(windows))
+                    .enumerate()
+                    .map(|(pi, (out_slice, ops_slice))| {
+                        let pair = bi * chunk + pi;
+                        let (n, k) = (pair / conv.c_out(), pair % conv.c_out());
+                        let _kernel_span = if trace_kernels {
+                            Some(snapea_obs::span::enter_detail(
+                                "exec/kernel",
+                                Some(format!("image {n} kernel {k}")),
+                            ))
                         } else {
                             None
                         };
-                        for (l, &(lw, lb)) in lanes.iter().enumerate() {
-                            let r = walk_window_from(&kexec.pau, len, accs[l], stop1, |p, acc| {
-                                acc + item[(lb + rt[p]) as usize] * weights[p]
-                            });
-                            out_slice[lw] = r.output;
-                            ops_slice[lw] = r.ops;
-                            if let Some(f) = &fulls {
-                                account_window(&mut st, f[l], r.termination);
+                        let item = input.item(n);
+                        let kexec = &cfg.kernels[k];
+                        let rt = &resolved[k][..];
+                        let weights = kexec.reordered.weights();
+                        let len = weights.len();
+                        let stop1 = unconditional_prefix_len(&kexec.pau, len);
+                        let bias = conv.bias()[k];
+                        let mut st = PredictionStats::default();
+                        let mut lanes = [(0usize, 0i32); BATCH];
+                        let mut nl = 0usize;
+                        for w in 0..windows {
+                            let base = plan.window_base(w);
+                            if base >= 0 {
+                                lanes[nl] = (w, base);
+                                nl += 1;
+                                if nl < BATCH {
+                                    continue;
+                                }
+                                nl = 0;
+                                let bases = lanes.map(|(_, b)| b);
+                                let accs = prefix_batch(weights, rt, item, &bases, bias, stop1);
+                                // Each lane's full value accumulates in the same
+                                // per-lane order as the scalar walk; only the folds
+                                // below are order-sensitive, and they run ascending.
+                                let fulls = if collect_stats {
+                                    Some(full_values_batch(weights, rt, item, &bases, bias))
+                                } else {
+                                    None
+                                };
+                                for (l, &(lw, lb)) in lanes.iter().enumerate() {
+                                    let r = walk_window_from(
+                                        &kexec.pau,
+                                        len,
+                                        accs[l],
+                                        stop1,
+                                        |p, acc| acc + item[(lb + rt[p]) as usize] * weights[p],
+                                    );
+                                    out_slice[lw] = r.output;
+                                    ops_slice[lw] = r.ops;
+                                    if let Some(f) = &fulls {
+                                        account_window(&mut st, f[l], r.termination);
+                                    }
+                                }
+                            } else {
+                                drain_interior_lanes(
+                                    kexec,
+                                    rt,
+                                    item,
+                                    bias,
+                                    &lanes[..nl],
+                                    collect_stats,
+                                    out_slice,
+                                    ops_slice,
+                                    &mut st,
+                                );
+                                nl = 0;
+                                let taps = plan.gather().window(w);
+                                let r = run_window(kexec, taps, item, bias);
+                                out_slice[w] = r.output;
+                                ops_slice[w] = r.ops;
+                                if collect_stats {
+                                    let full = full_window_value(kexec, taps, item, bias);
+                                    account_window(&mut st, full, r.termination);
+                                }
                             }
                         }
-                    } else {
                         drain_interior_lanes(
                             kexec,
                             rt,
@@ -955,31 +999,11 @@ fn execute_conv_inner(
                             ops_slice,
                             &mut st,
                         );
-                        nl = 0;
-                        let taps = plan.gather().window(w);
-                        let r = run_window(kexec, taps, item, bias);
-                        out_slice[w] = r.output;
-                        ops_slice[w] = r.ops;
-                        if collect_stats {
-                            let full = full_window_value(kexec, taps, item, bias);
-                            account_window(&mut st, full, r.termination);
-                        }
-                    }
-                }
-                drain_interior_lanes(
-                    kexec,
-                    rt,
-                    item,
-                    bias,
-                    &lanes[..nl],
-                    collect_stats,
-                    out_slice,
-                    ops_slice,
-                    &mut st,
-                );
-                st
+                        st
+                    })
+                    .collect()
             });
-        for st in &per_pair {
+        for st in per_block.iter().flatten() {
             stats.merge(st);
         }
     }
@@ -1242,31 +1266,61 @@ pub fn execute_conv_q16(
         })
         .collect();
 
+    // Every image quantised once up front (the serial loop quantised per
+    // image too — same values, same count), so the parallel pair blocks
+    // below can read any image without re-quantising per kernel.
+    let items_q: Vec<Vec<snapea_tensor::q16::Q16>> = (0..s.n)
+        .map(|n| snapea_tensor::q16::quantize_slice(fmt, input.item(n)))
+        .collect();
+
     let mut output = Tensor4::zeros(out_shape);
     let mut ops = vec![0u32; s.n * conv.c_out() * windows];
 
-    for n in 0..s.n {
-        let item_q = snapea_tensor::q16::quantize_slice(fmt, input.item(n));
-        for (k, kexec) in cfg.kernels.iter().enumerate() {
-            let bias = conv.bias()[k];
-            let len = kexec.reordered.weights().len();
-            let rt = &resolved[k][..];
-            let wq = &weights_q[k][..];
-            let out_base = out_shape.offset(n, k, 0, 0);
-            let ops_base = (n * conv.c_out() + k) * windows;
-            for w in 0..windows {
-                let base = plan.window_base(w);
-                let r = if base >= 0 {
-                    walk_window_q16(&kexec.pau, len, bias, fmt, |p, acc| {
-                        acc.mac(item_q[(base + rt[p]) as usize], wq[p]);
-                    })
-                } else {
-                    run_window_q16(kexec, plan.gather().window(w), &item_q, bias, fmt)
-                };
-                output.as_mut_slice()[out_base + w] = r.output;
-                ops[ops_base + w] = r.ops;
+    // Same (image, kernel) pair-block dispatch as `execute_conv_inner`:
+    // flat pair index `n * c_out + k` addresses both layouts, blocks are
+    // sized by the walk floor (q16 has no stats to merge — windows are
+    // pure writes into the block's disjoint slices), and each block walks
+    // its pairs and windows in ascending order, so the quantised outputs
+    // are bit-identical to the serial loop at any thread count.
+    if windows > 0 {
+        let chunk = snapea_tensor::par::chunk_for(
+            s.n * conv.c_out(),
+            windows * conv.window_len(),
+            snapea_tensor::par::WALK_TASK_FLOOR_OPS,
+        );
+        let blocks: Vec<(&mut [f32], &mut [u32])> = output
+            .as_mut_slice()
+            .chunks_mut(chunk * windows)
+            .zip(ops.chunks_mut(chunk * windows))
+            .collect();
+        snapea_tensor::par::run_tasks(blocks, |bi, (out_blk, ops_blk)| {
+            for (pi, (out_slice, ops_slice)) in out_blk
+                .chunks_mut(windows)
+                .zip(ops_blk.chunks_mut(windows))
+                .enumerate()
+            {
+                let pair = bi * chunk + pi;
+                let (n, k) = (pair / conv.c_out(), pair % conv.c_out());
+                let kexec = &cfg.kernels[k];
+                let bias = conv.bias()[k];
+                let len = kexec.reordered.weights().len();
+                let rt = &resolved[k][..];
+                let wq = &weights_q[k][..];
+                let item_q = &items_q[n][..];
+                for w in 0..windows {
+                    let base = plan.window_base(w);
+                    let r = if base >= 0 {
+                        walk_window_q16(&kexec.pau, len, bias, fmt, |p, acc| {
+                            acc.mac(item_q[(base + rt[p]) as usize], wq[p]);
+                        })
+                    } else {
+                        run_window_q16(kexec, plan.gather().window(w), item_q, bias, fmt)
+                    };
+                    out_slice[w] = r.output;
+                    ops_slice[w] = r.ops;
+                }
             }
-        }
+        });
     }
 
     let profile = LayerProfile {

@@ -237,10 +237,24 @@ pub fn profile_layer_kernels(
     };
 
     // Kernels are profiled in isolation, so the candidate scans — the
-    // optimizer's dominant loop — fan out one task per kernel; the result
+    // optimizer's dominant loop — fan out in blocks of kernels; the result
     // vector preserves kernel order and each kernel's numbers never depend
-    // on the thread count.
-    snapea_tensor::par::parallel_map(conv.c_out(), 1, |k| {
+    // on the thread count or the block size. A kernel's cost is one full
+    // layer scan per candidate (the exact reorder plus each in-range N),
+    // and the pool's walk floor groups kernels — or collapses the whole
+    // profile to an inline call — when the scans are too small to amortise
+    // a dispatch (tiny layers used to pay ~1.5× dispatch overhead here).
+    let grid_scans = 1 + group_candidates
+        .iter()
+        .filter(|&&n| n > 0 && n < window_len)
+        .count();
+    let kernel_cost = grid_scans * images * windows * window_len;
+    let chunk = snapea_tensor::par::chunk_for(
+        conv.c_out(),
+        kernel_cost,
+        snapea_tensor::par::WALK_TASK_FLOOR_OPS,
+    );
+    snapea_tensor::par::parallel_map(conv.c_out(), chunk, |k| {
         let mut scans: Vec<WindowScan> = vec![blank; images * windows];
         let weights = conv.weight().item(k);
         let bias = conv.bias()[k];

@@ -20,8 +20,11 @@
 //!   kernel/simulator arithmetic; `as` silently wraps, which is exactly
 //!   how quantisation and cycle-count bugs slip in. Use the checked or
 //!   saturating helpers in `snapea_tensor::num`.
-//! * **S1** `forbid-unsafe` — every crate root keeps
-//!   `#![forbid(unsafe_code)]`.
+//! * **S1** `forbid-unsafe` — every crate root carries
+//!   `#![forbid(unsafe_code)]` (or `#![deny(unsafe_code)]` where an audited
+//!   exception exists, e.g. the tensor crate's persistent-pool core), and
+//!   every `unsafe` token outside tests needs a reasoned
+//!   `// lint:allow(S1) <soundness argument>`.
 //! * **A1** `allow-grammar` — every `// lint:allow(<rule>) <reason>`
 //!   annotation must name a known rule, carry a non-empty reason, and
 //!   actually suppress something.
@@ -46,7 +49,8 @@ pub enum RuleId {
     P2,
     /// Bare narrowing `as` casts in kernel/simulator arithmetic.
     N1,
-    /// Missing `#![forbid(unsafe_code)]` on a crate root.
+    /// Missing `#![forbid/deny(unsafe_code)]` on a crate root, or an
+    /// `unsafe` token without a reasoned justification.
     S1,
     /// Malformed, unknown, or unused `lint:allow` annotation.
     A1,
@@ -121,7 +125,11 @@ impl RuleId {
                  saturating helpers in snapea_tensor::num or justify with \
                  `// lint:allow(N1) <reason>`"
             }
-            RuleId::S1 => "add `#![forbid(unsafe_code)]` to the crate root",
+            RuleId::S1 => {
+                "crate roots must carry `#![forbid(unsafe_code)]` (or `#![deny(unsafe_code)]` \
+                 for a crate with an audited exception), and every `unsafe` site needs \
+                 `// lint:allow(S1) <soundness argument>` on the line above (or above its fn)"
+            }
             RuleId::A1 => {
                 "every `// lint:allow(<rule>) <reason>` must name a known rule, give a \
                  non-empty reason, and suppress at least one finding"
@@ -305,15 +313,19 @@ pub fn lint_source(ctx: &FileCtx<'_>, source: &str) -> Vec<Finding> {
     let is_time_crate = TIME_CRATES.contains(&ctx.crate_name);
     let is_hot = HOT_FILES.iter().any(|h| ctx.path.ends_with(h));
 
-    // S1: crate roots must forbid unsafe code. Checked over the whole token
-    // stream (the attribute sits above any cfg region).
+    // S1 (crate-root half): every crate root must carry a lint-level gate
+    // against unsafe code — `forbid` normally, `deny` for the one crate
+    // with an audited exception (the tensor crate's persistent-pool core,
+    // whose individual `unsafe` tokens the per-token half below still
+    // flags). Checked over the whole token stream (the attribute sits
+    // above any cfg region).
     if ctx.is_crate_root {
-        let has_forbid = code.windows(3).any(|w| {
-            w[0].kind.ident() == Some("forbid")
+        let has_guard = code.windows(3).any(|w| {
+            matches!(w[0].kind.ident(), Some("forbid") | Some("deny"))
                 && w[1].kind == TokKind::Punct('(')
                 && w[2].kind.ident() == Some("unsafe_code")
         });
-        if !has_forbid {
+        if !has_guard {
             push(RuleId::S1, 1);
         }
     }
@@ -399,6 +411,13 @@ pub fn lint_source(ctx: &FileCtx<'_>, source: &str) -> Vec<Finding> {
                     || matches!(code.get(i + 2).map(|t| &t.kind), Some(TokKind::Punct(')')))) =>
             {
                 push(RuleId::P1, line);
+            }
+            // S1 (per-token half) — every `unsafe` keyword (blocks, fns,
+            // impls) must carry a reasoned allow stating the soundness
+            // argument; the crate-root gate alone only proves the crate
+            // opted in, not that each site was audited.
+            TokKind::Ident(id) if id == "unsafe" => {
+                push(RuleId::S1, line);
             }
             // P2 — indexing inside a loop in a hot file.
             TokKind::Punct('[')

@@ -206,6 +206,40 @@ fn s1_requires_forbid_unsafe_on_crate_roots() {
     let f = lint_source(&root, "pub mod exec;\n");
     assert_eq!(rules_of(&f), vec![RuleId::S1]);
     assert!(lint_source(&root, "#![forbid(unsafe_code)]\npub mod exec;\n").is_empty());
+    // A crate with an audited unsafe core may downgrade to `deny` (so
+    // per-site `#[allow(unsafe_code)]` is possible); the root gate is
+    // still satisfied.
+    assert!(lint_source(&root, "#![deny(unsafe_code)]\npub mod exec;\n").is_empty());
+}
+
+#[test]
+fn s1_flags_every_unsafe_token_unless_justified() {
+    let ctx = lib_ctx("crates/tensor/src/par.rs", "tensor");
+    // A bare unsafe block is a finding at its line even though the crate
+    // root gate lives in another file.
+    let f = lint_source(&ctx, "fn f(p: *const u32) -> u32 {\n    unsafe { *p }\n}\n");
+    assert_eq!(rules_of(&f), vec![RuleId::S1]);
+    assert_eq!(f[0].line, 2);
+    // A reasoned allow above the fn covers the whole body (fn scoping),
+    // and the soundness argument is mandatory — that is the audit trail.
+    let justified = "// lint:allow(S1) caller guarantees p is valid for reads\n\
+                     fn f(p: *const u32) -> u32 {\n    unsafe { *p }\n}\n";
+    assert!(lint_source(&ctx, justified).is_empty());
+    // `unsafe impl` wants the allow directly above the impl line.
+    let imp = "struct B(*const ());\n\
+               // lint:allow(S1) field only dereferenced under the pool's join bracket\n\
+               unsafe impl Send for B {}\n";
+    assert!(lint_source(&imp_ctx(), imp).is_empty());
+    // Unsafe confined to #[cfg(test)] regions is outside S1's remit (the
+    // shipping library is what the audit covers).
+    let test_only = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                     let x = 1u32;\n        let p = &x as *const u32;\n        \
+                     assert_eq!(unsafe { *p }, 1);\n    }\n}\n";
+    assert!(lint_source(&ctx, test_only).is_empty());
+}
+
+fn imp_ctx() -> FileCtx<'static> {
+    lib_ctx("crates/tensor/src/par.rs", "tensor")
 }
 
 #[test]

@@ -146,27 +146,43 @@ impl Conv2d {
         let plane = out_shape.plane_len();
         let rows = self.window_len();
         let cols_shape = Shape2::new(rows, plane);
-        let items: Vec<(usize, &mut [f32])> = out
+        // One task per group of consecutive batch items: an item costs
+        // c_out·plane·window_len GEMM MACs, and the floor groups items until
+        // each task clears the pool's dispatch crossover. When the whole
+        // batch fits under the floor (including n = 1 serving shapes) the
+        // single task runs inline and the per-item `matmul_into` row-splits
+        // across the pool instead.
+        let item_cost = out_shape.c * plane * rows;
+        let chunk = snapea_tensor::par::chunk_for(
+            out_shape.n,
+            item_cost,
+            snapea_tensor::par::GEMM_TASK_FLOOR_MACS,
+        );
+        let blocks: Vec<(usize, &mut [f32])> = out
             .as_mut_slice()
-            .chunks_mut(item_len)
+            .chunks_mut(chunk * item_len)
             .enumerate()
+            .map(|(bi, slab)| (bi * chunk, slab))
             .collect();
-        snapea_tensor::par::run_tasks(items, |_, (n, dst)| {
-            scratch::with_zeroed(rows * plane, |cols| {
-                im2col_into(input, n, self.geom, cols);
-                scratch::with_zeroed(out_shape.c * plane, |prod| {
-                    matmul_into(wmat.as_slice(), wmat.shape(), cols, cols_shape, prod)
-                        // lint:allow(P1) wmat, cols and prod all derive from the same conv geometry
-                        .expect("im2col shape is consistent");
-                    for co in 0..out_shape.c {
-                        let row = &prod[co * plane..(co + 1) * plane];
-                        let b = self.bias[co];
-                        for (d, &v) in dst[co * plane..(co + 1) * plane].iter_mut().zip(row) {
-                            *d = v + b;
+        snapea_tensor::par::run_tasks(blocks, |_, (n0, slab)| {
+            for (di, dst) in slab.chunks_mut(item_len).enumerate() {
+                let n = n0 + di;
+                scratch::with_zeroed(rows * plane, |cols| {
+                    im2col_into(input, n, self.geom, cols);
+                    scratch::with_zeroed(out_shape.c * plane, |prod| {
+                        matmul_into(wmat.as_slice(), wmat.shape(), cols, cols_shape, prod)
+                            // lint:allow(P1) wmat, cols and prod all derive from the same conv geometry
+                            .expect("im2col shape is consistent");
+                        for co in 0..out_shape.c {
+                            let row = &prod[co * plane..(co + 1) * plane];
+                            let b = self.bias[co];
+                            for (d, &v) in dst[co * plane..(co + 1) * plane].iter_mut().zip(row) {
+                                *d = v + b;
+                            }
                         }
-                    }
+                    });
                 });
-            });
+            }
         });
         out
     }
@@ -195,40 +211,66 @@ impl Conv2d {
         let mut grad_b = vec![0.0f32; self.c_out()];
         let in_item = in_shape.item_len();
         if in_shape.n > 0 && in_item > 0 {
-            let items: Vec<(usize, &mut [f32])> = grad_in
+            // Grouped like `forward`: an item's backward costs roughly three
+            // forward GEMMs (dW, db, dIn), so the floor is reached at a third
+            // of the items. Each task returns its items' (dW, db) pairs in
+            // ascending item order; the flattened task-order merge below is
+            // therefore the same ascending-item fold as the serial loop —
+            // bit-identical for any thread count.
+            let item_cost = 3 * out_shape.c * plane * rows;
+            let chunk = snapea_tensor::par::chunk_for(
+                in_shape.n,
+                item_cost,
+                snapea_tensor::par::GEMM_TASK_FLOOR_MACS,
+            );
+            let blocks: Vec<(usize, &mut [f32])> = grad_in
                 .as_mut_slice()
-                .chunks_mut(in_item)
+                .chunks_mut(chunk * in_item)
                 .enumerate()
+                .map(|(bi, slab)| (bi * chunk, slab))
                 .collect();
-            let per_item: Vec<(Tensor2, Vec<f32>)> =
-                snapea_tensor::par::run_tasks(items, |_, (n, gi_item)| {
-                    scratch::with_zeroed(rows * plane, |cols| {
-                        im2col_into(input, n, self.geom, cols);
-                        // grad_out for this item as [c_out, oh*ow], in place
-                        let go = grad_out.item(n);
-                        // dW contribution: dOut × colsᵀ
-                        let mut dw = Tensor2::zeros(Shape2::new(out_shape.c, rows));
-                        matmul_t_into(go, go_shape, cols, cols_shape, dw.as_mut_slice())
-                            // lint:allow(P1) go, cols and dw all derive from the same conv geometry
-                            .expect("shapes agree");
-                        // db contribution: row sums of dOut
-                        let db: Vec<f32> = (0..out_shape.c)
-                            .map(|co| go[co * plane..(co + 1) * plane].iter().sum::<f32>())
-                            .collect();
-                        // dIn = Wᵀ × dOut, scattered through col2im into this
-                        // item's disjoint slice
-                        scratch::with_zeroed(rows * plane, |dcols| {
-                            t_matmul_into(wmat.as_slice(), wmat.shape(), go, go_shape, dcols)
-                                // lint:allow(P1) wmat, go and dcols all derive from the same conv geometry
-                                .expect("shapes agree");
-                            col2im_item_slice(
-                                dcols, gi_item, in_shape.c, in_shape.h, in_shape.w, self.geom,
-                            );
-                        });
-                        (dw, db)
-                    })
+            let per_block: Vec<Vec<(Tensor2, Vec<f32>)>> =
+                snapea_tensor::par::run_tasks(blocks, |_, (n0, slab)| {
+                    slab.chunks_mut(in_item)
+                        .enumerate()
+                        .map(|(di, gi_item)| {
+                            let n = n0 + di;
+                            scratch::with_zeroed(rows * plane, |cols| {
+                                im2col_into(input, n, self.geom, cols);
+                                // grad_out for this item as [c_out, oh*ow], in place
+                                let go = grad_out.item(n);
+                                // dW contribution: dOut × colsᵀ
+                                let mut dw = Tensor2::zeros(Shape2::new(out_shape.c, rows));
+                                matmul_t_into(go, go_shape, cols, cols_shape, dw.as_mut_slice())
+                                    // lint:allow(P1) go, cols and dw all derive from the same conv geometry
+                                    .expect("shapes agree");
+                                // db contribution: row sums of dOut
+                                let db: Vec<f32> = (0..out_shape.c)
+                                    .map(|co| go[co * plane..(co + 1) * plane].iter().sum::<f32>())
+                                    .collect();
+                                // dIn = Wᵀ × dOut, scattered through col2im into this
+                                // item's disjoint slice
+                                scratch::with_zeroed(rows * plane, |dcols| {
+                                    t_matmul_into(
+                                        wmat.as_slice(),
+                                        wmat.shape(),
+                                        go,
+                                        go_shape,
+                                        dcols,
+                                    )
+                                    // lint:allow(P1) wmat, go and dcols all derive from the same conv geometry
+                                    .expect("shapes agree");
+                                    col2im_item_slice(
+                                        dcols, gi_item, in_shape.c, in_shape.h, in_shape.w,
+                                        self.geom,
+                                    );
+                                });
+                                (dw, db)
+                            })
+                        })
+                        .collect()
                 });
-            for (dw, db) in per_item {
+            for (dw, db) in per_block.into_iter().flatten() {
                 // lint:allow(P1) every per-item dW was allocated with grad_w's own shape
                 grad_w.add_assign(&dw).expect("same shape");
                 for (g, d) in grad_b.iter_mut().zip(db) {

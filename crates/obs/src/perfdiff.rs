@@ -9,15 +9,29 @@
 //! every numeric field ending in `_ms`, plus histogram quantiles named
 //! `p50`/`p90`/`p99`. Lower is better; a row regresses when a timing field
 //! grows by more than the caller's threshold percentage.
+//!
+//! Rows may nest one level: a field holding an array of objects (the
+//! schema-2 `curve` arrays of per-thread-count points) is diffed the same
+//! way, with section `benches.curve` and the parent row's identity prefixed
+//! onto each point's (`conv_forward | n8 … | t4`). Deeper nesting is
+//! ignored.
+//!
+//! Documents recorded on a machine without real parallelism carry a
+//! top-level `"degraded": true` (see perfbench); comparing a degraded
+//! recording against a non-degraded one would gate scaling numbers against
+//! oversubscription noise, so [`diff`] refuses outright — `passed()` is
+//! `false` and the reports say why — instead of producing rows.
 
 use crate::json::Json;
 
 /// One compared timing cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiffRow {
-    /// Top-level array the row came from (`benches`, `kernels`, `gemm`, …).
+    /// Array the row came from: a top-level section (`benches`, `kernels`,
+    /// `gemm`, …) or a nested one (`benches.curve`).
     pub section: String,
-    /// Identity of the row: its string fields joined with `" | "`.
+    /// Identity of the row: its string fields joined with `" | "`, prefixed
+    /// with the parent row's identity for nested rows.
     pub key: String,
     /// The timing field compared (e.g. `kernel_ms`).
     pub field: String,
@@ -47,11 +61,14 @@ pub struct PerfDiff {
     pub removed: Vec<String>,
     /// Row identities present only in the new document.
     pub added: Vec<String>,
+    /// When set, the documents cannot be meaningfully compared (degraded
+    /// recording vs non-degraded); no rows were produced and the gate fails.
+    pub incompatible: Option<String>,
 }
 
 /// `true` for fields compared as timings (lower is better).
 fn is_timing_field(name: &str) -> bool {
-    name.ends_with("_ms") || matches!(name, "p50" | "p90" | "p99")
+    name.ends_with("_ms") || matches!(name, "ms" | "p50" | "p90" | "p99")
 }
 
 /// A row's identity: its string-valued fields, in document order.
@@ -67,9 +84,97 @@ fn row_key(row: &Json) -> String {
     parts.join(" | ")
 }
 
+/// `Some(rows)` when `v` is an array of objects — a nested row table like a
+/// schema-2 `curve` — and not a plain value array.
+fn as_row_array(v: &Json) -> Option<&[Json]> {
+    let rows = v.as_array()?;
+    rows.iter().all(|r| r.as_object().is_some()).then_some(rows)
+}
+
+/// Diffs one array of rows, keyed by [`row_key`] under `key_prefix`, into
+/// `out`. `nest` allows one further level of array-of-object fields.
+fn diff_rows(
+    out: &mut PerfDiff,
+    section: &str,
+    key_prefix: &str,
+    old_rows: &[Json],
+    new_rows: &[Json],
+    nest: bool,
+) {
+    let full_key = |key: &str| {
+        if key_prefix.is_empty() {
+            key.to_string()
+        } else {
+            format!("{key_prefix} | {key}")
+        }
+    };
+    for old_row in old_rows {
+        let key = full_key(&row_key(old_row));
+        let Some(new_row) = new_rows.iter().find(|r| full_key(&row_key(r)) == key) else {
+            out.removed.push(format!("{section}: {key}"));
+            continue;
+        };
+        let Some(fields) = old_row.as_object() else {
+            continue;
+        };
+        for (field, v) in fields {
+            if is_timing_field(field) {
+                let (Some(old_ms), Some(new_ms)) =
+                    (v.as_f64(), new_row.get(field).and_then(Json::as_f64))
+                else {
+                    continue;
+                };
+                out.rows.push(DiffRow {
+                    section: section.to_string(),
+                    key: key.clone(),
+                    field: field.clone(),
+                    old: old_ms,
+                    new: new_ms,
+                });
+            } else if nest {
+                let (Some(old_sub), Some(new_sub)) =
+                    (as_row_array(v), new_row.get(field).and_then(as_row_array))
+                else {
+                    continue;
+                };
+                diff_rows(
+                    out,
+                    &format!("{section}.{field}"),
+                    &key,
+                    old_sub,
+                    new_sub,
+                    false,
+                );
+            }
+        }
+    }
+    for new_row in new_rows {
+        let key = full_key(&row_key(new_row));
+        if !old_rows.iter().any(|r| full_key(&row_key(r)) == key) {
+            out.added.push(format!("{section}: {key}"));
+        }
+    }
+}
+
+/// Whether a document was recorded degraded (`available_parallelism == 1`);
+/// absent means `false` (schema-1 documents predate the flag).
+fn is_degraded(doc: &Json) -> bool {
+    doc.get("degraded").and_then(Json::as_bool).unwrap_or(false)
+}
+
 /// Diffs two benchmark documents (see the module docs for the shape).
 pub fn diff(old: &Json, new: &Json) -> PerfDiff {
     let mut out = PerfDiff::default();
+    let (old_deg, new_deg) = (is_degraded(old), is_degraded(new));
+    if old_deg != new_deg {
+        out.incompatible = Some(format!(
+            "refusing to compare: old recorded with degraded={old_deg}, new with \
+             degraded={new_deg} (one machine had available_parallelism == 1 — its \
+             curves measure oversubscription overhead, not scaling); re-record both \
+             on comparable machines"
+        ));
+        return out;
+    }
     let empty: &[(String, Json)] = &[];
     let old_pairs = old.as_object().unwrap_or(empty);
     for (section, old_val) in old_pairs {
@@ -80,39 +185,7 @@ pub fn diff(old: &Json, new: &Json) -> PerfDiff {
             .get(section)
             .and_then(Json::as_array)
             .unwrap_or(&[] as &[Json]);
-        for old_row in old_rows {
-            let key = row_key(old_row);
-            let Some(new_row) = new_rows.iter().find(|r| row_key(r) == key) else {
-                out.removed.push(format!("{section}: {key}"));
-                continue;
-            };
-            let Some(fields) = old_row.as_object() else {
-                continue;
-            };
-            for (field, v) in fields {
-                if !is_timing_field(field) {
-                    continue;
-                }
-                let (Some(old_ms), Some(new_ms)) =
-                    (v.as_f64(), new_row.get(field).and_then(Json::as_f64))
-                else {
-                    continue;
-                };
-                out.rows.push(DiffRow {
-                    section: section.clone(),
-                    key: key.clone(),
-                    field: field.clone(),
-                    old: old_ms,
-                    new: new_ms,
-                });
-            }
-        }
-        for new_row in new_rows {
-            let key = row_key(new_row);
-            if !old_rows.iter().any(|r| row_key(r) == key) {
-                out.added.push(format!("{section}: {key}"));
-            }
-        }
+        diff_rows(&mut out, section, "", old_rows, new_rows, true);
     }
     out
 }
@@ -126,9 +199,10 @@ impl PerfDiff {
             .collect()
     }
 
-    /// `true` when no timing regressed past the threshold.
+    /// `true` when the documents were comparable and no timing regressed
+    /// past the threshold.
     pub fn passed(&self, max_regress_pct: f64) -> bool {
-        self.regressions(max_regress_pct).is_empty()
+        self.incompatible.is_none() && self.regressions(max_regress_pct).is_empty()
     }
 
     /// JSON form: every compared cell with its delta, plus the verdict.
@@ -157,6 +231,13 @@ impl PerfDiff {
                 Json::U64(self.regressions(max_regress_pct).len() as u64),
             ),
             (
+                "incompatible",
+                self.incompatible
+                    .as_deref()
+                    .map(Json::from)
+                    .unwrap_or(Json::Null),
+            ),
+            (
                 "removed",
                 Json::Arr(
                     self.removed
@@ -176,6 +257,9 @@ impl PerfDiff {
 
     /// Human-readable table, worst regression first.
     pub fn render_text(&self, max_regress_pct: f64) -> String {
+        if let Some(why) = &self.incompatible {
+            return format!("incompatible documents: {why}\n0 cell(s) compared: FAIL\n");
+        }
         let mut out = String::new();
         let mut rows: Vec<&DiffRow> = self.rows.iter().collect();
         rows.sort_by(|a, b| {
@@ -233,6 +317,20 @@ mod tests {
                 "kernels":[
                   {{"name":"executor_exact","detail":"n8","baseline_ms":56.0,"kernel_ms":{kernel_ms},"speedup":1.5,"bit_identical":true}},
                   {{"name":"matmul","detail":"96x288","baseline_ms":2.5,"kernel_ms":1.5,"speedup":1.7,"bit_identical":true}}
+                ]}}"#
+        ))
+        .unwrap()
+    }
+
+    /// Schema-2 shaped document: a bench row with a nested scaling curve.
+    fn curve_doc(degraded: bool, t4_ms: f64) -> Json {
+        parse(&format!(
+            r#"{{"generated_by":"perfbench","schema":2,"degraded":{degraded},
+                "benches":[
+                  {{"name":"conv_forward","detail":"n8 k3","serial_ms":40.0,"curve":[
+                    {{"label":"t1","threads":1,"ms":40.0,"speedup":1.0,"bit_identical":true}},
+                    {{"label":"t4","threads":4,"ms":{t4_ms},"speedup":3.3,"bit_identical":true}}
+                  ]}}
                 ]}}"#
         ))
         .unwrap()
@@ -297,11 +395,58 @@ mod tests {
     }
 
     #[test]
+    fn nested_curve_points_are_compared() {
+        let d = diff(&curve_doc(false, 12.0), &curve_doc(false, 12.0));
+        // serial_ms on the parent + ms on each of the two curve points.
+        assert_eq!(d.rows.len(), 3);
+        let t4 = d
+            .rows
+            .iter()
+            .find(|r| r.key.ends_with("| t4"))
+            .expect("t4 point compared");
+        assert_eq!(t4.section, "benches.curve");
+        assert_eq!(t4.key, "conv_forward | n8 k3 | t4");
+        assert_eq!(t4.field, "ms");
+        assert!(d.passed(10.0));
+    }
+
+    #[test]
+    fn regression_in_a_curve_point_fails_the_gate() {
+        let d = diff(&curve_doc(false, 12.0), &curve_doc(false, 18.0));
+        assert!(!d.passed(10.0), "t4 point 50% slower must fail");
+        let regs = d.regressions(10.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].section, "benches.curve");
+        assert_eq!(regs[0].key, "conv_forward | n8 k3 | t4");
+    }
+
+    #[test]
+    fn degraded_mismatch_is_refused() {
+        for (old_deg, new_deg) in [(true, false), (false, true)] {
+            let d = diff(&curve_doc(old_deg, 12.0), &curve_doc(new_deg, 12.0));
+            assert!(d.incompatible.is_some(), "mismatch must refuse");
+            assert!(d.rows.is_empty(), "no cells compared on refusal");
+            assert!(!d.passed(1e9), "refusal fails regardless of threshold");
+            let text = d.render_text(10.0);
+            assert!(text.contains("refusing to compare"), "{text}");
+            assert!(text.contains("FAIL"), "{text}");
+            let j = d.to_json(10.0);
+            assert_eq!(j.get("passed").and_then(Json::as_bool), Some(false));
+            assert!(j.get("incompatible").and_then(Json::as_str).is_some());
+        }
+        // Matching flags — even both degraded — compare normally.
+        let d = diff(&curve_doc(true, 12.0), &curve_doc(true, 12.0));
+        assert!(d.incompatible.is_none());
+        assert!(d.passed(10.0));
+    }
+
+    #[test]
     fn json_report_round_trips() {
         let d = diff(&bench_doc(10.0), &bench_doc(12.0));
         let j = d.to_json(10.0);
         assert_eq!(j.get("passed").and_then(Json::as_bool), Some(false));
         let back = parse(&j.to_string()).unwrap();
         assert_eq!(back.get("compared").and_then(Json::as_u64), Some(4));
+        assert!(back.get("incompatible").is_some());
     }
 }

@@ -152,7 +152,9 @@ pub fn matmul_into(
     if m == 0 || n == 0 {
         return Ok(());
     }
-    let chunk = crate::par::chunk_hint(m);
+    // Each output row costs k·n MACs; the floor keeps every task above the
+    // pool's dispatch-overhead crossover (small GEMMs run inline).
+    let chunk = crate::par::chunk_for(m, k * n, crate::par::GEMM_TASK_FLOOR_MACS);
     let row_blocks: Vec<(usize, &mut [f32])> = out
         .chunks_mut(chunk * n)
         .enumerate()
@@ -205,7 +207,9 @@ pub fn t_matmul_into(
     if m == 0 || n == 0 {
         return Ok(());
     }
-    let chunk = crate::par::chunk_hint(m);
+    // k·n MACs per output row, floored like matmul_into so sub-crossover
+    // gradient GEMMs stay inline.
+    let chunk = crate::par::chunk_for(m, k * n, crate::par::GEMM_TASK_FLOOR_MACS);
     let row_blocks: Vec<(usize, &mut [f32])> = out
         .chunks_mut(chunk * n)
         .enumerate()
@@ -277,7 +281,8 @@ pub fn matmul_t_into(
     if m == 0 || n == 0 {
         return Ok(());
     }
-    let chunk = crate::par::chunk_hint(m);
+    // k·n MACs per output row (each element one k-long dot product).
+    let chunk = crate::par::chunk_for(m, k * n, crate::par::GEMM_TASK_FLOOR_MACS);
     let row_blocks: Vec<(usize, &mut [f32])> = out
         .chunks_mut(chunk * n)
         .enumerate()

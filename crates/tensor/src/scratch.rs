@@ -21,11 +21,14 @@
 //!
 //! ## Interaction with the worker pool
 //!
-//! The pool is `thread_local!`. [`crate::par`] spawns scoped workers per
-//! invocation, so a worker's pool lives for one `run_tasks` call: reuse kicks
-//! in across the many *tasks* a worker drains, and on the caller's thread
-//! (including the whole `SNAPEA_THREADS=1` serial path) it persists across
-//! calls for true steady-state reuse.
+//! The pool is `thread_local!`, and [`crate::par`]'s workers are persistent —
+//! spawned once per process and parked between dispatches — so every
+//! participant's arena survives across `run_tasks` calls: after the first
+//! batch warms a worker up, steady-state inference performs no heap
+//! allocation for these temporaries on *any* thread, not just the caller's.
+//! (The caller participates in its own dispatches and the
+//! `SNAPEA_THREADS=1` serial path runs entirely on it, so its arena was
+//! always long-lived; the persistent pool extends that to the workers.)
 //!
 //! ## Observability
 //!

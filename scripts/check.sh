@@ -12,12 +12,19 @@ echo "==> cargo build --release --offline"
 cargo build --workspace --release --offline
 
 # The worker pool must produce bit-identical results at any thread count, so
-# the whole suite runs serial and at 4 threads.
+# the whole suite runs serial and at 4 threads, and the determinism suite
+# additionally at 2 (the smallest count where the persistent pool's claim
+# racing is live — a distinct interleaving regime from 4).
+# SNAPEA_OVERSUBSCRIBE=1 lifts the pool's participants-per-core clamp so the
+# threaded stages exercise real worker concurrency even on a 1-core runner.
 echo "==> cargo test -q --offline (SNAPEA_THREADS=1)"
 SNAPEA_THREADS=1 cargo test --workspace -q --offline
 
-echo "==> cargo test -q --offline (SNAPEA_THREADS=4)"
-SNAPEA_THREADS=4 cargo test --workspace -q --offline
+echo "==> cargo test -q --offline (SNAPEA_THREADS=4, oversubscribed)"
+SNAPEA_THREADS=4 SNAPEA_OVERSUBSCRIBE=1 cargo test --workspace -q --offline
+
+echo "==> cargo test -q --offline --test determinism (SNAPEA_THREADS=2, oversubscribed)"
+SNAPEA_THREADS=2 SNAPEA_OVERSUBSCRIBE=1 cargo test -q --offline --test determinism
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
@@ -48,8 +55,10 @@ fi
 SELFCHECK=./target/release/snapea-tool
 echo "==> snapea-tool selfcheck --cases 500 --seed 1 (SNAPEA_THREADS=1)"
 SNAPEA_THREADS=1 "$SELFCHECK" selfcheck --cases 500 --seed 1
-echo "==> snapea-tool selfcheck --cases 500 --seed 1 (SNAPEA_THREADS=4)"
-SNAPEA_THREADS=4 "$SELFCHECK" selfcheck --cases 500 --seed 1
+echo "==> snapea-tool selfcheck --cases 500 --seed 1 (SNAPEA_THREADS=2, oversubscribed)"
+SNAPEA_THREADS=2 SNAPEA_OVERSUBSCRIBE=1 "$SELFCHECK" selfcheck --cases 500 --seed 1
+echo "==> snapea-tool selfcheck --cases 500 --seed 1 (SNAPEA_THREADS=4, oversubscribed)"
+SNAPEA_THREADS=4 SNAPEA_OVERSUBSCRIBE=1 "$SELFCHECK" selfcheck --cases 500 --seed 1
 
 # The harness must also *detect* divergence: with a deliberately injected
 # bug it has to fail and print a replayable case.
@@ -60,10 +69,36 @@ fi
 echo "$out" | grep -q "replay: snapea-tool selfcheck --replay 0x" \
   || { echo "ERROR: failure report is missing the replay line"; exit 1; }
 
-echo "==> scripts/bench.sh --smoke"
+echo "==> scripts/bench.sh --smoke --scaling"
+PARALLEL_SMOKE=/tmp/BENCH_parallel.smoke.json
 KERNELS_SMOKE=/tmp/BENCH_kernels.smoke.json
-./scripts/bench.sh --smoke --out /tmp/BENCH_parallel.smoke.json \
+./scripts/bench.sh --smoke --scaling --out "$PARALLEL_SMOKE" \
   --kernels-out "$KERNELS_SMOKE"
+
+# Schema-2 gate: both reports must carry the document version and the
+# degraded flag (perf-diff keys its refusal off the latter), and every
+# scaling-curve point must report bit_identical:true — one per "label".
+echo "==> BENCH_parallel schema + curve bit-identity gate"
+for f in "$PARALLEL_SMOKE" "$KERNELS_SMOKE"; do
+  grep -q '"schema":2' "$f" || { echo "ERROR: $f missing schema 2"; exit 1; }
+  grep -q '"degraded":' "$f" || { echo "ERROR: $f missing degraded flag"; exit 1; }
+done
+points=$(grep -o '"label":"t' "$PARALLEL_SMOKE" | wc -l)
+identical=$(grep -o '"bit_identical":true' "$PARALLEL_SMOKE" | wc -l)
+if [ "$points" -lt 1 ] || [ "$points" -ne "$identical" ]; then
+  echo "ERROR: $PARALLEL_SMOKE: $identical of $points curve points bit-identical"
+  exit 1
+fi
+echo "    $identical/$points curve points bit-identical"
+
+# Scaling gate (opt-in, recording machines with >=4 cores): perfbench
+# --strict asserts conv forward + executor reach >=3x at 4 threads on full
+# shapes. Costs minutes, so it only runs under SNAPEA_BENCH_STRICT=1.
+if [ "${SNAPEA_BENCH_STRICT:-0}" = "1" ]; then
+  echo "==> scripts/bench.sh --scaling --strict (SNAPEA_BENCH_STRICT=1, full shapes)"
+  ./scripts/bench.sh --scaling --strict --out /tmp/BENCH_parallel.strict.json \
+    --kernels-out /tmp/BENCH_kernels.strict.json
+fi
 
 # Kernel-engine gate: every before/after kernel bench must report
 # bit_identical:true (perfbench asserts this internally too; the grep keeps
@@ -110,5 +145,11 @@ printf '{"kernels":[{"name":"gemm_f32","kernel_ms":12.0}]}\n' > "$FIXTURE/perf-n
 if "$TOOL" perf-diff "$FIXTURE/perf-old.json" "$FIXTURE/perf-new.json" > /dev/null 2>&1; then
   echo "ERROR: planted 20% regression passed the 10% gate"; exit 1
 fi
+echo "==> snapea-tool perf-diff degraded-mismatch smoke (must refuse)"
+printf '{"degraded":true,"benches":[{"name":"b","serial_ms":10.0}]}\n' > "$FIXTURE/perf-deg.json"
+printf '{"degraded":false,"benches":[{"name":"b","serial_ms":10.0}]}\n' > "$FIXTURE/perf-nondeg.json"
+if "$TOOL" perf-diff "$FIXTURE/perf-deg.json" "$FIXTURE/perf-nondeg.json" > /dev/null 2>&1; then
+  echo "ERROR: degraded vs non-degraded comparison was not refused"; exit 1
+fi
 
-echo "OK: build, tests (1 and 4 threads), clippy, selfcheck (1 and 4 threads), bench smoke, kernel bit-identity, trace export, and perf-diff gate all clean."
+echo "OK: build, tests (1, 2, and 4 threads), clippy, selfcheck (1, 2, and 4 threads), bench smoke (scaling curves), kernel bit-identity, trace export, and perf-diff gates all clean."

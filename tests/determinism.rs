@@ -1,20 +1,26 @@
 //! Thread-count invariance: every parallelised path must produce
-//! bit-identical results whether the worker pool runs 1 thread or 4.
+//! bit-identical results whether the worker pool runs 1, 2, 4, or 8
+//! threads.
 //!
 //! The guarantees under test are the two rules of the threading model
 //! (DESIGN.md): workers only write ownership-partitioned disjoint slices,
 //! and floating-point reductions merge in an order fixed independently of
 //! the thread count. `SNAPEA_THREADS=1` is additionally the exact serial
-//! loop, so these tests pin parallel runs to serial results bit-for-bit.
+//! loop, so these tests pin every parallel run to serial results
+//! bit-for-bit — including counts above the persistent pool's previously
+//! seen size, which exercises lazy pool growth mid-process.
 
-use snapea_suite::core::exec::{execute_conv_stats, LayerConfig};
+use snapea_suite::core::exec::{execute_conv_q16, execute_conv_stats, LayerConfig};
 use snapea_suite::core::optimizer::profiling::profile_layer_kernels;
 use snapea_suite::core::params::KernelParams;
 use snapea_suite::nn::ops::Conv2d;
 use snapea_suite::tensor::im2col::ConvGeom;
-use snapea_suite::tensor::{init, par, Shape4, Tensor4};
+use snapea_suite::tensor::{init, par, q16, Shape4, Tensor4};
 
-/// Seeded mini-net layer: enough images/kernels/windows that 4 workers all
+/// Thread counts every path is pinned at, against the 1-thread serial run.
+const THREAD_GRID: [usize; 3] = [2, 4, 8];
+
+/// Seeded mini-net layer: enough images/kernels/windows that 8 workers all
 /// get work, small enough to run in the tier-1 gate.
 fn mini_layer() -> (Conv2d, Tensor4) {
     let mut rng = init::rng(42);
@@ -23,32 +29,47 @@ fn mini_layer() -> (Conv2d, Tensor4) {
     (conv, input)
 }
 
-/// Runs `f` at 1 and 4 threads and hands both results to `check`.
-fn at_both_threads<R>(mut f: impl FnMut() -> R) -> (R, R) {
+/// Runs `f` serially (1 thread), then at each grid count, handing
+/// `(serial, parallel, threads)` to `check` per grid point.
+fn against_serial<R>(mut f: impl FnMut() -> R, mut check: impl FnMut(&R, &R, usize)) {
+    // Real worker concurrency even on a single-core runner: without this
+    // the pool clamps participants to the machine and the grid runs would
+    // pass vacuously.
+    par::set_oversubscribe(true);
     let prev = par::threads();
     par::set_threads(1);
     let serial = f();
-    par::set_threads(4);
-    let parallel = f();
+    for &t in &THREAD_GRID {
+        par::set_threads(t);
+        let parallel = f();
+        check(&serial, &parallel, t);
+    }
     par::set_threads(prev);
-    (serial, parallel)
 }
 
 #[test]
 fn conv_forward_is_bit_identical_across_thread_counts() {
     let (conv, input) = mini_layer();
-    let (serial, parallel) = at_both_threads(|| conv.forward(&input));
-    assert_eq!(serial.as_slice(), parallel.as_slice());
+    against_serial(
+        || conv.forward(&input),
+        |serial, parallel, t| {
+            assert_eq!(serial.as_slice(), parallel.as_slice(), "{t} threads");
+        },
+    );
 }
 
 #[test]
 fn conv_backward_is_bit_identical_across_thread_counts() {
     let (conv, input) = mini_layer();
     let grad_out = init::uniform4(conv.out_shape(input.shape()), 1.0, &mut init::rng(7));
-    let ((gi1, gw1, gb1), (gi4, gw4, gb4)) = at_both_threads(|| conv.backward(&input, &grad_out));
-    assert_eq!(gi1.as_slice(), gi4.as_slice(), "grad_input");
-    assert_eq!(gw1.as_slice(), gw4.as_slice(), "grad_weight");
-    assert_eq!(gb1, gb4, "grad_bias");
+    against_serial(
+        || conv.backward(&input, &grad_out),
+        |(gi1, gw1, gb1), (gin, gwn, gbn), t| {
+            assert_eq!(gi1.as_slice(), gin.as_slice(), "grad_input at {t}");
+            assert_eq!(gw1.as_slice(), gwn.as_slice(), "grad_weight at {t}");
+            assert_eq!(gb1, gbn, "grad_bias at {t}");
+        },
+    );
 }
 
 #[test]
@@ -58,20 +79,49 @@ fn executor_stats_are_bit_identical_across_thread_counts() {
         LayerConfig::exact(&conv),
         LayerConfig::predictive_uniform(&conv, KernelParams::new(0.05, 4)),
     ] {
-        let (serial, parallel) = at_both_threads(|| execute_conv_stats(&conv, &input, &cfg));
-        assert_eq!(serial.output.as_slice(), parallel.output.as_slice());
-        assert_eq!(serial.profile, parallel.profile);
-        // PredictionStats carries f64 masses: per-pair accumulation merged
-        // in pair order makes even those bit-identical.
-        assert_eq!(serial.stats, parallel.stats);
+        against_serial(
+            || execute_conv_stats(&conv, &input, &cfg),
+            |serial, parallel, t| {
+                assert_eq!(
+                    serial.output.as_slice(),
+                    parallel.output.as_slice(),
+                    "{t} threads"
+                );
+                assert_eq!(serial.profile, parallel.profile, "{t} threads");
+                // PredictionStats carries f64 masses: per-pair accumulation
+                // merged in pair order makes even those bit-identical, for
+                // any pair-block size the chunk floor picks.
+                assert_eq!(serial.stats, parallel.stats, "{t} threads");
+            },
+        );
     }
+}
+
+#[test]
+fn executor_q16_is_bit_identical_across_thread_counts() {
+    let (conv, input) = mini_layer();
+    let cfg = LayerConfig::predictive_uniform(&conv, KernelParams::new(0.05, 4));
+    let fmt = q16::Q16Format::default();
+    against_serial(
+        || execute_conv_q16(&conv, &input, &cfg, fmt),
+        |serial, parallel, t| {
+            assert_eq!(
+                serial.output.as_slice(),
+                parallel.output.as_slice(),
+                "{t} threads"
+            );
+            assert_eq!(serial.profile, parallel.profile, "{t} threads");
+        },
+    );
 }
 
 #[test]
 fn optimizer_profiling_is_bit_identical_across_thread_counts() {
     let (conv, input) = mini_layer();
-    let (serial, parallel) = at_both_threads(|| {
-        profile_layer_kernels(&conv, &input, &[1, 2, 4], &[0.25, 0.5, 0.9], 1.0)
-    });
-    assert_eq!(serial, parallel);
+    against_serial(
+        || profile_layer_kernels(&conv, &input, &[1, 2, 4], &[0.25, 0.5, 0.9], 1.0),
+        |serial, parallel, t| {
+            assert_eq!(serial, parallel, "{t} threads");
+        },
+    );
 }
