@@ -125,6 +125,9 @@ fn main() {
     run_exp("related_zeroskip", &|| {
         snapea_bench::ablation::related_zeroskip(&trained, &data)
     });
+    run_exp("artifact", &|| {
+        experiments::artifact(&trained, &data, &params3)
+    });
 
     let _ = std::fs::create_dir_all("repro-results");
     for r in &results {
@@ -150,6 +153,7 @@ fn main() {
             snapea_obs::Json::Arr(ran_ids.iter().map(|&id| id.into()).collect()),
         );
         run.set("quiet", quiet.into());
+        run.set("artifact_version", snapea::artifact::VERSION.into());
         run.set(
             "workloads",
             snapea_obs::Json::Arr(trained.iter().map(|tw| tw.workload.name().into()).collect()),

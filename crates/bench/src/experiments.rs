@@ -777,12 +777,108 @@ pub fn fig12(
     }
 }
 
+/// Artifact cold start: one-time `compile` cost versus reloading the
+/// serialized `.snapea` artifact, which replays neither Algorithm 1 nor
+/// gather-plan construction. Bit-identity of the loaded model's forward
+/// pass against the freshly-compiled one is asserted, not just reported.
+pub fn artifact(
+    trained: &[TrainedWorkload],
+    data: &Datasets,
+    params3: &dyn Fn(&TrainedWorkload) -> NetworkParams,
+) -> ExperimentResult {
+    use snapea::artifact::{fnv64, CompiledModel};
+    use snapea_obs::span::Stopwatch;
+    use snapea_tensor::q16::Q16Format;
+
+    let batch = sim_batch(data);
+    let shape = batch.shape();
+    let dims = (shape.c, shape.h, shape.w);
+    let mut t = Table::new(vec![
+        "Network",
+        "Compile ms",
+        "Load ms",
+        "Cold-start gain",
+        "Bytes",
+        "Pred. layers",
+    ]);
+    let mut rows = Vec::new();
+    let mut gains = Vec::new();
+    for tw in trained {
+        let params = params3(tw);
+        let sw = Stopwatch::start();
+        let compiled = CompiledModel::compile(&tw.net, &params, dims, Q16Format::default());
+        let compile_ms = sw.elapsed_ms();
+        let (bytes, sizes) = compiled.to_bytes_sized();
+        let sw = Stopwatch::start();
+        let loaded = CompiledModel::from_bytes(&bytes)
+            // lint:allow(P1) a freshly serialized artifact always loads
+            .expect("freshly serialized artifact loads");
+        let load_ms = sw.elapsed_ms();
+        let fresh = compiled.forward(&batch);
+        let reloaded = loaded.forward(&batch);
+        assert_eq!(fresh.len(), reloaded.len(), "{}", tw.workload.name());
+        for (i, (a, b)) in fresh.iter().zip(&reloaded).enumerate() {
+            assert!(
+                a.as_slice()
+                    .iter()
+                    .zip(b.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{}: activation {i} differs between fresh and loaded execution",
+                tw.workload.name()
+            );
+        }
+        let gain = compile_ms / load_ms.max(1e-6);
+        gains.push(gain);
+        let kernels: usize = compiled.layers().iter().map(|l| l.kernels().len()).sum();
+        t.row(vec![
+            tw.workload.name().to_string(),
+            format!("{compile_ms:.2}"),
+            format!("{load_ms:.2}"),
+            ratio(gain),
+            sizes.total().to_string(),
+            compiled.layers().len().to_string(),
+        ]);
+        rows.push(json!({
+            "network": tw.workload.name(),
+            "compile_ms": compile_ms,
+            "load_ms": load_ms,
+            "bytes": sizes.total(),
+            "digest": format!("{:#018x}", fnv64(&bytes)),
+            "sections": {
+                "header": sizes.header,
+                "meta": sizes.meta,
+                "graph": sizes.graph,
+                "params": sizes.params,
+                "layers": sizes.layers,
+            },
+            "predictive_layers": compiled.layers().len(),
+            "predictive_kernels": kernels,
+            "bit_identical": true,
+        }));
+    }
+    t.row(vec![
+        "Geomean".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        ratio(geomean(&gains)),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+    let note = "Loading skips Algorithm 1 and plan construction; timings are wall-clock and \
+                machine-dependent, bit-identity is asserted.";
+    ExperimentResult {
+        id: "artifact",
+        title: "Artifact cold start: compile once, reload bit-identically".into(),
+        text: format!("{}\n{note}\n", t.render()),
+        json: json!({"networks": rows}),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    #[ignore = "requires real serde_json; the offline build stubs it"]
     fn static_tables_render() {
         let t2 = table2();
         assert!(t2.text.contains("SnaPEA"));

@@ -6,6 +6,7 @@
 //! document on stdout instead of the human-readable text.
 
 use crate::args::Args;
+use snapea::artifact::{fnv64, CompiledModel};
 use snapea::exec::LayerConfig;
 use snapea::optimizer::{Optimizer, OptimizerConfig};
 use snapea::params::NetworkParams;
@@ -19,8 +20,12 @@ use snapea_nn::graph::{Graph, Op};
 use snapea_nn::train::{evaluate, TrainConfig, Trainer};
 use snapea_nn::zoo::{Workload, INPUT_SIZE};
 use snapea_obs::{Json, Report, Selection};
-use snapea_oracle::{run_case, run_selfcheck, HarnessOptions, SelfCheckReport};
+use snapea_oracle::{
+    run_artifact_case, run_artifact_check, run_case, run_selfcheck, ArtifactCheckOptions,
+    ArtifactCheckReport, HarnessOptions, SelfCheckReport,
+};
 use snapea_tensor::init;
+use snapea_tensor::q16::Q16Format;
 use std::error::Error;
 use std::fmt::Write as _;
 use std::fs;
@@ -374,14 +379,153 @@ pub fn simulate_cmd(args: &Args) -> CmdResult {
     Ok(out)
 }
 
-/// `selfcheck [--cases N] [--seed S] [--replay <seed>] [--inject-bug]`:
-/// differential fuzzing of the executor, kernels, and cycle simulator
-/// against the `snapea-oracle` reference models. Exits non-zero when any
-/// check fails, printing each failing case's seed, config, and a replay
-/// command. `--replay` re-runs one case from a seed printed by a previous
-/// failure (decimal or `0x`-hex); `--inject-bug` deliberately corrupts one
-/// exact-mode output element to prove the harness reports failures.
+/// Synthetic input dimensions every model of the zoo pipeline runs on.
+const SYNTH_DIMS: (usize, usize, usize) = (3, INPUT_SIZE, INPUT_SIZE);
+
+/// Loads speculation parameters from `--params`, or an empty (all-exact)
+/// set when the option is absent.
+fn load_params(args: &Args) -> Result<NetworkParams, Box<dyn Error>> {
+    Ok(match args.opt("params") {
+        Some(p) => serde_json::from_str(&fs::read_to_string(p)?)?,
+        None => NetworkParams::new(),
+    })
+}
+
+/// FNV-1a-64 digest over the bit patterns of every activation element — the
+/// bit-identity fingerprint `run` prints so artifact-loaded and
+/// freshly-compiled executions can be compared across processes.
+fn activations_digest(acts: &[snapea_tensor::Tensor4]) -> u64 {
+    let mut bytes = Vec::new();
+    for t in acts {
+        for &v in t.as_slice() {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    fnv64(&bytes)
+}
+
+/// `compile <model.json> <out.snapea> [--params params.json]`: compiles a
+/// model under its speculation parameters into the versioned on-disk
+/// artifact — reordered kernels, PAU configurations, pre-quantized q16
+/// weights, and resolved window plans — so `run --artifact` can execute
+/// without re-running the optimizer or any plan construction. With
+/// `--json`, reports the artifact digest and per-section size breakdown.
+pub fn compile(args: &Args) -> CmdResult {
+    let net = load_model(args.required_positional("model.json")?)?;
+    let out_path = args
+        .positional
+        .get(1)
+        .ok_or("missing output path (snapea-tool compile <model.json> <out.snapea>)")?;
+    let params = load_params(args)?;
+    let compiled = CompiledModel::compile(&net, &params, SYNTH_DIMS, Q16Format::default());
+    let (bytes, sizes) = compiled.to_bytes_sized();
+    let digest = fnv64(&bytes);
+    fs::write(out_path, &bytes)?;
+    if args.flag("json") {
+        let doc = Json::obj(vec![
+            ("out", Json::from(out_path.as_str())),
+            ("digest", Json::Str(format!("{digest:#018x}"))),
+            ("bytes", Json::from(sizes.total() as u64)),
+            (
+                "sections",
+                Json::obj(vec![
+                    ("header", Json::from(sizes.header as u64)),
+                    ("meta", Json::from(sizes.meta as u64)),
+                    ("graph", Json::from(sizes.graph as u64)),
+                    ("params", Json::from(sizes.params as u64)),
+                    ("layers", Json::from(sizes.layers as u64)),
+                ]),
+            ),
+            ("layers", Json::from(compiled.layers().len() as u64)),
+            (
+                "predictive_kernels",
+                Json::from(
+                    compiled
+                        .layers()
+                        .iter()
+                        .flat_map(|l| l.kernels())
+                        .filter(|k| k.pau.is_predictive())
+                        .count() as u64,
+                ),
+            ),
+        ]);
+        return Ok(format!("{doc}\n"));
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "compiled {} layer(s) -> {out_path} ({} bytes, digest {digest:#018x})",
+        compiled.layers().len(),
+        sizes.total()
+    )?;
+    writeln!(
+        out,
+        "sections: header {} meta {} graph {} params {} layers {}",
+        sizes.header, sizes.meta, sizes.graph, sizes.params, sizes.layers
+    )?;
+    Ok(out)
+}
+
+/// `run <model.json> [--params params.json]` or `run --artifact <x.snapea>`:
+/// executes the speculative network on a synthetic batch and prints the
+/// accuracy plus a bit-identity digest over every activation. The two forms
+/// must print the same digest for the same model/parameters — loading an
+/// artifact is bit-faithful to compiling fresh.
+pub fn run_model(args: &Args) -> CmdResult {
+    let images: usize = args.opt_parse("images", 4)?;
+    let seed: u64 = args.opt_parse("seed", 0xE7A1)?;
+    let (compiled, source) = if args.flag("artifact") {
+        let path = args.required_positional("artifact.snapea")?;
+        (
+            CompiledModel::read_file(std::path::Path::new(path))?,
+            "artifact",
+        )
+    } else {
+        let net = load_model(args.required_positional("model.json")?)?;
+        let params = load_params(args)?;
+        (
+            CompiledModel::compile(&net, &params, SYNTH_DIMS, Q16Format::default()),
+            "fresh",
+        )
+    };
+    let (data, batch) = synth_batch(images, seed);
+    let acts = compiled.forward(&batch);
+    let digest = activations_digest(&acts);
+    let accuracy = compiled.accuracy(&data);
+    if args.flag("json") {
+        let doc = Json::obj(vec![
+            ("source", Json::from(source)),
+            ("images", Json::from(images as u64)),
+            ("seed", Json::from(seed)),
+            ("accuracy", Json::from(accuracy)),
+            ("output_digest", Json::Str(format!("{digest:#018x}"))),
+            ("layers", Json::from(compiled.layers().len() as u64)),
+        ]);
+        return Ok(format!("{doc}\n"));
+    }
+    Ok(format!(
+        "{source}: {images} image(s), accuracy {:.1}%, output_digest {digest:#018x}\n",
+        accuracy * 100.0
+    ))
+}
+
+/// `selfcheck [--cases N] [--seed S] [--replay <seed>] [--inject-bug]
+/// [--artifact]`: differential fuzzing of the executor, kernels, and cycle
+/// simulator against the `snapea-oracle` reference models. Exits non-zero
+/// when any check fails, printing each failing case's seed, config, and a
+/// replay command. `--replay` re-runs one case from a seed printed by a
+/// previous failure (decimal or `0x`-hex); `--inject-bug` deliberately
+/// corrupts one exact-mode output element to prove the harness reports
+/// failures. With `--artifact`, runs the compiled-artifact battery instead:
+/// per case, a compile→serialize→load round trip must re-serialize
+/// byte-exactly and execute bit-identically, and every byte-level corruption
+/// of the artifact must be rejected with a typed error (`--inject-bug` then
+/// plants a loader bug — a skipped section checksum — that the battery must
+/// catch).
 pub fn selfcheck(args: &Args) -> CmdResult {
+    if args.flag("artifact") {
+        return selfcheck_artifact(args);
+    }
     let opts = HarnessOptions {
         inject_exact_bug: args.flag("inject-bug"),
     };
@@ -400,6 +544,39 @@ pub fn selfcheck(args: &Args) -> CmdResult {
         let cases: usize = args.opt_parse("cases", 100)?;
         let seed: u64 = args.opt_parse("seed", 1)?;
         run_selfcheck(cases, seed, &opts)
+    };
+    let body = if args.flag("json") {
+        format!("{}\n", report.to_json())
+    } else {
+        format!("{}\n", report.render_text())
+    };
+    if report.passed() {
+        Ok(body)
+    } else {
+        Err(body.into())
+    }
+}
+
+/// The `selfcheck --artifact` branch: the round-trip/corruption battery.
+fn selfcheck_artifact(args: &Args) -> CmdResult {
+    let opts = ArtifactCheckOptions {
+        inject_load_bug: args.flag("inject-bug"),
+    };
+    let report = if let Some(spec) = args.opt("replay") {
+        let seed = parse_seed(spec)?;
+        let outcome = run_artifact_case(seed, &opts);
+        ArtifactCheckReport {
+            run_seed: seed,
+            cases: 1,
+            checks: outcome.checks,
+            mutations: outcome.mutations,
+            rejections: outcome.rejections,
+            failures: outcome.failure.into_iter().collect(),
+        }
+    } else {
+        let cases: usize = args.opt_parse("cases", 100)?;
+        let seed: u64 = args.opt_parse("seed", 1)?;
+        run_artifact_check(cases, seed, &opts)
     };
     let body = if args.flag("json") {
         format!("{}\n", report.to_json())
@@ -577,8 +754,11 @@ pub fn usage() -> String {
        inspect   <model.json>\n\
        reorder   <model.json> --layer <name> [--kernel K]\n\
        optimize  <model.json> [--epsilon 0.03] [--images N] [--out params.json]\n\
+       compile   <model.json> <out.snapea> [--params params.json]\n\
+       run       <model.json> [--params params.json] [--images N] [--seed S]\n\
+       run       --artifact <model.snapea> [--images N] [--seed S]\n\
        simulate  <model.json> [--params params.json] [--images N]\n\
-       selfcheck [--cases N] [--seed S] [--replay seed] [--inject-bug]\n\
+       selfcheck [--cases N] [--seed S] [--replay seed] [--inject-bug] [--artifact]\n\
        lint      [--rule <id>] [--root <dir>]\n\
        report    <events.jsonl>\n\
        trace     <events.jsonl> [--chrome out.json] [--pe-trace out.json]\n\
@@ -594,6 +774,8 @@ pub fn run(args: &Args) -> CmdResult {
         "inspect" => inspect(args),
         "reorder" => reorder(args),
         "optimize" => optimize(args),
+        "compile" => compile(args),
+        "run" => run_model(args),
         "simulate" => simulate_cmd(args),
         "selfcheck" => selfcheck(args),
         "lint" => lint(args),
@@ -642,14 +824,11 @@ mod tests {
         }
     }
 
-    // Commands that round-trip a model file need a real `serde_json`; the
-    // offline build patches in an inert stub, so tests marked with the
-    // `requires real serde_json` ignore reason are environment-bound rather
-    // than broken — they run (and pass) in a network-enabled build with the
-    // genuine dependency.
+    // Commands that round-trip a model file go through the vendored
+    // `serde_json` (a full Content-model JSON implementation), so they run
+    // in the offline build like everything else.
 
     #[test]
-    #[ignore = "requires real serde_json; the offline build stubs it"]
     fn inspect_lists_layers() {
         let (_guard, path) = temp_model();
         let args = Args::parse(["inspect", path.as_str()]).unwrap();
@@ -659,7 +838,6 @@ mod tests {
     }
 
     #[test]
-    #[ignore = "requires real serde_json; the offline build stubs it"]
     fn reorder_dumps_index_buffer() {
         let (_guard, path) = temp_model();
         let args = Args::parse([
@@ -694,7 +872,6 @@ mod tests {
     }
 
     #[test]
-    #[ignore = "requires real serde_json; the offline build stubs it"]
     fn simulate_reports_speedup_line() {
         let (_guard, path) = temp_model();
         let args = Args::parse(["simulate", path.as_str(), "--images", "2"]).unwrap();
@@ -704,7 +881,6 @@ mod tests {
     }
 
     #[test]
-    #[ignore = "requires real serde_json; the offline build stubs it"]
     fn simulate_json_mode_is_parsable() {
         let (_guard, path) = temp_model();
         let args = Args::parse_with_flags(
@@ -719,7 +895,6 @@ mod tests {
     }
 
     #[test]
-    #[ignore = "requires real serde_json; the offline build stubs it"]
     fn inspect_json_mode_lists_layers() {
         let (_guard, path) = temp_model();
         let args = Args::parse_with_flags(["inspect", path.as_str(), "--json"], &["json"]).unwrap();
@@ -963,6 +1138,156 @@ mod tests {
         let args =
             Args::parse_with_flags(["selfcheck", "--replay", "zzz"], SELFCHECK_FLAGS).unwrap();
         assert!(run(&args).is_err());
+    }
+
+    const ARTIFACT_FLAGS: &[&str] = &["json", "inject-bug", "artifact"];
+
+    #[test]
+    fn compile_and_run_artifact_is_bit_identical_to_fresh() {
+        let dir = std::env::temp_dir().join(format!("snapea-cli-artifact-{}", std::process::id()));
+        let _ = fs::create_dir_all(&dir);
+        let _guard = tempdir::TempDirLike(dir.clone());
+        let net = Workload::SqueezeNet.build(10);
+        let model = dir.join("model.json").to_string_lossy().into_owned();
+        fs::write(&model, serde_json::to_string(&net).unwrap()).unwrap();
+        // Hand-built speculation parameters: first two convs predictive.
+        let mut params = NetworkParams::new();
+        for &id in net.conv_ids().iter().take(2) {
+            let Op::Conv(c) = &net.node(id).op else {
+                unreachable!("conv_ids points at convs")
+            };
+            params.set(
+                id,
+                snapea::params::LayerParams::uniform(
+                    c.c_out(),
+                    snapea::params::KernelParams::new(0.05, 4),
+                ),
+            );
+        }
+        let pfile = dir.join("params.json").to_string_lossy().into_owned();
+        fs::write(&pfile, serde_json::to_string(&params).unwrap()).unwrap();
+        let art = dir.join("m.snapea").to_string_lossy().into_owned();
+
+        // compile --json reports the digest and per-section size breakdown.
+        let args = Args::parse_with_flags(
+            [
+                "compile",
+                model.as_str(),
+                art.as_str(),
+                "--params",
+                pfile.as_str(),
+                "--json",
+            ],
+            ARTIFACT_FLAGS,
+        )
+        .unwrap();
+        let doc = snapea_obs::parse(&run(&args).unwrap()).expect("valid json");
+        assert!(doc.get("digest").and_then(Json::as_str).is_some());
+        assert_eq!(doc.get("layers").and_then(Json::as_u64), Some(2));
+        let sections = doc.get("sections").expect("section breakdown");
+        for key in ["header", "meta", "graph", "params", "layers"] {
+            assert!(sections.get(key).and_then(Json::as_u64).is_some(), "{key}");
+        }
+
+        // A fresh compile-and-run and an artifact-loaded run print the same
+        // bit-identity digest.
+        let fresh = Args::parse_with_flags(
+            [
+                "run",
+                model.as_str(),
+                "--params",
+                pfile.as_str(),
+                "--images",
+                "3",
+                "--seed",
+                "5",
+                "--json",
+            ],
+            ARTIFACT_FLAGS,
+        )
+        .unwrap();
+        let fresh_doc = snapea_obs::parse(&run(&fresh).unwrap()).expect("valid json");
+        let loaded = Args::parse_with_flags(
+            [
+                "run",
+                "--artifact",
+                art.as_str(),
+                "--images",
+                "3",
+                "--seed",
+                "5",
+                "--json",
+            ],
+            ARTIFACT_FLAGS,
+        )
+        .unwrap();
+        let loaded_doc = snapea_obs::parse(&run(&loaded).unwrap()).expect("valid json");
+        let digest = fresh_doc.get("output_digest").and_then(Json::as_str);
+        assert!(digest.is_some());
+        assert_eq!(
+            digest,
+            loaded_doc.get("output_digest").and_then(Json::as_str),
+            "artifact-loaded execution must be bit-identical to fresh"
+        );
+        assert_eq!(
+            fresh_doc.get("accuracy"),
+            loaded_doc.get("accuracy"),
+            "accuracy must agree"
+        );
+
+        // A corrupted artifact is rejected with a typed error, not executed.
+        let mut bytes = fs::read(&art).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        fs::write(&art, &bytes).unwrap();
+        let corrupt =
+            Args::parse_with_flags(["run", "--artifact", art.as_str()], ARTIFACT_FLAGS).unwrap();
+        let err = run(&corrupt).unwrap_err().to_string();
+        assert!(
+            err.contains("checksum") || err.contains("invalid") || err.contains("truncated"),
+            "typed rejection expected, got: {err}"
+        );
+    }
+
+    #[test]
+    fn selfcheck_artifact_battery_passes_and_catches_planted_bug() {
+        let args = Args::parse_with_flags(
+            [
+                "selfcheck",
+                "--artifact",
+                "--cases",
+                "10",
+                "--seed",
+                "3",
+                "--json",
+            ],
+            ARTIFACT_FLAGS,
+        )
+        .unwrap();
+        let doc = snapea_obs::parse(&run(&args).unwrap()).expect("valid json");
+        assert_eq!(doc.get("passed").and_then(Json::as_bool), Some(true));
+        assert!(doc.get("mutations").and_then(Json::as_u64).unwrap_or(0) > 0);
+
+        // The planted loader bug (skipped LAYERS checksum) must be caught,
+        // and the failure must carry an artifact replay line.
+        let args = Args::parse_with_flags(
+            [
+                "selfcheck",
+                "--artifact",
+                "--cases",
+                "200",
+                "--seed",
+                "3",
+                "--inject-bug",
+            ],
+            ARTIFACT_FLAGS,
+        )
+        .unwrap();
+        let err = run(&args).unwrap_err().to_string();
+        assert!(
+            err.contains("replay: snapea-tool selfcheck --artifact --replay 0x"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod exec;
 pub mod optimizer;
 pub mod params;
@@ -57,5 +58,6 @@ pub mod pau;
 pub mod reorder;
 pub mod spec_net;
 
+pub use artifact::{ArtifactError, CompiledModel};
 pub use params::{KernelParams, LayerParams, NetworkParams};
 pub use reorder::ReorderedKernel;

@@ -167,7 +167,6 @@ mod tests {
     }
 
     #[test]
-    #[ignore = "requires real serde_json; the offline build stubs it"]
     fn serde_round_trip() {
         let mut p = NetworkParams::new();
         p.set(1, LayerParams::uniform(2, KernelParams::new(0.25, 8)));

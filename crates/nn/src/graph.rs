@@ -97,6 +97,33 @@ pub struct Graph {
 }
 
 impl Graph {
+    /// Builds a graph directly from a node list (the compiled-model artifact
+    /// loader's entry point — [`GraphBuilder`] is the ergonomic front door).
+    /// Validates the invariants the builder establishes by construction:
+    /// a non-empty list whose first node is the input, every producer id
+    /// topologically earlier than its consumer, and `Op::Input` appearing
+    /// nowhere else.
+    pub fn from_nodes(nodes: Vec<Node>) -> Result<Self, String> {
+        let first = nodes.first().ok_or("graph must have at least one node")?;
+        if !matches!(first.op, Op::Input) {
+            return Err("node 0 must be the input placeholder".to_string());
+        }
+        for (id, node) in nodes.iter().enumerate() {
+            if id > 0 && matches!(node.op, Op::Input) {
+                return Err(format!("node {id} duplicates the input placeholder"));
+            }
+            for &i in &node.inputs {
+                if i >= id {
+                    return Err(format!(
+                        "node {id} ({}) consumes node {i}, which is not topologically earlier",
+                        node.name
+                    ));
+                }
+            }
+        }
+        Ok(Self { nodes })
+    }
+
     /// The nodes in topological order.
     pub fn nodes(&self) -> &[Node] {
         &self.nodes
@@ -686,7 +713,6 @@ mod tests {
     }
 
     #[test]
-    #[ignore = "requires real serde_json; the offline build stubs it"]
     fn serde_round_trip_preserves_function() {
         let g = tiny_graph(8);
         let x = Tensor4::full(Shape4::new(1, 1, 4, 4), 0.2);

@@ -26,12 +26,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact_check;
 pub mod cycle_model;
 pub mod gen;
 pub mod harness;
 pub mod reference;
 pub mod rng;
 
+pub use artifact_check::{
+    run_artifact_case, run_artifact_check, ArtifactCheckOptions, ArtifactCheckReport,
+};
 pub use gen::CaseConfig;
 pub use harness::{run_case, run_selfcheck, HarnessOptions, SelfCheckReport};
 pub use rng::OracleRng;

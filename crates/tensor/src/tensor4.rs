@@ -299,7 +299,6 @@ mod tests {
     }
 
     #[test]
-    #[ignore = "requires real serde_json; the offline build stubs it"]
     fn serde_round_trip() {
         let t = Tensor4::from_fn(Shape4::new(1, 2, 2, 2), |_, c, h, w| (c + h + w) as f32);
         let json = serde_json::to_string(&t).unwrap();

@@ -69,6 +69,57 @@ fi
 echo "$out" | grep -q "replay: snapea-tool selfcheck --replay 0x" \
   || { echo "ERROR: failure report is missing the replay line"; exit 1; }
 
+# Compiled-artifact gates: `compile` then `run --artifact` must print the
+# same activation digest as the fresh-compile path (loading is bit-faithful
+# and skips Algorithm 1), the corruption battery must reject every byte-level
+# mutation with a typed error, and — same prove-it-can-fail protocol as the
+# lint and selfcheck smokes — a planted loader bug (one skipped section
+# checksum) must be caught with a replayable case.
+echo "==> artifact compile/run round trip (output digests must match)"
+ART="$FIXTURE/artifact"
+mkdir -p "$ART"
+SNAPEA_LOG=off "$SELFCHECK" train --workload AlexNet --epochs 0 \
+  --out "$ART/model.json" > /dev/null
+SNAPEA_LOG=off "$SELFCHECK" optimize "$ART/model.json" --images 6 \
+  --out "$ART/params.json" > /dev/null
+SNAPEA_LOG=off "$SELFCHECK" compile "$ART/model.json" "$ART/model.snapea" \
+  --params "$ART/params.json" --json > "$ART/compile.json"
+grep -q '"digest":"0x' "$ART/compile.json" \
+  || { echo "ERROR: compile --json is missing the artifact digest"; exit 1; }
+grep -q '"sections":{' "$ART/compile.json" \
+  || { echo "ERROR: compile --json is missing the section breakdown"; exit 1; }
+fresh=$(SNAPEA_LOG=off "$SELFCHECK" run "$ART/model.json" --params "$ART/params.json" \
+  --images 4 --seed 7 --json | grep -o '"output_digest":"0x[0-9a-f]*"')
+loaded=$(SNAPEA_LOG=off "$SELFCHECK" run --artifact "$ART/model.snapea" \
+  --images 4 --seed 7 --json | grep -o '"output_digest":"0x[0-9a-f]*"')
+if [ -z "$fresh" ] || [ "$fresh" != "$loaded" ]; then
+  echo "ERROR: artifact run digest ${loaded:-<none>} != fresh run digest ${fresh:-<none>}"
+  exit 1
+fi
+echo "    fresh and artifact runs agree: $fresh"
+
+echo "==> snapea-tool selfcheck --artifact --cases 200 --seed 1 (corruption battery)"
+"$SELFCHECK" selfcheck --artifact --cases 200 --seed 1
+
+echo "==> snapea-tool selfcheck --artifact --inject-bug (planted loader bug must be caught)"
+if out=$("$SELFCHECK" selfcheck --artifact --cases 200 --seed 3 --inject-bug 2>&1); then
+  echo "ERROR: planted loader bug went undetected by the corruption battery"; exit 1
+fi
+echo "$out" | grep -q "replay: snapea-tool selfcheck --artifact --replay 0x" \
+  || { echo "ERROR: battery failure report is missing the replay line"; exit 1; }
+
+# Golden-fixture gate: the committed artifact is byte-frozen (the `artifact`
+# integration test additionally pins its FNV-1a digest and re-serialization);
+# drift here means the format changed without a VERSION bump + regeneration.
+echo "==> golden artifact byte-stability gate (tests/golden/tiny.snapea)"
+golden=$(cksum tests/golden/tiny.snapea)
+want="1473699499 13732 tests/golden/tiny.snapea"
+if [ "$golden" != "$want" ]; then
+  echo "ERROR: golden artifact drifted: got '$golden', want '$want'"
+  echo "       (format changes must bump VERSION and regenerate, see tests/artifact.rs)"
+  exit 1
+fi
+
 echo "==> scripts/bench.sh --smoke --scaling"
 PARALLEL_SMOKE=/tmp/BENCH_parallel.smoke.json
 KERNELS_SMOKE=/tmp/BENCH_kernels.smoke.json
@@ -152,4 +203,4 @@ if "$TOOL" perf-diff "$FIXTURE/perf-deg.json" "$FIXTURE/perf-nondeg.json" > /dev
   echo "ERROR: degraded vs non-degraded comparison was not refused"; exit 1
 fi
 
-echo "OK: build, tests (1, 2, and 4 threads), clippy, selfcheck (1, 2, and 4 threads), bench smoke (scaling curves), kernel bit-identity, trace export, and perf-diff gates all clean."
+echo "OK: build, tests (1, 2, and 4 threads), clippy, selfcheck (1, 2, and 4 threads), artifact round-trip + corruption battery + golden fixture, bench smoke (scaling curves), kernel bit-identity, trace export, and perf-diff gates all clean."

@@ -1,0 +1,214 @@
+//! Compiled-model artifact integration tests.
+//!
+//! Three layers of defence around the `.snapea` format:
+//!
+//! * **Zoo bit-identity** — for every workload in the zoo, executing a
+//!   compiled-then-loaded artifact is bit-identical to `SpecNet`'s
+//!   fresh-reorder path on the same inputs (the `run --artifact` contract);
+//! * **Golden fixture** — `tests/golden/tiny.snapea` is committed; the
+//!   deterministic fixture model must re-serialize to exactly those bytes
+//!   with a frozen digest, so any format drift fails loudly. To regenerate
+//!   after an intentional format change (bump [`VERSION`] first!):
+//!
+//!   ```text
+//!   SNAPEA_REGEN_GOLDEN=1 cargo test --test artifact golden
+//!   ```
+//!
+//!   then update `GOLDEN_DIGEST` with the value the failure prints;
+//! * **Corruption battery** — the oracle's mutation fuzzer over seeded
+//!   random models: every byte-level corruption must be rejected with a
+//!   typed error, and the round trip must hold bit-exactly.
+
+use snapea_suite::core::artifact::{fnv64, ArtifactError, CompiledModel, ENDIAN_TAG, VERSION};
+use snapea_suite::core::params::{KernelParams, LayerParams, NetworkParams};
+use snapea_suite::core::spec_net::SpecNet;
+use snapea_suite::nn::data::SynthShapes;
+use snapea_suite::nn::graph::{Graph, GraphBuilder, Op};
+use snapea_suite::nn::zoo::{Workload, INPUT_SIZE};
+use snapea_suite::oracle::{run_artifact_check, ArtifactCheckOptions};
+use snapea_suite::tensor::im2col::ConvGeom;
+use snapea_suite::tensor::init;
+use snapea_suite::tensor::q16::Q16Format;
+
+/// Frozen FNV-1a-64 digest of `tests/golden/tiny.snapea`.
+const GOLDEN_DIGEST: u64 = 0x5cb0_7012_5125_c17b;
+
+fn golden_path() -> String {
+    format!("{}/tests/golden/tiny.snapea", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The committed fixture's source model: fully deterministic (seeded
+/// generators only), small enough to keep the fixture a few kilobytes.
+fn fixture_model() -> (Graph, NetworkParams) {
+    let mut rng = init::rng(0x601D);
+    let mut b = GraphBuilder::new();
+    let x = b.input();
+    let c1 = b.conv("conv1", x, 3, 4, ConvGeom::square(3, 1, 1), &mut rng);
+    let r1 = b.relu("relu1", c1);
+    let p1 = b.max_pool("pool1", r1, 2, 2);
+    let c2 = b.conv("conv2", p1, 4, 6, ConvGeom::square(3, 1, 0), &mut rng);
+    let r2 = b.relu("relu2", c2);
+    let f = b.flatten("flat", r2);
+    let _ = b.linear("fc", f, 6 * 2 * 2, 5, &mut rng);
+    let g = b.build();
+    let mut p = NetworkParams::new();
+    p.set(1, LayerParams::uniform(4, KernelParams::new(0.1, 4)));
+    p.set(
+        4,
+        LayerParams::Predictive(vec![
+            snapea_suite::core::params::KernelMode::Exact,
+            snapea_suite::core::params::KernelMode::spec(0.25, 6),
+            snapea_suite::core::params::KernelMode::spec(-0.1, 2),
+            snapea_suite::core::params::KernelMode::spec(f32::INFINITY, 3),
+            snapea_suite::core::params::KernelMode::spec(0.0, 8),
+            snapea_suite::core::params::KernelMode::Exact,
+        ]),
+    );
+    (g, p)
+}
+
+fn compile_fixture() -> CompiledModel {
+    let (g, p) = fixture_model();
+    CompiledModel::compile(&g, &p, (3, 8, 8), Q16Format::default())
+}
+
+#[test]
+fn zoo_networks_execute_bit_identically_from_artifacts() {
+    let data = SynthShapes::new(INPUT_SIZE, 10).generate(2, 0xA771FAC7);
+    let batch = SynthShapes::batch(&data);
+    for w in Workload::ALL {
+        let net = w.build(10);
+        // Uniform speculation on every conv (groups clamped to the window).
+        let mut params = NetworkParams::new();
+        for &id in &net.conv_ids() {
+            let Op::Conv(c) = &net.node(id).op else {
+                continue;
+            };
+            params.set(
+                id,
+                LayerParams::uniform(c.c_out(), KernelParams::new(0.05, 4.min(c.window_len()))),
+            );
+        }
+        let compiled = CompiledModel::compile(
+            &net,
+            &params,
+            (3, INPUT_SIZE, INPUT_SIZE),
+            Q16Format::default(),
+        );
+        let loaded = CompiledModel::from_bytes(&compiled.to_bytes())
+            .unwrap_or_else(|e| panic!("{}: artifact rejected: {e}", w.name()));
+        let fresh = SpecNet::new(&net, &params).forward(&batch);
+        let from_artifact = loaded.forward(&batch);
+        assert_eq!(fresh.len(), from_artifact.len(), "{}", w.name());
+        for (i, (a, b)) in fresh.iter().zip(&from_artifact).enumerate() {
+            let identical = a
+                .as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(
+                identical,
+                "{}: activation {i} differs between fresh and artifact-loaded execution",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_artifact_is_byte_stable_with_frozen_digest() {
+    let bytes = compile_fixture().to_bytes();
+    let path = golden_path();
+    if std::env::var_os("SNAPEA_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, &bytes).expect("write golden fixture");
+        panic!(
+            "regenerated {path} ({} bytes, digest {:#018x}); update GOLDEN_DIGEST and re-run \
+             without SNAPEA_REGEN_GOLDEN",
+            bytes.len(),
+            fnv64(&bytes)
+        );
+    }
+    let want = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {path}: {e}; regenerate per the module docs"));
+    assert_eq!(
+        bytes, want,
+        "fixture model no longer serializes to the committed artifact; an artifact \
+         format change must bump VERSION and regenerate the fixture (module docs)"
+    );
+    assert_eq!(
+        fnv64(&want),
+        GOLDEN_DIGEST,
+        "committed fixture digest drifted (got {:#018x})",
+        fnv64(&want)
+    );
+    // The committed bytes load and re-serialize canonically.
+    let loaded = CompiledModel::from_bytes(&want).expect("golden artifact loads");
+    assert_eq!(loaded.to_bytes(), want, "canonical re-serialization");
+}
+
+#[test]
+fn header_errors_carry_their_typed_variants() {
+    let bytes = compile_fixture().to_bytes();
+
+    let mut b = bytes.clone();
+    b[..4].copy_from_slice(b"NOPE");
+    assert!(matches!(
+        CompiledModel::from_bytes(&b),
+        Err(ArtifactError::BadMagic(m)) if &m == b"NOPE"
+    ));
+
+    let mut b = bytes.clone();
+    b[4..8].copy_from_slice(&(VERSION + 1).to_le_bytes());
+    match CompiledModel::from_bytes(&b) {
+        Err(ArtifactError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, VERSION + 1);
+            assert_eq!(supported, VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+
+    let mut b = bytes.clone();
+    b[8..12].copy_from_slice(&ENDIAN_TAG.swap_bytes().to_le_bytes());
+    assert!(matches!(
+        CompiledModel::from_bytes(&b),
+        Err(ArtifactError::BadEndianTag(_))
+    ));
+
+    // Section-count corruption is caught by the header checksum.
+    let mut b = bytes.clone();
+    b[12] ^= 0xFF;
+    match CompiledModel::from_bytes(&b) {
+        Err(
+            e @ ArtifactError::Checksum {
+                region: "header", ..
+            },
+        ) => {
+            assert_eq!(e.kind(), "checksum");
+        }
+        other => panic!("expected header checksum error, got {other:?}"),
+    }
+
+    assert!(matches!(
+        CompiledModel::from_bytes(&bytes[..bytes.len() - 3]),
+        Err(ArtifactError::Truncated { .. })
+    ));
+
+    let mut b = bytes.clone();
+    b.extend_from_slice(&[0, 0]);
+    assert!(matches!(
+        CompiledModel::from_bytes(&b),
+        Err(ArtifactError::TrailingBytes { extra: 2 })
+    ));
+}
+
+#[test]
+fn corruption_battery_over_seeded_models_rejects_everything() {
+    let report = run_artifact_check(60, 0xBA77E21, &ArtifactCheckOptions::default());
+    assert!(report.passed(), "{}", report.render_text());
+    assert_eq!(
+        report.rejections.values().sum::<u64>(),
+        report.mutations,
+        "every mutation must land in a typed-rejection bucket: {:?}",
+        report.rejections
+    );
+}

@@ -116,6 +116,59 @@ fn executor_q16_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn artifact_round_trip_is_bit_identical_across_thread_counts() {
+    // The compiled-artifact contract: an executor fed a loaded artifact
+    // produces byte-for-byte the outputs of one fed the freshly-compiled
+    // model, at any thread count. Seeded random models (geometry ×
+    // speculation parameters × weights) come from the oracle's generator.
+    use snapea_suite::core::artifact::CompiledModel;
+    use snapea_suite::core::params::NetworkParams;
+    use snapea_suite::nn::graph::GraphBuilder;
+    use snapea_suite::oracle::CaseConfig;
+
+    for seed in [0x5EED_0001u64, 0x5EED_0002, 0x5EED_0003] {
+        let cfg = CaseConfig::generate(seed);
+        let (conv, input) = cfg.build();
+        let mut b = GraphBuilder::new();
+        let x = b.input();
+        let _ = b.conv_layer("conv", x, conv);
+        let graph = b.build();
+        let mut params = NetworkParams::new();
+        params.set(1, cfg.params());
+        let compiled = CompiledModel::compile(
+            &graph,
+            &params,
+            (cfg.c_in, cfg.h, cfg.w),
+            q16::Q16Format::default(),
+        );
+        let loaded = CompiledModel::from_bytes(&compiled.to_bytes())
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: valid artifact rejected: {e}"));
+        against_serial(
+            || (compiled.forward(&input), loaded.forward(&input)),
+            |(serial_fresh, serial_loaded), (par_fresh, par_loaded), t| {
+                for (label, serial, parallel) in [
+                    ("fresh", serial_fresh, par_fresh),
+                    ("loaded", serial_loaded, par_loaded),
+                ] {
+                    assert_eq!(serial.len(), parallel.len());
+                    for (a, b) in serial.iter().zip(parallel) {
+                        assert_eq!(
+                            a.as_slice(),
+                            b.as_slice(),
+                            "seed {seed:#x} {label} at {t} threads"
+                        );
+                    }
+                }
+                // And loaded tracks fresh bit-for-bit at this thread count.
+                for (a, b) in par_fresh.iter().zip(par_loaded) {
+                    assert_eq!(a.as_slice(), b.as_slice(), "seed {seed:#x} at {t} threads");
+                }
+            },
+        );
+    }
+}
+
+#[test]
 fn optimizer_profiling_is_bit_identical_across_thread_counts() {
     let (conv, input) = mini_layer();
     against_serial(
