@@ -101,7 +101,7 @@ fn run_with_strategy(
                     quantile,
                 );
                 let pau = Pau::predictive(&r, KernelParams::new(th, groups));
-                KernelExec { reordered: r, pau }
+                KernelExec::new(r, pau)
             })
             .collect();
         let result = execute_conv_stats(conv, x, &LayerConfig::from_kernels(kernels));

@@ -37,6 +37,10 @@
 //! microkernel) and asserts the results are bit-identical. These are the
 //! speedups that hold on a single core, independent of the pool.
 //!
+//! `--kernels-only` runs and writes *only* the kernels report: the scaling
+//! curves, strict gate, and GEMM comparison are skipped, and `--out` is not
+//! written — the quick loop for iterating on the single-core lane engine.
+//!
 //! Usually invoked through `scripts/bench.sh`.
 
 use snapea::exec::{
@@ -47,6 +51,7 @@ use snapea::KernelParams;
 use snapea_nn::ops::Conv2d;
 use snapea_obs::Json;
 use snapea_tensor::im2col::ConvGeom;
+use snapea_tensor::lane::{lane_axpy8, lane_dot, pinned_dot_ref, LANES};
 use snapea_tensor::q16::Q16Format;
 use snapea_tensor::{init, par, Shape2, Shape4, Tensor2, Tensor4};
 use std::time::Instant;
@@ -63,6 +68,7 @@ struct Args {
     smoke: bool,
     scaling: bool,
     strict: bool,
+    kernels_only: bool,
     threads: usize,
     out: String,
     kernels_out: String,
@@ -73,6 +79,7 @@ fn parse_args() -> Args {
         smoke: false,
         scaling: false,
         strict: std::env::var("SNAPEA_BENCH_STRICT").is_ok_and(|v| v == "1"),
+        kernels_only: false,
         threads: par::threads(),
         out: "BENCH_parallel.json".to_string(),
         kernels_out: "BENCH_kernels.json".to_string(),
@@ -83,6 +90,7 @@ fn parse_args() -> Args {
             "--smoke" => args.smoke = true,
             "--scaling" => args.scaling = true,
             "--strict" => args.strict = true,
+            "--kernels-only" => args.kernels_only = true,
             "--threads" => {
                 args.threads = it
                     .next()
@@ -321,6 +329,25 @@ fn t_matmul_scalar(lhs: &Tensor2, rhs: &Tensor2) -> Tensor2 {
     out
 }
 
+/// Signatures of the lane micro-kernels and their scalar references, so the
+/// bench passes can take either side as a parameter.
+type DotFn = dyn Fn(&[f32], &[f32], usize) -> f32;
+type AxpyFn = dyn Fn(&mut [f32], &[f32; LANES], [&[f32]; LANES]);
+
+/// Frozen baseline for [`lane_axpy8`]: eight separate rank-1 row updates —
+/// the pre-microkernel GEMM structure, which streams `out` through the cache
+/// once per row instead of once per block. Every output element still
+/// receives its eight products in ascending `q` order, so the result is
+/// bit-identical to the fused kernel and the bench isolates the memory
+/// traffic the eight-row fusion removes.
+fn axpy8_rowwise(out: &mut [f32], a: &[f32; LANES], b: [&[f32]; LANES]) {
+    for (aq, bq) in a.iter().zip(b) {
+        for (oj, &bv) in out.iter_mut().zip(bq.iter()) {
+            *oj += aq * bv;
+        }
+    }
+}
+
 /// Deterministic LHS with `zero_frac` of its entries exactly zero —
 /// post-ReLU-style sparsity for the GEMM branch comparison.
 fn sparse_lhs(shape: Shape2, zero_frac: f64, seed: u64) -> Tensor2 {
@@ -417,139 +444,152 @@ fn main() {
     let detail = format!("n{batch} c{c_in}->{c_out} {hw}x{hw} k3");
     let serve_detail = format!("n1 c{c_in}->{c_out} {hw}x{hw} k3");
     let fmt = Q16Format::default();
+    let git_rev = snapea_obs::run::git_rev(std::path::Path::new("."))
+        .map(Json::from)
+        .unwrap_or(Json::Null);
 
-    let benches = vec![
-        bench_scaling(
-            "conv_forward",
-            &detail,
-            reps,
-            &grid,
-            || conv.forward(&input),
-            |a: &Tensor4, b: &Tensor4| a.as_slice() == b.as_slice(),
-        ),
-        bench_scaling(
-            "conv_forward_serve",
-            &serve_detail,
-            reps,
-            &grid,
-            || conv.forward(&serve_input),
-            |a: &Tensor4, b: &Tensor4| a.as_slice() == b.as_slice(),
-        ),
-        bench_scaling(
-            "conv_backward",
-            &detail,
-            reps,
-            &grid,
-            || {
-                let go = Tensor4::full(conv.out_shape(input.shape()), 0.5);
-                conv.backward(&input, &go)
-            },
-            |a, b| {
-                a.0.as_slice() == b.0.as_slice() && a.1.as_slice() == b.1.as_slice() && a.2 == b.2
-            },
-        ),
-        bench_scaling(
-            "executor_exact",
-            &detail,
-            reps,
-            &grid,
-            || execute_conv(&conv, &input, &exact_cfg),
-            exec_results_identical,
-        ),
-        bench_scaling(
-            "executor_exact_serve",
-            &serve_detail,
-            reps,
-            &grid,
-            || execute_conv(&conv, &serve_input, &exact_cfg),
-            exec_results_identical,
-        ),
-        bench_scaling(
-            "executor_predictive",
-            &detail,
-            reps,
-            &grid,
-            || execute_conv_stats(&conv, &input, &pred_cfg),
-            exec_results_identical,
-        ),
-        bench_scaling(
-            "executor_q16",
-            &detail,
-            reps,
-            &grid,
-            || execute_conv_q16(&conv, &input, &exact_cfg, fmt),
-            exec_results_identical,
-        ),
-        bench_scaling(
-            "optimizer_profiling",
-            &format!("n{prof_images} c{c_in}->{c_out} {hw}x{hw} k3"),
-            reps,
-            &grid,
-            || profile_layer_kernels(&conv, &prof_input, &[1, 2, 4, 8], &[0.25, 0.5, 0.9], 1.0),
-            |a, b| a == b,
-        ),
-    ];
-
-    // The ≥3x-at-4-threads gate (check.sh wires it behind
-    // SNAPEA_BENCH_STRICT=1): meaningful only on a machine with real
-    // parallelism and only when the t4 point was recorded.
-    if args.strict {
-        if degraded {
-            eprintln!(
-                "perfbench: --strict requested but available_parallelism is 1; \
-                 the >=3x scaling gate is skipped (degraded machine)"
-            );
-        } else {
-            for b in &benches {
-                let name = b.get("name").and_then(Json::as_str).unwrap_or("");
-                if !matches!(
-                    name,
-                    "conv_forward" | "executor_exact" | "executor_predictive"
-                ) {
-                    continue;
-                }
-                let Some(speedup) = curve_speedup(b, 4) else {
-                    eprintln!("perfbench: --strict: {name} has no t4 point (run --scaling)");
-                    std::process::exit(1);
-                };
-                if speedup < 3.0 {
-                    eprintln!(
-                        "perfbench: --strict: {name} reached only {speedup:.2}x at 4 threads \
-                         (gate: >=3x)"
-                    );
-                    std::process::exit(1);
-                }
-            }
-            println!("strict gate: conv_forward + executor >=3x at 4 threads: ok");
-        }
-    }
-
-    // GEMM branch comparison (serial, to isolate the per-element zero test
-    // from scheduling effects): dense LHS and a half-zero LHS.
-    par::set_threads(1);
-    let (gm, gk, gn) = if args.smoke {
-        (32, 64, 128)
+    let parallel_sections = if args.kernels_only {
+        println!("kernels-only: skipping the scaling curves, strict gate, and GEMM comparison");
+        None
     } else {
-        (128, 288, 1024)
-    };
-    let rhs = sparse_lhs(Shape2::new(gk, gn), 0.0, 3);
-    let mut gemm_rows: Vec<Json> = Vec::new();
-    for (label, zero_frac) in [("dense_lhs", 0.0), ("half_zero_lhs", 0.5)] {
-        let lhs = sparse_lhs(Shape2::new(gm, gk), zero_frac, 5);
-        let (dense_ms, dense_out) = time_median(kernel_reps, || lhs.matmul(&rhs).unwrap());
-        let (skip_ms, skip_out) = time_median(kernel_reps, || lhs.matmul_sparse_lhs(&rhs).unwrap());
-        assert_eq!(dense_out, skip_out, "gemm variants disagree ({label})");
-        println!(
+        let benches = vec![
+            bench_scaling(
+                "conv_forward",
+                &detail,
+                reps,
+                &grid,
+                || conv.forward(&input),
+                |a: &Tensor4, b: &Tensor4| a.as_slice() == b.as_slice(),
+            ),
+            bench_scaling(
+                "conv_forward_serve",
+                &serve_detail,
+                reps,
+                &grid,
+                || conv.forward(&serve_input),
+                |a: &Tensor4, b: &Tensor4| a.as_slice() == b.as_slice(),
+            ),
+            bench_scaling(
+                "conv_backward",
+                &detail,
+                reps,
+                &grid,
+                || {
+                    let go = Tensor4::full(conv.out_shape(input.shape()), 0.5);
+                    conv.backward(&input, &go)
+                },
+                |a, b| {
+                    a.0.as_slice() == b.0.as_slice()
+                        && a.1.as_slice() == b.1.as_slice()
+                        && a.2 == b.2
+                },
+            ),
+            bench_scaling(
+                "executor_exact",
+                &detail,
+                reps,
+                &grid,
+                || execute_conv(&conv, &input, &exact_cfg),
+                exec_results_identical,
+            ),
+            bench_scaling(
+                "executor_exact_serve",
+                &serve_detail,
+                reps,
+                &grid,
+                || execute_conv(&conv, &serve_input, &exact_cfg),
+                exec_results_identical,
+            ),
+            bench_scaling(
+                "executor_predictive",
+                &detail,
+                reps,
+                &grid,
+                || execute_conv_stats(&conv, &input, &pred_cfg),
+                exec_results_identical,
+            ),
+            bench_scaling(
+                "executor_q16",
+                &detail,
+                reps,
+                &grid,
+                || execute_conv_q16(&conv, &input, &exact_cfg, fmt),
+                exec_results_identical,
+            ),
+            bench_scaling(
+                "optimizer_profiling",
+                &format!("n{prof_images} c{c_in}->{c_out} {hw}x{hw} k3"),
+                reps,
+                &grid,
+                || profile_layer_kernels(&conv, &prof_input, &[1, 2, 4, 8], &[0.25, 0.5, 0.9], 1.0),
+                |a, b| a == b,
+            ),
+        ];
+
+        // The ≥3x-at-4-threads gate (check.sh wires it behind
+        // SNAPEA_BENCH_STRICT=1): meaningful only on a machine with real
+        // parallelism and only when the t4 point was recorded.
+        if args.strict {
+            if degraded {
+                eprintln!(
+                    "perfbench: --strict requested but available_parallelism is 1; \
+                 the >=3x scaling gate is skipped (degraded machine)"
+                );
+            } else {
+                for b in &benches {
+                    let name = b.get("name").and_then(Json::as_str).unwrap_or("");
+                    if !matches!(
+                        name,
+                        "conv_forward" | "executor_exact" | "executor_predictive"
+                    ) {
+                        continue;
+                    }
+                    let Some(speedup) = curve_speedup(b, 4) else {
+                        eprintln!("perfbench: --strict: {name} has no t4 point (run --scaling)");
+                        std::process::exit(1);
+                    };
+                    if speedup < 3.0 {
+                        eprintln!(
+                            "perfbench: --strict: {name} reached only {speedup:.2}x at 4 threads \
+                         (gate: >=3x)"
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                println!("strict gate: conv_forward + executor >=3x at 4 threads: ok");
+            }
+        }
+
+        // GEMM branch comparison (serial, to isolate the per-element zero test
+        // from scheduling effects): dense LHS and a half-zero LHS.
+        par::set_threads(1);
+        let (gm, gk, gn) = if args.smoke {
+            (32, 64, 128)
+        } else {
+            (128, 288, 1024)
+        };
+        let rhs = sparse_lhs(Shape2::new(gk, gn), 0.0, 3);
+        let mut gemm_rows: Vec<Json> = Vec::new();
+        for (label, zero_frac) in [("dense_lhs", 0.0), ("half_zero_lhs", 0.5)] {
+            let lhs = sparse_lhs(Shape2::new(gm, gk), zero_frac, 5);
+            let (dense_ms, dense_out) = time_median(kernel_reps, || lhs.matmul(&rhs).unwrap());
+            let (skip_ms, skip_out) =
+                time_median(kernel_reps, || lhs.matmul_sparse_lhs(&rhs).unwrap());
+            assert_eq!(dense_out, skip_out, "gemm variants disagree ({label})");
+            println!(
             "gemm {label:<18} {gm}x{gk}x{gn}  dense {dense_ms:8.2} ms   zero-skip {skip_ms:8.2} ms"
         );
-        gemm_rows.push(Json::Obj(vec![
-            ("lhs".to_string(), label.into()),
-            ("zero_frac".to_string(), zero_frac.into()),
-            ("shape".to_string(), format!("{gm}x{gk}x{gn}").into()),
-            ("matmul_ms".to_string(), dense_ms.into()),
-            ("matmul_sparse_lhs_ms".to_string(), skip_ms.into()),
-        ]));
-    }
+            gemm_rows.push(Json::Obj(vec![
+                ("lhs".to_string(), label.into()),
+                ("zero_frac".to_string(), zero_frac.into()),
+                ("shape".to_string(), format!("{gm}x{gk}x{gn}").into()),
+                ("matmul_ms".to_string(), dense_ms.into()),
+                ("matmul_sparse_lhs_ms".to_string(), skip_ms.into()),
+            ]));
+        }
+        Some((benches, gemm_rows))
+    };
+
     // --- Kernels section: frozen pre-plan baselines vs the single-core
     // kernel engine, all at 1 thread, bit-identity asserted per entry. ---
     println!("kernels (1 thread, frozen scalar baseline vs current):");
@@ -562,7 +602,54 @@ fn main() {
     let mm_rhs = sparse_lhs(Shape2::new(gk2, gn2), 0.0, 17);
     let tm_lhs = sparse_lhs(Shape2::new(gk2, gm2), 0.0, 19);
     let prof_detail = format!("n{prof_images} c{c_in}->{c_out} {hw}x{hw} k3");
+    // Lane micro-kernels: the eight-wide primitives against their scalar
+    // pinned-order references (same reduction tree, so identity is by
+    // construction — the entries measure throughput; `scripts/asm_check.sh`
+    // separately proves the vector bodies are actually vectorized).
+    let (ld_win, ld_calls) = if args.smoke { (1024, 64) } else { (8192, 512) };
+    let ld_n = ld_win * 4;
+    let ld_vals = sparse_lhs(Shape2::new(1, ld_n), 0.0, 29);
+    let ld_wts = sparse_lhs(Shape2::new(1, ld_n), 0.0, 31);
+    let lane_dot_pass = |dot: &DotFn| -> Vec<f32> {
+        let (v, w) = (ld_vals.as_slice(), ld_wts.as_slice());
+        (0..ld_calls)
+            .map(|c| {
+                let off = (c * 64) % (ld_n - ld_win);
+                dot(&v[off..off + ld_win], &w[off..off + ld_win], ld_win)
+            })
+            .collect()
+    };
+    let (ax_n, ax_calls) = if args.smoke { (4096, 32) } else { (32768, 128) };
+    let ax_b = sparse_lhs(Shape2::new(LANES, ax_n), 0.0, 37);
+    let ax_a: [f32; LANES] = [0.11, -0.07, 0.05, 0.21, -0.13, 0.02, 0.17, -0.19];
+    let ax_rows: [&[f32]; LANES] =
+        std::array::from_fn(|q| &ax_b.as_slice()[q * ax_n..(q + 1) * ax_n]);
+    let lane_axpy_pass = |axpy: &AxpyFn| -> Vec<f32> {
+        let mut out = vec![0.0f32; ax_n];
+        for _ in 0..ax_calls {
+            axpy(&mut out, &ax_a, ax_rows);
+        }
+        out
+    };
+    let f32_bits_eq =
+        |a: &Vec<f32>, b: &Vec<f32>| a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
     let kernels = vec![
+        bench_kernel(
+            "lane_dot",
+            &format!("{ld_calls} windows of {ld_win}"),
+            kernel_reps,
+            || lane_dot_pass(&pinned_dot_ref),
+            || lane_dot_pass(&lane_dot),
+            f32_bits_eq,
+        ),
+        bench_kernel(
+            "lane_axpy8",
+            &format!("8x{ax_n}, {ax_calls} passes"),
+            kernel_reps,
+            || lane_axpy_pass(&axpy8_rowwise),
+            || lane_axpy_pass(&lane_axpy8),
+            f32_bits_eq,
+        ),
         bench_kernel(
             "executor_exact",
             &detail,
@@ -622,27 +709,26 @@ fn main() {
     ];
     par::set_threads(args.threads);
 
-    let thread_grid = Json::Arr(grid.iter().map(|&t| Json::from(t as u64)).collect());
-    let git_rev = snapea_obs::run::git_rev(std::path::Path::new("."))
-        .map(Json::from)
-        .unwrap_or(Json::Null);
-    let report = Json::Obj(vec![
-        ("generated_by".to_string(), "perfbench".into()),
-        ("schema".to_string(), SCHEMA.into()),
-        ("git_rev".to_string(), git_rev.clone()),
-        ("smoke".to_string(), args.smoke.into()),
-        ("reps".to_string(), reps.into()),
-        ("thread_grid".to_string(), thread_grid),
-        ("available_parallelism".to_string(), avail.into()),
-        ("degraded".to_string(), degraded.into()),
-        ("benches".to_string(), Json::Arr(benches)),
-        ("gemm".to_string(), Json::Arr(gemm_rows)),
-    ]);
-    if let Err(e) = std::fs::write(&args.out, format!("{report}\n")) {
-        eprintln!("perfbench: cannot write {}: {e}", args.out);
-        std::process::exit(1);
+    if let Some((benches, gemm_rows)) = parallel_sections {
+        let thread_grid = Json::Arr(grid.iter().map(|&t| Json::from(t as u64)).collect());
+        let report = Json::Obj(vec![
+            ("generated_by".to_string(), "perfbench".into()),
+            ("schema".to_string(), SCHEMA.into()),
+            ("git_rev".to_string(), git_rev.clone()),
+            ("smoke".to_string(), args.smoke.into()),
+            ("reps".to_string(), reps.into()),
+            ("thread_grid".to_string(), thread_grid),
+            ("available_parallelism".to_string(), avail.into()),
+            ("degraded".to_string(), degraded.into()),
+            ("benches".to_string(), Json::Arr(benches)),
+            ("gemm".to_string(), Json::Arr(gemm_rows)),
+        ]);
+        if let Err(e) = std::fs::write(&args.out, format!("{report}\n")) {
+            eprintln!("perfbench: cannot write {}: {e}", args.out);
+            std::process::exit(1);
+        }
+        println!("wrote {}", args.out);
     }
-    println!("wrote {}", args.out);
 
     let kernels_report = Json::Obj(vec![
         ("generated_by".to_string(), "perfbench --kernels".into()),

@@ -850,6 +850,7 @@ pub fn artifact(
                 "graph": sizes.graph,
                 "params": sizes.params,
                 "layers": sizes.layers,
+                "packed": sizes.packed,
             },
             "predictive_layers": compiled.layers().len(),
             "predictive_kernels": kernels,

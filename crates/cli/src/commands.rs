@@ -434,6 +434,7 @@ pub fn compile(args: &Args) -> CmdResult {
                     ("graph", Json::from(sizes.graph as u64)),
                     ("params", Json::from(sizes.params as u64)),
                     ("layers", Json::from(sizes.layers as u64)),
+                    ("packed", Json::from(sizes.packed as u64)),
                 ]),
             ),
             ("layers", Json::from(compiled.layers().len() as u64)),
@@ -460,8 +461,8 @@ pub fn compile(args: &Args) -> CmdResult {
     )?;
     writeln!(
         out,
-        "sections: header {} meta {} graph {} params {} layers {}",
-        sizes.header, sizes.meta, sizes.graph, sizes.params, sizes.layers
+        "sections: header {} meta {} graph {} params {} layers {} packed {}",
+        sizes.header, sizes.meta, sizes.graph, sizes.params, sizes.layers, sizes.packed
     )?;
     Ok(out)
 }

@@ -11,11 +11,11 @@
 //! an executor fed a loaded artifact produces byte-for-byte the outputs of
 //! one fed the freshly-optimized model, at any thread count.
 //!
-//! # On-disk format (version 1)
+//! # On-disk format (version 2)
 //!
 //! All multi-byte values are **little-endian** regardless of host; floats
 //! are stored as their IEEE-754 bit patterns (exact round-trip, including
-//! infinities). The file is a 24-byte header followed by exactly four
+//! infinities). The file is a 24-byte header followed by exactly five
 //! sections in fixed order:
 //!
 //! ```text
@@ -31,6 +31,11 @@
 //! | 2   | GRAPH   | full network: nodes with ops, weights, topology |
 //! | 3   | PARAMS  | [`NetworkParams`] — per-layer `(Th, N)` assignments |
 //! | 4   | LAYERS  | per predictive layer: reordered kernels, PAU fields, pre-quantized q16 weights, resolved window plan |
+//! | 5   | PACKED  | per predictive layer: lane-major packed weights per kernel (walk order, `+0.0`-padded to whole lane blocks) |
+//!
+//! Version 2 added the PACKED section — the eight-wide lane layout the SIMD
+//! kernels load from (DESIGN.md §11), built at compile time so run time
+//! never re-packs.
 //!
 //! Every byte of the file is covered by a checksum, so any corruption —
 //! bit flip, truncation, region swap — yields a typed [`ArtifactError`],
@@ -39,9 +44,11 @@
 //! buffers must be permutations, reordered weights must match the graph's
 //! originals through the permutation, stored PAU fields must agree with the
 //! stored `(Th, N)` parameters, q16 weights must equal the quantization of
-//! the f32 weights, and plan tables must stay within the layer's activation
-//! bounds. Format changes require bumping [`VERSION`]; old readers reject
-//! newer files with [`ArtifactError::UnsupportedVersion`].
+//! the f32 weights, packed weights must be bitwise the walk-order weights
+//! padded with `+0.0` to whole lane blocks, and plan tables must stay
+//! within the layer's activation bounds. Format changes require bumping
+//! [`VERSION`]; old readers reject newer files with
+//! [`ArtifactError::UnsupportedVersion`].
 
 use crate::exec::{self, GatherTable, KernelExec, LayerConfig, WindowPlan};
 use crate::params::{KernelMode, LayerParams, NetworkParams};
@@ -58,7 +65,7 @@ use std::sync::Arc;
 /// File magic: the first four bytes of every `.snapea` artifact.
 pub const MAGIC: [u8; 4] = *b"SNPA";
 /// Current format version. Bump on any layout change.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
 /// Endianness canary: written little-endian; a reader on a platform (or a
 /// codepath) that does not decode little-endian sees a scrambled value.
 pub const ENDIAN_TAG: u32 = 0x1A2B_3C4D;
@@ -67,7 +74,8 @@ const SECTION_META: u32 = 1;
 const SECTION_GRAPH: u32 = 2;
 const SECTION_PARAMS: u32 = 3;
 const SECTION_LAYERS: u32 = 4;
-const SECTION_COUNT: u32 = 4;
+const SECTION_PACKED: u32 = 5;
+const SECTION_COUNT: u32 = 5;
 
 /// FNV-1a 64-bit — the checksum and digest function of the artifact format
 /// (dependency-free, deterministic, byte-order independent).
@@ -243,12 +251,14 @@ pub struct SectionSizes {
     pub params: usize,
     /// LAYERS section, including framing.
     pub layers: usize,
+    /// PACKED section, including framing.
+    pub packed: usize,
 }
 
 impl SectionSizes {
     /// Total artifact size in bytes.
     pub fn total(&self) -> usize {
-        self.header + self.meta + self.graph + self.params + self.layers
+        self.header + self.meta + self.graph + self.params + self.layers + self.packed
     }
 }
 
@@ -490,9 +500,11 @@ impl CompiledModel {
         let graph = encode_graph(&self.graph);
         let params = encode_params(&self.params);
         let layers = self.encode_layers();
+        let packed = self.encode_packed();
 
-        let mut out =
-            Vec::with_capacity(64 + meta.len() + graph.len() + params.len() + layers.len());
+        let mut out = Vec::with_capacity(
+            64 + meta.len() + graph.len() + params.len() + layers.len() + packed.len(),
+        );
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
         out.extend_from_slice(&ENDIAN_TAG.to_le_bytes());
@@ -507,11 +519,13 @@ impl CompiledModel {
             graph: 0,
             params: 0,
             layers: 0,
+            packed: 0,
         };
         sizes.meta = append_section(&mut out, SECTION_META, &meta);
         sizes.graph = append_section(&mut out, SECTION_GRAPH, &graph);
         sizes.params = append_section(&mut out, SECTION_PARAMS, &params);
         sizes.layers = append_section(&mut out, SECTION_LAYERS, &layers);
+        sizes.packed = append_section(&mut out, SECTION_PACKED, &packed);
         (out, sizes)
     }
 
@@ -573,6 +587,7 @@ impl CompiledModel {
         let params_bytes = read_section(&mut r, SECTION_PARAMS, "PARAMS", true)?;
         let layers_bytes =
             read_section(&mut r, SECTION_LAYERS, "LAYERS", !opts.skip_layers_checksum)?;
+        let packed_bytes = read_section(&mut r, SECTION_PACKED, "PACKED", true)?;
         if r.remaining() > 0 {
             return Err(ArtifactError::TrailingBytes {
                 extra: r.remaining(),
@@ -583,6 +598,7 @@ impl CompiledModel {
         let graph = decode_graph(&graph_bytes)?;
         let params = decode_params(&params_bytes, &graph)?;
         let layers = decode_layers(&layers_bytes, &graph, &params, fmt)?;
+        validate_packed(&packed_bytes, &layers)?;
         snapea_obs::event!(
             "artifact/loaded",
             bytes = bytes.len() as u64,
@@ -649,6 +665,88 @@ impl CompiledModel {
         }
         w.done()
     }
+
+    /// PACKED section: each kernel's lane-major packed weights (walk-order
+    /// values `+0.0`-padded to whole lane blocks). Fully derivable from
+    /// LAYERS — stored so run time maps the layout straight off disk, and
+    /// cross-validated on load so a file cannot smuggle in a packed copy
+    /// that disagrees with the weights the scalar paths use.
+    fn encode_packed(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.usize32(self.layers.len());
+        for l in &self.layers {
+            w.usize32(l.node);
+            w.usize32(l.kernels.len());
+            for k in &l.kernels {
+                w.usize32(k.packed().len());
+                for &v in k.packed() {
+                    w.f32(v);
+                }
+            }
+        }
+        w.done()
+    }
+}
+
+/// Validates the PACKED section against the already-decoded layers: per
+/// kernel, the stored values must be bitwise the walk-order weights for the
+/// unpadded prefix and exactly `+0.0` (all-zero bits) for the lane-padding
+/// tail — i.e. identical to what [`snapea_tensor::lane::pack_weights`]
+/// produces, which is what [`KernelExec::new`] already rebuilt.
+fn validate_packed(bytes: &[u8], layers: &[CompiledLayer]) -> Result<(), ArtifactError> {
+    const R: &str = "PACKED";
+    let invalid = |detail: String| ArtifactError::Invalid { region: R, detail };
+    let mut r = Reader::new(bytes, R);
+    let count = r.len32()?;
+    if count != layers.len() {
+        return Err(invalid(format!(
+            "{count} packed layer(s) but LAYERS holds {}",
+            layers.len()
+        )));
+    }
+    for l in layers {
+        let node = r.len32()?;
+        if node != l.node {
+            return Err(invalid(format!(
+                "packed layer order: found node {node}, expected {}",
+                l.node
+            )));
+        }
+        let n_kernels = r.len32()?;
+        if n_kernels != l.kernels.len() {
+            return Err(invalid(format!(
+                "node {node}: {n_kernels} packed kernel(s), LAYERS holds {}",
+                l.kernels.len()
+            )));
+        }
+        for (k, kexec) in l.kernels.iter().enumerate() {
+            let len = r.len32()?;
+            let expect = kexec.packed();
+            if len != expect.len() {
+                return Err(invalid(format!(
+                    "node {node} kernel {k}: packed length {len}, expected {} \
+                     (weights padded to whole lane blocks)",
+                    expect.len()
+                )));
+            }
+            let stored = r.f32s(len)?;
+            let unpadded = kexec.reordered.len();
+            for (p, (&s, &e)) in stored.iter().zip(expect).enumerate() {
+                if s.to_bits() != e.to_bits() {
+                    let what = if p < unpadded {
+                        "disagrees with the walk-order weight"
+                    } else {
+                        "lane padding is not +0.0"
+                    };
+                    return Err(invalid(format!(
+                        "node {node} kernel {k} position {p}: {what}"
+                    )));
+                }
+            }
+        }
+    }
+    r.finish()?;
+    Ok(())
 }
 
 /// Appends one framed section (tag, length, payload, checksum); returns the
@@ -1129,7 +1227,7 @@ fn decode_layers(
                 )));
             }
             let pau = Pau::from_parts(threshold, spec_len, neg_start);
-            kernels.push(KernelExec { reordered, pau });
+            kernels.push(KernelExec::new(reordered, pau));
             q16.push(stored_q);
         }
         // Plan tables, bounds-checked against the layer's activation size.

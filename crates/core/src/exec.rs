@@ -12,13 +12,38 @@ use snapea_tensor::im2col::ConvGeom;
 use snapea_tensor::{Shape4, Tensor4};
 
 /// Per-kernel execution state: the reordered weights (weight buffer + index
-/// buffer) and the PAU configuration.
+/// buffer), the PAU configuration, and the lane-major packed weight copy
+/// the SIMD kernels load from.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelExec {
     /// The reordered kernel (weight values + index buffer).
     pub reordered: ReorderedKernel,
     /// The lane's PAU configuration for this kernel.
     pub pau: Pau,
+    /// Walk-order weights padded to whole eight-wide lane blocks
+    /// ([`snapea_tensor::lane::pack_weights`]) — built once per kernel at
+    /// configuration (or artifact-compile) time, never per layer call. The
+    /// `.snapea` artifact carries and validates this layout.
+    packed: Vec<f32>,
+}
+
+impl KernelExec {
+    /// Builds the execution state for a reordered kernel, deriving the
+    /// packed lane layout from its walk-order weights.
+    pub fn new(reordered: ReorderedKernel, pau: Pau) -> Self {
+        let packed = snapea_tensor::lane::pack_weights(reordered.weights());
+        Self {
+            reordered,
+            pau,
+            packed,
+        }
+    }
+
+    /// The lane-major packed weights (walk-order values padded with `+0.0`
+    /// to a multiple of [`snapea_tensor::lane::LANES`]).
+    pub fn packed(&self) -> &[f32] {
+        &self.packed
+    }
 }
 
 /// Execution configuration of one convolution layer: one [`KernelExec`] per
@@ -35,7 +60,7 @@ impl LayerConfig {
             .map(|k| {
                 let r = sign_reorder(conv.weight().item(k));
                 let pau = Pau::exact(&r);
-                KernelExec { reordered: r, pau }
+                KernelExec::new(r, pau)
             })
             .collect();
         Self { kernels }
@@ -58,12 +83,12 @@ impl LayerConfig {
                 KernelMode::Exact => {
                     let r = sign_reorder(conv.weight().item(k));
                     let pau = Pau::exact(&r);
-                    KernelExec { reordered: r, pau }
+                    KernelExec::new(r, pau)
                 }
                 KernelMode::Speculate(p) => {
                     let r = predictive_reorder(conv.weight().item(k), p.groups);
                     let pau = Pau::predictive(&r, *p);
-                    KernelExec { reordered: r, pau }
+                    KernelExec::new(r, pau)
                 }
             })
             .collect();
@@ -763,17 +788,27 @@ fn walk_window_from(
     }
 }
 
-/// Runs a full window walk (prefix + probed phases) through `mac`.
+/// Runs a full window walk (lane prefix + sequential remainder + probed
+/// phases) through `mac`, in the pinned lane order (`snapea_tensor::lane`
+/// module docs): `lane_prefix(m8)` must return the lane-tree sum of
+/// positions `0..m8` (called only when `m8 > 0`, so an empty lane region
+/// leaves the bias bit-untouched), and positions `m8..` run sequentially
+/// through `mac`.
 #[inline(always)]
 fn walk_window(
     pau: &Pau,
     len: usize,
     bias: f32,
+    lane_prefix: impl FnOnce(usize) -> f32,
     mut mac: impl FnMut(usize, f32) -> f32,
 ) -> WindowResult {
     let stop1 = unconditional_prefix_len(pau, len);
+    let m8 = snapea_tensor::lane::lane_prefix_len(stop1);
     let mut acc = bias;
-    for p in 0..stop1 {
+    if m8 > 0 {
+        acc = bias + lane_prefix(m8);
+    }
+    for p in m8..stop1 {
         acc = mac(p, acc);
     }
     walk_window_from(pau, len, acc, stop1, mac)
@@ -788,14 +823,20 @@ fn walk_window(
 pub fn run_window(kernel: &KernelExec, taps: &[i32], item: &[f32], bias: f32) -> WindowResult {
     let weights = kernel.reordered.weights();
     let order = kernel.reordered.order();
-    walk_window(&kernel.pau, weights.len(), bias, |p, acc| {
-        let off = taps[order[p] as usize];
-        if off >= 0 {
-            acc + item[off as usize] * weights[p]
-        } else {
-            acc
-        }
-    })
+    walk_window(
+        &kernel.pau,
+        weights.len(),
+        bias,
+        |m8| snapea_tensor::lane::lane_dot_gather(kernel.packed(), order, taps, item, m8),
+        |p, acc| {
+            let off = taps[order[p] as usize];
+            if off >= 0 {
+                acc + item[off as usize] * weights[p]
+            } else {
+                acc
+            }
+        },
+    )
 }
 
 /// [`run_window`] over an interior window of a [`WindowPlan`]: `resolved`
@@ -811,19 +852,31 @@ pub fn run_window_resolved(
     bias: f32,
 ) -> WindowResult {
     let weights = kernel.reordered.weights();
-    walk_window(&kernel.pau, weights.len(), bias, |p, acc| {
-        acc + item[(base + resolved[p]) as usize] * weights[p]
-    })
+    walk_window(
+        &kernel.pau,
+        weights.len(),
+        bias,
+        |m8| snapea_tensor::lane::lane_dot_resolved(kernel.packed(), resolved, base, item, m8),
+        |p, acc| acc + item[(base + resolved[p]) as usize] * weights[p],
+    )
 }
 
 /// Completes a window's dot product regardless of termination (used for
-/// prediction-quality accounting).
+/// prediction-quality accounting). Accumulates in the same pinned lane
+/// order as the walk — lane prefix over `m8` (derived from the *walk's*
+/// probe-free prefix, so a never-terminating walk produces these exact
+/// bits), then sequential to the end.
 // lint:allow(P2) p < weights.len(); order/taps sized to window_len and off >= 0 checked before use
 fn full_window_value(kernel: &KernelExec, taps: &[i32], item: &[f32], bias: f32) -> f32 {
     let weights = kernel.reordered.weights();
     let order = kernel.reordered.order();
+    let len = weights.len();
+    let m8 = snapea_tensor::lane::lane_prefix_len(unconditional_prefix_len(&kernel.pau, len));
     let mut acc = bias;
-    for p in 0..weights.len() {
+    if m8 > 0 {
+        acc = bias + snapea_tensor::lane::lane_dot_gather(kernel.packed(), order, taps, item, m8);
+    }
+    for p in m8..len {
         let off = taps[order[p] as usize];
         if off >= 0 {
             acc += item[off as usize] * weights[p];
@@ -836,15 +889,22 @@ fn full_window_value(kernel: &KernelExec, taps: &[i32], item: &[f32], bias: f32)
 #[inline]
 // lint:allow(P2) p < weights.len() = resolved.len(); base+delta proven in-bounds by WindowPlan::build
 fn full_window_value_resolved(
-    weights: &[f32],
+    kernel: &KernelExec,
     resolved: &[i32],
     base: i32,
     item: &[f32],
     bias: f32,
 ) -> f32 {
+    let weights = kernel.reordered.weights();
+    let len = weights.len();
+    let m8 = snapea_tensor::lane::lane_prefix_len(unconditional_prefix_len(&kernel.pau, len));
     let mut acc = bias;
-    for (p, &w) in weights.iter().enumerate() {
-        acc += item[(base + resolved[p]) as usize] * w;
+    if m8 > 0 {
+        acc = bias
+            + snapea_tensor::lane::lane_dot_resolved(kernel.packed(), resolved, base, item, m8);
+    }
+    for p in m8..len {
+        acc += item[(base + resolved[p]) as usize] * weights[p];
     }
     acc
 }
@@ -854,42 +914,103 @@ fn full_window_value_resolved(
 /// that bounds a single window's strictly-ordered walk.
 const BATCH: usize = 8;
 
-/// Runs the unconditional prefix (positions `0..stop1`, where no PAU probe
-/// can fire — [`unconditional_prefix_len`]) for [`BATCH`] interior windows
-/// at once: each position loads its resolved tap and weight once and feeds
-/// all eight accumulator chains. Each lane's own accumulation order is
-/// unchanged, so per-lane results stay bit-identical to the scalar walk.
+/// How many windows took the eight-wide batched interior path (`lane`)
+/// versus the scalar gather/partial-drain path (`scalar`) — surfaced as
+/// the `exec/lane_windows` / `exec/scalar_windows` counters and on the
+/// `exec/layer` event.
+#[derive(Debug, Default, Clone, Copy)]
+struct LaneCounts {
+    lane: u64,
+    scalar: u64,
+}
+
+impl LaneCounts {
+    fn merge(&mut self, o: &LaneCounts) {
+        self.lane += o.lane;
+        self.scalar += o.scalar;
+    }
+}
+
+/// Accumulates positions `m8..hi` for [`BATCH`] interior windows at once:
+/// each position loads its resolved tap and weight once and feeds all
+/// eight accumulator chains. Each window's own accumulation order is
+/// unchanged (ascending `p`), so per-window results stay bit-identical to
+/// the scalar walk's sequential remainder.
 #[inline]
-// lint:allow(P2) p < stop1 <= weights.len() = resolved.len(); interior bases keep base+delta in bounds
-fn prefix_batch(
+// lint:allow(P2) p < hi <= weights.len() = resolved.len(); interior bases keep base+delta in bounds
+fn batch_span(
     weights: &[f32],
     resolved: &[i32],
     item: &[f32],
     bases: &[i32; BATCH],
-    bias: f32,
-    stop1: usize,
-) -> [f32; BATCH] {
-    let mut acc = [bias; BATCH];
-    for p in 0..stop1 {
+    acc: &mut [f32; BATCH],
+    m8: usize,
+    hi: usize,
+) {
+    for p in m8..hi {
         let d = resolved[p];
         let w = weights[p];
         for (a, &b) in acc.iter_mut().zip(bases.iter()) {
             *a += item[(b + d) as usize] * w;
         }
     }
-    acc
 }
 
-/// Full dot products of [`BATCH`] interior windows (stats accounting).
+/// Runs the unconditional prefix (positions `0..stop1`, where no PAU probe
+/// can fire — [`unconditional_prefix_len`]) for [`BATCH`] interior windows
+/// at once in the pinned lane order: each window's lane-blocked region
+/// `0..m8` goes through the SIMD lane kernel, the remainder `m8..stop1`
+/// through the eight-chain batched span.
 #[inline]
-fn full_values_batch(
-    weights: &[f32],
+fn prefix_batch(
+    kernel: &KernelExec,
     resolved: &[i32],
     item: &[f32],
     bases: &[i32; BATCH],
     bias: f32,
+    m8: usize,
+    stop1: usize,
 ) -> [f32; BATCH] {
-    prefix_batch(weights, resolved, item, bases, bias, weights.len())
+    let mut acc = [bias; BATCH];
+    if m8 > 0 {
+        for (a, &b) in acc.iter_mut().zip(bases.iter()) {
+            *a = bias
+                + snapea_tensor::lane::lane_dot_resolved(kernel.packed(), resolved, b, item, m8);
+        }
+    }
+    batch_span(
+        kernel.reordered.weights(),
+        resolved,
+        item,
+        bases,
+        &mut acc,
+        m8,
+        stop1,
+    );
+    acc
+}
+
+/// Full dot products of [`BATCH`] interior windows (stats accounting), in
+/// the same pinned order as [`prefix_batch`] continued to the window end.
+#[inline]
+fn full_values_batch(
+    kernel: &KernelExec,
+    resolved: &[i32],
+    item: &[f32],
+    bases: &[i32; BATCH],
+    bias: f32,
+    m8: usize,
+) -> [f32; BATCH] {
+    let weights = kernel.reordered.weights();
+    let mut acc = [bias; BATCH];
+    if m8 > 0 {
+        for (a, &b) in acc.iter_mut().zip(bases.iter()) {
+            *a = bias
+                + snapea_tensor::lane::lane_dot_resolved(kernel.packed(), resolved, b, item, m8);
+        }
+    }
+    batch_span(weights, resolved, item, bases, &mut acc, m8, weights.len());
+    acc
 }
 
 /// Folds one window's outcome into the prediction-quality accounting. Must
@@ -947,13 +1068,12 @@ fn drain_interior_lanes(
     ops_slice: &mut [u32],
     st: &mut PredictionStats,
 ) {
-    let weights = kexec.reordered.weights();
     for &(w, base) in lanes {
         let r = run_window_resolved(kexec, resolved, base, item, bias);
         out_slice[w] = r.output;
         ops_slice[w] = r.ops;
         if collect_stats {
-            let full = full_window_value_resolved(weights, resolved, base, item, bias);
+            let full = full_window_value_resolved(kexec, resolved, base, item, bias);
             account_window(st, full, r.termination);
         }
     }
@@ -994,6 +1114,7 @@ fn execute_conv_inner(
     let mut output = Tensor4::zeros(out_shape);
     let mut ops = vec![0u32; s.n * conv.c_out() * windows];
     let mut stats = PredictionStats::default();
+    let mut lane_counts = LaneCounts::default();
 
     // One task per *block* of consecutive (image, kernel) pairs. Flat pair
     // index `n * c_out + k` addresses both the output plane
@@ -1026,7 +1147,7 @@ fn execute_conv_inner(
             .chunks_mut(chunk * windows)
             .zip(ops.chunks_mut(chunk * windows))
             .collect();
-        let per_block: Vec<Vec<PredictionStats>> =
+        let per_block: Vec<Vec<(PredictionStats, LaneCounts)>> =
             snapea_tensor::par::run_tasks(blocks, |bi, (out_blk, ops_blk)| {
                 out_blk
                     .chunks_mut(windows)
@@ -1049,8 +1170,10 @@ fn execute_conv_inner(
                         let weights = kexec.reordered.weights();
                         let len = weights.len();
                         let stop1 = unconditional_prefix_len(&kexec.pau, len);
+                        let m8 = snapea_tensor::lane::lane_prefix_len(stop1);
                         let bias = conv.bias()[k];
                         let mut st = PredictionStats::default();
+                        let mut lc = LaneCounts::default();
                         let mut lanes = [(0usize, 0i32); BATCH];
                         let mut nl = 0usize;
                         for w in 0..windows {
@@ -1062,13 +1185,14 @@ fn execute_conv_inner(
                                     continue;
                                 }
                                 nl = 0;
+                                lc.lane += BATCH as u64;
                                 let bases = lanes.map(|(_, b)| b);
-                                let accs = prefix_batch(weights, rt, item, &bases, bias, stop1);
+                                let accs = prefix_batch(kexec, rt, item, &bases, bias, m8, stop1);
                                 // Each lane's full value accumulates in the same
                                 // per-lane order as the scalar walk; only the folds
                                 // below are order-sensitive, and they run ascending.
                                 let fulls = if collect_stats {
-                                    Some(full_values_batch(weights, rt, item, &bases, bias))
+                                    Some(full_values_batch(kexec, rt, item, &bases, bias, m8))
                                 } else {
                                     None
                                 };
@@ -1087,6 +1211,7 @@ fn execute_conv_inner(
                                     }
                                 }
                             } else {
+                                lc.scalar += nl as u64 + 1;
                                 drain_interior_lanes(
                                     kexec,
                                     rt,
@@ -1109,6 +1234,7 @@ fn execute_conv_inner(
                                 }
                             }
                         }
+                        lc.scalar += nl as u64;
                         drain_interior_lanes(
                             kexec,
                             rt,
@@ -1120,12 +1246,13 @@ fn execute_conv_inner(
                             ops_slice,
                             &mut st,
                         );
-                        st
+                        (st, lc)
                     })
                     .collect()
             });
-        for st in per_block.iter().flatten() {
+        for (st, lc) in per_block.iter().flatten() {
             stats.merge(st);
+            lane_counts.merge(lc);
         }
     }
 
@@ -1139,6 +1266,7 @@ fn execute_conv_inner(
     record_layer_execution(
         &profile,
         if collect_stats { Some(&stats) } else { None },
+        lane_counts,
         cache_hit,
         layer_clock.elapsed_ms(),
     );
@@ -1158,6 +1286,7 @@ fn execute_conv_inner(
 fn record_layer_execution(
     profile: &LayerProfile,
     stats: Option<&PredictionStats>,
+    lane_counts: LaneCounts,
     gather_cache_hit: bool,
     elapsed_ms: f64,
 ) {
@@ -1166,6 +1295,8 @@ fn record_layer_execution(
     snapea_obs::counter("exec/layer_calls").inc();
     snapea_obs::counter("exec/macs_performed").add(performed);
     snapea_obs::counter("exec/macs_dense").add(dense);
+    snapea_obs::counter("exec/lane_windows").add(lane_counts.lane);
+    snapea_obs::counter("exec/scalar_windows").add(lane_counts.scalar);
     snapea_obs::log_histogram("exec/layer_ms").record(elapsed_ms);
     if let Some(s) = stats {
         snapea_obs::counter("exec/windows_negative").add(s.negative_windows);
@@ -1186,6 +1317,8 @@ fn record_layer_execution(
                 savings = profile.savings(),
                 gather_cache_hit = gather_cache_hit,
                 elapsed_ms = elapsed_ms,
+                lane_windows = lane_counts.lane,
+                scalar_windows = lane_counts.scalar,
                 true_negative_rate = s.true_negative_rate(),
                 false_negative_rate = s.false_negative_rate(),
                 sign_terminations = s.sign_terminations,
@@ -1201,6 +1334,8 @@ fn record_layer_execution(
                 savings = profile.savings(),
                 gather_cache_hit = gather_cache_hit,
                 elapsed_ms = elapsed_ms,
+                lane_windows = lane_counts.lane,
+                scalar_windows = lane_counts.scalar,
             );
         }
     }
@@ -1299,30 +1434,33 @@ pub fn run_window_q16(
     })
 }
 
-/// Phase-split fixed-point window walk (the q16 twin of [`walk_window`]):
-/// probes only where [`Pau::probe`] can fire, dequantising the partial sum
-/// per probe instead of per MAC. `mac(p, acc)` performs the MAC at position
-/// `p` in place.
+/// The fixed-point accumulator seeded with the bias pre-scaled to the
+/// product width (how every q16 walk begins).
 #[inline(always)]
-fn walk_window_q16(
+fn q16_bias_acc(bias: f32, fmt: snapea_tensor::q16::Q16Format) -> snapea_tensor::q16::QAcc {
+    let mut acc = snapea_tensor::q16::QAcc::new();
+    acc.mac(fmt.quantize(bias), fmt.quantize(1.0));
+    acc
+}
+
+/// Continues a fixed-point window walk from position `start` (which must
+/// be the walk's unconditional-prefix length) with partial sum `acc` — the
+/// q16 twin of [`walk_window_from`]. Integer accumulation is exact, so any
+/// batching of the prefix that hands the same raw sum in here is
+/// bit-identical to the sequential walk.
+#[inline(always)]
+fn walk_window_q16_from(
     pau: &Pau,
     len: usize,
-    bias: f32,
+    mut acc: snapea_tensor::q16::QAcc,
+    start: usize,
     fmt: snapea_tensor::q16::Q16Format,
     mut mac: impl FnMut(usize, &mut snapea_tensor::q16::QAcc),
 ) -> WindowResult {
-    use snapea_tensor::q16::QAcc;
-    let mut acc = QAcc::new();
-    // Bias enters the accumulator pre-scaled to the product width.
-    acc.mac(fmt.quantize(bias), fmt.quantize(1.0));
+    debug_assert_eq!(start, unconditional_prefix_len(pau, len));
     let spec_probe = spec_probe_pos(pau);
     let ns = pau.neg_start();
-    let mut p = 0usize;
-    let stop1 = unconditional_prefix_len(pau, len);
-    while p < stop1 {
-        mac(p, &mut acc);
-        p += 1;
-    }
+    let mut p = start;
     if p < len && p == spec_probe {
         if let PauAction::Terminate(kind) = pau.probe(p, acc.to_f32(fmt)) {
             return terminated(p, acc.to_f32(fmt), kind);
@@ -1347,6 +1485,28 @@ fn walk_window_q16(
         output: acc.to_f32(fmt),
         termination: None,
     }
+}
+
+/// Phase-split fixed-point window walk (the q16 twin of [`walk_window`]):
+/// probes only where [`Pau::probe`] can fire, dequantising the partial sum
+/// per probe instead of per MAC. `mac(p, acc)` performs the MAC at position
+/// `p` in place.
+#[inline(always)]
+fn walk_window_q16(
+    pau: &Pau,
+    len: usize,
+    bias: f32,
+    fmt: snapea_tensor::q16::Q16Format,
+    mut mac: impl FnMut(usize, &mut snapea_tensor::q16::QAcc),
+) -> WindowResult {
+    let mut acc = q16_bias_acc(bias, fmt);
+    let stop1 = unconditional_prefix_len(pau, len);
+    let mut p = 0usize;
+    while p < stop1 {
+        mac(p, &mut acc);
+        p += 1;
+    }
+    walk_window_q16_from(pau, len, acc, stop1, fmt, mac)
 }
 
 /// Executes a convolution layer with 16-bit fixed-point arithmetic in the
@@ -1396,6 +1556,7 @@ pub fn execute_conv_q16(
 
     let mut output = Tensor4::zeros(out_shape);
     let mut ops = vec![0u32; s.n * conv.c_out() * windows];
+    let mut lane_counts = LaneCounts::default();
 
     // Same (image, kernel) pair-block dispatch as `execute_conv_inner`:
     // flat pair index `n * c_out + k` addresses both layouts, blocks are
@@ -1403,6 +1564,12 @@ pub fn execute_conv_q16(
     // pure writes into the block's disjoint slices), and each block walks
     // its pairs and windows in ascending order, so the quantised outputs
     // are bit-identical to the serial loop at any thread count.
+    //
+    // Interior windows are gathered into [`BATCH`]-wide groups whose
+    // unconditional prefixes run through the integer lane kernel
+    // ([`snapea_tensor::lane::lane_q16_span`]); i64 accumulation is exact,
+    // so the batched prefix hands each window the same raw sum as its
+    // sequential walk and the probed remainder continues bit-identically.
     if windows > 0 {
         let chunk = snapea_tensor::par::chunk_for(
             s.n * conv.c_out(),
@@ -1414,34 +1581,85 @@ pub fn execute_conv_q16(
             .chunks_mut(chunk * windows)
             .zip(ops.chunks_mut(chunk * windows))
             .collect();
-        snapea_tensor::par::run_tasks(blocks, |bi, (out_blk, ops_blk)| {
-            for (pi, (out_slice, ops_slice)) in out_blk
-                .chunks_mut(windows)
-                .zip(ops_blk.chunks_mut(windows))
-                .enumerate()
-            {
-                let pair = bi * chunk + pi;
-                let (n, k) = (pair / conv.c_out(), pair % conv.c_out());
-                let kexec = &cfg.kernels[k];
-                let bias = conv.bias()[k];
-                let len = kexec.reordered.weights().len();
-                let rt = &resolved[k][..];
-                let wq = &weights_q[k][..];
-                let item_q = &items_q[n][..];
-                for w in 0..windows {
-                    let base = plan.window_base(w);
-                    let r = if base >= 0 {
-                        walk_window_q16(&kexec.pau, len, bias, fmt, |p, acc| {
-                            acc.mac(item_q[(base + rt[p]) as usize], wq[p]);
-                        })
-                    } else {
-                        run_window_q16(kexec, plan.gather().window(w), item_q, bias, fmt)
-                    };
-                    out_slice[w] = r.output;
-                    ops_slice[w] = r.ops;
+        let per_block: Vec<LaneCounts> =
+            snapea_tensor::par::run_tasks(blocks, |bi, (out_blk, ops_blk)| {
+                let mut lc = LaneCounts::default();
+                for (pi, (out_slice, ops_slice)) in out_blk
+                    .chunks_mut(windows)
+                    .zip(ops_blk.chunks_mut(windows))
+                    .enumerate()
+                {
+                    let pair = bi * chunk + pi;
+                    let (n, k) = (pair / conv.c_out(), pair % conv.c_out());
+                    let kexec = &cfg.kernels[k];
+                    let bias = conv.bias()[k];
+                    let len = kexec.reordered.weights().len();
+                    let stop1 = unconditional_prefix_len(&kexec.pau, len);
+                    let rt = &resolved[k][..];
+                    let wq = &weights_q[k][..];
+                    let item_q = &items_q[n][..];
+                    let bias_raw = q16_bias_acc(bias, fmt).raw();
+                    let mut lanes = [(0usize, 0i32); BATCH];
+                    let mut nl = 0usize;
+                    for w in 0..windows {
+                        let base = plan.window_base(w);
+                        if base >= 0 {
+                            lanes[nl] = (w, base);
+                            nl += 1;
+                            if nl < BATCH {
+                                continue;
+                            }
+                            nl = 0;
+                            lc.lane += BATCH as u64;
+                            let bases = lanes.map(|(_, b)| b);
+                            let mut accs = [bias_raw; BATCH];
+                            snapea_tensor::lane::lane_q16_span(
+                                &mut accs, wq, rt, &bases, item_q, 0, stop1,
+                            );
+                            for (l, &(lw, lb)) in lanes.iter().enumerate() {
+                                let r = walk_window_q16_from(
+                                    &kexec.pau,
+                                    len,
+                                    snapea_tensor::q16::QAcc::from_raw(accs[l]),
+                                    stop1,
+                                    fmt,
+                                    |p, acc| {
+                                        acc.mac(item_q[(lb + rt[p]) as usize], wq[p]);
+                                    },
+                                );
+                                out_slice[lw] = r.output;
+                                ops_slice[lw] = r.ops;
+                            }
+                        } else {
+                            lc.scalar += nl as u64 + 1;
+                            for &(lw, lb) in &lanes[..nl] {
+                                let r = walk_window_q16(&kexec.pau, len, bias, fmt, |p, acc| {
+                                    acc.mac(item_q[(lb + rt[p]) as usize], wq[p]);
+                                });
+                                out_slice[lw] = r.output;
+                                ops_slice[lw] = r.ops;
+                            }
+                            nl = 0;
+                            let r =
+                                run_window_q16(kexec, plan.gather().window(w), item_q, bias, fmt);
+                            out_slice[w] = r.output;
+                            ops_slice[w] = r.ops;
+                        }
+                    }
+                    lc.scalar += nl as u64;
+                    for &(lw, lb) in &lanes[..nl] {
+                        let r = walk_window_q16(&kexec.pau, len, bias, fmt, |p, acc| {
+                            acc.mac(item_q[(lb + rt[p]) as usize], wq[p]);
+                        });
+                        out_slice[lw] = r.output;
+                        ops_slice[lw] = r.ops;
+                    }
                 }
-            }
-        });
+                lc
+            });
+        for lc in &per_block {
+            lane_counts.merge(lc);
+        }
     }
 
     let profile = LayerProfile {
@@ -1451,7 +1669,13 @@ pub fn execute_conv_q16(
         window_len: conv.window_len(),
         ops,
     };
-    record_layer_execution(&profile, None, cache_hit, layer_clock.elapsed_ms());
+    record_layer_execution(
+        &profile,
+        None,
+        lane_counts,
+        cache_hit,
+        layer_clock.elapsed_ms(),
+    );
     ExecResult {
         output,
         profile,
@@ -1472,16 +1696,55 @@ pub mod baseline {
     //! serial, builds its gather table from scratch on every call, probes
     //! the PAU before every MAC, and charges no metrics — do not optimise
     //! or hook it up to the plan cache.
+    //!
+    //! Re-frozen for the lane engine (DESIGN.md §11): the accumulation
+    //! order is the *pinned lane order* — a hand-written scalar
+    //! eight-accumulator prefix over `0..m8` with select semantics for
+    //! padding taps, deliberately independent of `snapea_tensor::lane` —
+    //! followed by the historical probe-before-every-MAC walk from `m8`.
+    //! Skipping the probes below `m8` is observationally identical: every
+    //! position there is below both the speculative boundary and
+    //! `neg_start`, where [`Pau::probe`] returns `Continue` unconditionally.
 
     use super::*;
 
-    /// Pre-plan [`run_window`](super::run_window): probes before every MAC.
+    /// Scalar reference for the pinned lane prefix: positions `0..m8` of
+    /// the gathered walk summed into eight named accumulators (padding taps
+    /// contributing a literal `0.0` operand), collapsed through the pinned
+    /// tree, added to the bias only when `m8 > 0`.
+    // lint:allow(P2) frozen reference walk: p < m8 <= weights.len(), off >= 0 checked before indexing
+    fn pinned_prefix(kernel: &KernelExec, taps: &[i32], item: &[f32], bias: f32, m8: usize) -> f32 {
+        if m8 == 0 {
+            return bias;
+        }
+        let weights = kernel.reordered.weights();
+        let order = kernel.reordered.order();
+        let mut lanes = [0.0f32; 8];
+        for p in 0..m8 {
+            let off = taps[order[p] as usize];
+            let v = if off >= 0 { item[off as usize] } else { 0.0 };
+            lanes[p % 8] += v * weights[p];
+        }
+        bias + (((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+            + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7])))
+    }
+
+    /// The lane-blocked prefix length of a kernel's walk: the largest
+    /// multiple of eight not exceeding the probe-free prefix.
+    fn lane_m8(kernel: &KernelExec, len: usize) -> usize {
+        let stop1 = unconditional_prefix_len(&kernel.pau, len);
+        stop1 - stop1 % 8
+    }
+
+    /// Pre-plan [`run_window`](super::run_window): pinned lane prefix, then
+    /// probes before every MAC.
     // lint:allow(P2) frozen reference walk: p < weights.len(), off >= 0 checked before indexing
     pub fn run_window(kernel: &KernelExec, taps: &[i32], item: &[f32], bias: f32) -> WindowResult {
         let weights = kernel.reordered.weights();
         let order = kernel.reordered.order();
-        let mut acc = bias;
-        for p in 0..weights.len() {
+        let m8 = lane_m8(kernel, weights.len());
+        let mut acc = pinned_prefix(kernel, taps, item, bias, m8);
+        for p in m8..weights.len() {
             match kernel.pau.probe(p, acc) {
                 PauAction::Terminate(kind) => {
                     let output = match kind {
@@ -1510,13 +1773,15 @@ pub mod baseline {
         }
     }
 
-    /// Pre-plan full dot product (stats accounting reference).
+    /// Pre-plan full dot product (stats accounting reference): pinned lane
+    /// prefix over the walk's `m8`, sequential to the end.
     // lint:allow(P2) frozen reference walk: p < weights.len(), off >= 0 checked before indexing
     pub fn full_window_value(kernel: &KernelExec, taps: &[i32], item: &[f32], bias: f32) -> f32 {
         let weights = kernel.reordered.weights();
         let order = kernel.reordered.order();
-        let mut acc = bias;
-        for p in 0..weights.len() {
+        let m8 = lane_m8(kernel, weights.len());
+        let mut acc = pinned_prefix(kernel, taps, item, bias, m8);
+        for p in m8..weights.len() {
             let off = taps[order[p] as usize];
             if off >= 0 {
                 acc += item[off as usize] * weights[p];

@@ -77,22 +77,43 @@ struct WindowScan {
     full: f32,
 }
 
+/// The extent of a scan's probe-free region: neither the speculative
+/// partial (read at `spec_len`, which can be 0 — the bias itself) nor a
+/// sign check (from `neg_start`) observes the accumulator before
+/// `min(spec_len if > 0, neg_start, len)` — the same boundary as the
+/// executor's `unconditional_prefix_len`, so the lane-blocked region
+/// `0..m8` below matches the executor's walk position for position.
+fn scan_prefix_m8(r: &ReorderedKernel, len: usize) -> usize {
+    let spec_pos = if r.spec_len() > 0 {
+        r.spec_len()
+    } else {
+        usize::MAX
+    };
+    snapea_tensor::lane::lane_prefix_len(spec_pos.min(r.neg_start()).min(len))
+}
+
 /// Scans one window: computes the running prefix of the reordered MAC chain
 /// and extracts the three quantities every `(Th, N)` candidate needs. The
 /// probe semantics mirror [`crate::pau::Pau::probe`]: a sign check fires
 /// before MAC `p` (for `p ≥ neg_start`) when the prefix after `p` MACs is
-/// negative.
+/// negative. Accumulation follows the pinned lane order (`snapea_tensor::
+/// lane`): lane-tree prefix over `0..m8`, sequential from there — the same
+/// bits the executor's walk produces at every observed position.
 fn scan_window(r: &ReorderedKernel, taps: &[i32], item: &[f32], bias: f32) -> WindowScan {
     let weights = r.weights();
     let order = r.order();
     let len = weights.len();
     let spec_len = r.spec_len();
     let neg_start = r.neg_start();
+    let m8 = scan_prefix_m8(r, len);
     let mut acc = bias;
+    if m8 > 0 {
+        acc = bias + snapea_tensor::lane::lane_dot_gather(weights, order, taps, item, m8);
+    }
     let mut spec_partial = bias;
     let mut term_ops = len as u32;
     let mut terminated = false;
-    for p in 0..len {
+    for p in m8..len {
         if p == spec_len {
             spec_partial = acc;
         }
@@ -135,10 +156,16 @@ fn scan_windows_batch(
     let len = weights.len();
     let spec_len = r.spec_len();
     let neg_start = r.neg_start();
+    let m8 = scan_prefix_m8(r, len);
     let mut acc = [bias; SCAN_BATCH];
+    if m8 > 0 {
+        for (a, &b) in acc.iter_mut().zip(bases.iter()) {
+            *a = bias + snapea_tensor::lane::lane_dot_resolved(weights, rt, b, item, m8);
+        }
+    }
     let mut spec = [bias; SCAN_BATCH];
     let mut term = [u32::MAX; SCAN_BATCH];
-    for p in 0..len {
+    for p in m8..len {
         if p == spec_len {
             spec = acc;
         }
@@ -521,10 +548,7 @@ mod tests {
             let weights = conv.weight().item(k);
             let bias = conv.bias()[k];
             let r = sign_reorder(weights);
-            let kexec = KernelExec {
-                reordered: r.clone(),
-                pau: Pau::exact(&r),
-            };
+            let kexec = KernelExec::new(r.clone(), Pau::exact(&r));
             for w in 0..gather.windows() {
                 let taps = gather.window(w);
                 let item = input.item(0);

@@ -440,6 +440,34 @@ mod tests {
         assert!(d.passed(10.0));
     }
 
+    /// The refusal is document-level, so the kernels report
+    /// (`BENCH_kernels.json`) is covered too: its single-thread timings are
+    /// just as machine-bound as the curves.
+    #[test]
+    fn degraded_mismatch_is_refused_for_kernels_documents() {
+        let kernels_doc = |degraded: bool| {
+            parse(&format!(
+                r#"{{"generated_by":"perfbench --kernels","schema":2,"degraded":{degraded},
+                    "kernels":[
+                      {{"name":"lane_dot","detail":"512 windows","baseline_ms":3.0,"kernel_ms":1.5,"speedup":2.0,"bit_identical":true}}
+                    ]}}"#
+            ))
+            .unwrap()
+        };
+        let d = diff(&kernels_doc(true), &kernels_doc(false));
+        assert!(
+            d.incompatible.is_some(),
+            "kernels-shaped mismatch must refuse"
+        );
+        assert!(d.rows.is_empty());
+        assert!(!d.passed(1e9));
+        // Matching flags compare the kernel cells normally.
+        let d = diff(&kernels_doc(true), &kernels_doc(true));
+        assert!(d.incompatible.is_none());
+        assert_eq!(d.rows.len(), 2, "baseline_ms + kernel_ms compared");
+        assert!(d.passed(10.0));
+    }
+
     #[test]
     fn json_report_round_trips() {
         let d = diff(&bench_doc(10.0), &bench_doc(12.0));

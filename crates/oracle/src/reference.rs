@@ -3,10 +3,11 @@
 //! Everything here is written from the paper's definitions (and the
 //! workspace's documented layout conventions) using direct coordinate
 //! loops: no im2col, no GEMM, no worker pool, no `GatherTable`. The window
-//! walk re-derives the sign/predictive weight ordering and the PAU decision
-//! rule from their specifications so the executor's output can be pinned
-//! **bit-for-bit** — the oracle performs the identical sequence of `f32`
-//! operations, arrived at through independent code.
+//! walk re-derives the sign/predictive weight ordering, the PAU decision
+//! rule, and the pinned eight-lane reduction order of the SIMD engine
+//! (DESIGN.md §11) from their specifications so the executor's output can
+//! be pinned **bit-for-bit** — the oracle performs the identical sequence
+//! of `f32` operations, arrived at through independent code.
 //!
 //! Layout conventions relied on (all documented on the fast-path types):
 //!
@@ -299,12 +300,76 @@ pub struct OracleWindow {
     pub termination: Option<OracleTermination>,
 }
 
+/// Length of the walk's probe-free prefix: no PAU check can fire before the
+/// speculative boundary (`spec_len` when speculating), the negative region
+/// (`neg_start`), or the end of the window, so everything below their
+/// minimum runs unconditionally. This re-derives the executor's
+/// `unconditional_prefix_len` from the order's own fields.
+fn unconditional_len(ord: &OracleOrder) -> usize {
+    let spec_stop = if ord.spec_len > 0 {
+        ord.spec_len
+    } else {
+        usize::MAX
+    };
+    spec_stop.min(ord.neg_start).min(ord.order.len())
+}
+
+/// The pinned eight-lane boundary: the largest multiple of 8 inside the
+/// probe-free prefix (see DESIGN.md §11).
+fn lane_m8(ord: &OracleOrder) -> usize {
+    let stop1 = unconditional_len(ord);
+    stop1 - stop1 % 8
+}
+
+/// Pinned eight-lane prefix reduction over execution positions `0..m8`,
+/// written as independent scalar code: position `p` accumulates into lane
+/// `p % 8` in ascending order, padding taps contribute an exact-zero
+/// product (bitwise-identical to skipping them, because every lane starts
+/// at `+0.0` and `+0.0 + ±0.0` is `+0.0`), and the lanes collapse through
+/// the fixed `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))` tree before the bias
+/// joins. When `m8 == 0` the bias is returned untouched — never `bias +
+/// 0.0`, which would flip a `-0.0` bias.
+#[allow(clippy::too_many_arguments)]
+fn pinned_prefix(
+    input: &Tensor4,
+    n: usize,
+    oy: usize,
+    ox: usize,
+    weights: &[f32],
+    ord: &OracleOrder,
+    geom: ConvGeom,
+    bias: f32,
+    m8: usize,
+) -> f32 {
+    if m8 == 0 {
+        return bias;
+    }
+    let s = input.shape();
+    let mut l = [0.0_f32; 8];
+    for (p, &o) in ord.order[..m8].iter().enumerate() {
+        let c = o / (geom.kh * geom.kw);
+        let ky = (o % (geom.kh * geom.kw)) / geom.kw;
+        let kx = o % geom.kw;
+        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+        let v = if iy >= 0 && ix >= 0 && (iy as usize) < s.h && (ix as usize) < s.w {
+            input[(n, c, iy as usize, ix as usize)]
+        } else {
+            0.0
+        };
+        l[p % 8] += v * weights[o];
+    }
+    bias + (((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7])))
+}
+
 /// Walks one window in execution order, probing the PAU decision rule before
 /// every MAC: the predictive check fires exactly at position `spec_len` when
 /// the partial sum is below the threshold; from `neg_start` on, any negative
-/// partial sum terminates. Input taps are decoded from the original weight
-/// index (`o → (c, ky, kx)`); out-of-bounds (padding) taps occupy a MAC slot
-/// but add nothing.
+/// partial sum terminates. Positions below the pinned lane boundary (which
+/// never carry a probe) accumulate through the eight-lane tree of
+/// [`pinned_prefix`]; the rest run sequentially. Input taps are decoded from
+/// the original weight index (`o → (c, ky, kx)`); out-of-bounds (padding)
+/// taps occupy a MAC slot but add nothing.
 #[allow(clippy::too_many_arguments)]
 pub fn walk_window(
     input: &Tensor4,
@@ -317,8 +382,9 @@ pub fn walk_window(
     bias: f32,
 ) -> OracleWindow {
     let s = input.shape();
-    let mut acc = bias;
-    for (p, &o) in ord.order.iter().enumerate() {
+    let m8 = lane_m8(ord);
+    let mut acc = pinned_prefix(input, n, oy, ox, weights, ord, geom, bias, m8);
+    for (p, &o) in ord.order.iter().enumerate().skip(m8) {
         if ord.spec_len > 0 && p == ord.spec_len && acc < ord.threshold {
             return OracleWindow {
                 ops: p as u32,
@@ -351,6 +417,9 @@ pub fn walk_window(
 
 /// Completes one window's dot product in execution order regardless of the
 /// PAU (the value the executor's prediction accounting compares against).
+/// Uses the *walk's* lane boundary — `lane_m8` from the probe-free prefix,
+/// not from the full length — so a walk that never terminates produces
+/// bit-identical output to this value.
 #[allow(clippy::too_many_arguments)]
 pub fn full_window_value(
     input: &Tensor4,
@@ -363,8 +432,9 @@ pub fn full_window_value(
     bias: f32,
 ) -> f32 {
     let s = input.shape();
-    let mut acc = bias;
-    for &o in &ord.order {
+    let m8 = lane_m8(ord);
+    let mut acc = pinned_prefix(input, n, oy, ox, weights, ord, geom, bias, m8);
+    for &o in &ord.order[m8..] {
         let c = o / (geom.kh * geom.kw);
         let ky = (o % (geom.kh * geom.kw)) / geom.kw;
         let kx = o % geom.kw;
@@ -495,6 +565,28 @@ mod tests {
         let f = full_window_value(&x, 0, 0, 0, &w, &ord, ConvGeom::square(2, 1, 0), 0.1);
         assert_eq!(r.termination, None);
         assert_eq!(r.ops, 4);
+        assert_eq!(r.output.to_bits(), f.to_bits());
+    }
+
+    #[test]
+    fn walk_matches_full_value_through_the_lane_prefix() {
+        // 17 weights (c=17, 1x1 kernel): m8 covers two full lane blocks
+        // plus a scalar tail, and the positive prefix keeps the walk from
+        // terminating, so walk and full must agree bit-for-bit.
+        let n = 17;
+        let xs: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin() + 1.5).collect();
+        let ws: Vec<f32> = (0..n)
+            .map(|i| (i as f32 * 0.53).cos() * 0.25 + 0.3)
+            .collect();
+        let x = Tensor4::from_vec(Shape4::new(1, n, 1, 1), xs).unwrap();
+        let ord = exact_order(&ws);
+        assert_eq!(ord.neg_start, n, "all-positive weights keep the walk alive");
+        assert_eq!(super::lane_m8(&ord), 16);
+        let g = ConvGeom::square(1, 1, 0);
+        let r = walk_window(&x, 0, 0, 0, &ws, &ord, g, 0.1);
+        let f = full_window_value(&x, 0, 0, 0, &ws, &ord, g, 0.1);
+        assert_eq!(r.termination, None);
+        assert_eq!(r.ops, n as u32);
         assert_eq!(r.output.to_bits(), f.to_bits());
     }
 

@@ -10,6 +10,9 @@
 //! * [`init`] — deterministic, seeded weight initializers.
 //! * [`q16`] — 16-bit fixed-point arithmetic mirroring the paper's 16-bit
 //!   fixed-point processing engines (Table II of the paper).
+//! * [`lane`] — the eight-wide lane layer: `f32x8`/`i32x8` wrappers, the
+//!   pinned lane-tree reduction order, and the asm-verified SIMD kernels
+//!   behind the GEMM microkernel and the executor walks.
 //! * [`par`] — the scoped worker pool behind every parallel hot path in the
 //!   workspace (`SNAPEA_THREADS` knob; results are bit-identical for any
 //!   thread count).
@@ -44,6 +47,7 @@ mod tensor4;
 
 pub mod im2col;
 pub mod init;
+pub mod lane;
 pub mod num;
 pub mod par;
 pub mod q16;

@@ -44,27 +44,17 @@ fn axpy(out: &mut [f32], a: f32, b: &[f32]) {
 /// value, and Rust does not contract `a*b + c` into FMA). So each element's
 /// ascending-`k` accumulation order is unchanged and results stay
 /// bit-identical, while `out` is loaded and stored once per eight `k` steps
-/// instead of once per step. Vectorization still happens across the
-/// independent `n` dimension, never across `k`.
+/// instead of once per step. Vectorization happens across the independent
+/// `n` dimension, never across `k`: the body is [`crate::lane::lane_axpy8`],
+/// which carries `n` in explicit [`crate::lane::f32x8`] chunks (plus a
+/// scalar tail) and is one of the symbols `scripts/asm_check.sh` asserts
+/// compiles to vector mul/add.
 #[inline]
-// lint:allow(P2) j < n = out.len() by the loop bound; every b row is debug-asserted to length n
 fn axpy_k8(out: &mut [f32], a: &[f32; AXPY_K_UNROLL], b: [&[f32]; AXPY_K_UNROLL]) {
-    let n = out.len();
     for bq in b {
-        debug_assert_eq!(bq.len(), n);
+        debug_assert_eq!(bq.len(), out.len());
     }
-    for j in 0..n {
-        let mut v = out[j];
-        v += a[0] * b[0][j];
-        v += a[1] * b[1][j];
-        v += a[2] * b[2][j];
-        v += a[3] * b[3][j];
-        v += a[4] * b[4][j];
-        v += a[5] * b[5][j];
-        v += a[6] * b[6][j];
-        v += a[7] * b[7][j];
-        out[j] = v;
-    }
+    crate::lane::lane_axpy8(out, a, b);
 }
 
 /// Runs the `k` loop of one output tile: [`axpy_k8`] over full
@@ -446,8 +436,9 @@ impl Tensor2 {
     /// test means it cannot use the fused [`axpy_k8`] blocks the dense path
     /// runs, so the dense-vs-sparse crossover keeps moving as the dense
     /// kernel improves. The `gemm` section of `BENCH_parallel.json` records
-    /// the current trade: a half-zero, post-ReLU-style LHS still wins
-    /// ~1.3×, but a mostly-dense LHS loses the k-blocking for nothing. The
+    /// the current trade (re-measured after the lane engine, DESIGN.md §11):
+    /// a half-zero, post-ReLU-style LHS still wins ~1.4×, but a
+    /// mostly-dense LHS loses the k-blocking for nothing. The
     /// default [`matmul`] stays branch-free, parallel, and data-independent;
     /// reach for this variant explicitly where heavy sparsity is
     /// established — and remember that computation-skipping for the SnaPEA

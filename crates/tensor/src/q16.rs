@@ -107,6 +107,12 @@ impl QAcc {
         self.acc
     }
 
+    /// Rebuilds an accumulator from a raw Q.2f value (the lane kernels
+    /// batch several windows' raw sums and hand them back through here).
+    pub fn from_raw(acc: i64) -> Self {
+        Self { acc }
+    }
+
     /// Sign-bit of the running partial sum — the hardware's termination
     /// signal in exact mode.
     pub fn is_negative(self) -> bool {

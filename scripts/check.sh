@@ -11,6 +11,15 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline"
 cargo build --workspace --release --offline
 
+# Asm vectorization gate (DESIGN.md §11): the lane kernels must survive as
+# packed vector code in the release rlib, and — same prove-it-can-fail
+# protocol as the lint and selfcheck smokes — the deliberately sequential
+# seq_dot must FAIL the identical assertion.
+echo "==> scripts/asm_check.sh"
+./scripts/asm_check.sh
+echo "==> scripts/asm_check.sh --negative-smoke"
+./scripts/asm_check.sh --negative-smoke
+
 # The worker pool must produce bit-identical results at any thread count, so
 # the whole suite runs serial and at 4 threads, and the determinism suite
 # additionally at 2 (the smallest count where the persistent pool's claim
@@ -113,7 +122,7 @@ echo "$out" | grep -q "replay: snapea-tool selfcheck --artifact --replay 0x" \
 # drift here means the format changed without a VERSION bump + regeneration.
 echo "==> golden artifact byte-stability gate (tests/golden/tiny.snapea)"
 golden=$(cksum tests/golden/tiny.snapea)
-want="1473699499 13732 tests/golden/tiny.snapea"
+want="2324201021 15284 tests/golden/tiny.snapea"
 if [ "$golden" != "$want" ]; then
   echo "ERROR: golden artifact drifted: got '$golden', want '$want'"
   echo "       (format changes must bump VERSION and regenerate, see tests/artifact.rs)"
@@ -141,6 +150,22 @@ if [ "$points" -lt 1 ] || [ "$points" -ne "$identical" ]; then
   exit 1
 fi
 echo "    $identical/$points curve points bit-identical"
+
+# --kernels-only smoke: the quick lane-engine loop must write the kernels
+# report and nothing else (no scaling curves, no BENCH_parallel).
+echo "==> scripts/bench.sh --smoke --kernels-only"
+KERNELS_ONLY_SMOKE=/tmp/BENCH_kernels.only.json
+KERNELS_ONLY_OUT=/tmp/BENCH_parallel.must-not-exist.json
+rm -f "$KERNELS_ONLY_SMOKE" "$KERNELS_ONLY_OUT"
+./scripts/bench.sh --smoke --kernels-only --out "$KERNELS_ONLY_OUT" \
+  --kernels-out "$KERNELS_ONLY_SMOKE"
+[ -f "$KERNELS_ONLY_SMOKE" ] || { echo "ERROR: --kernels-only wrote no kernels report"; exit 1; }
+if [ -f "$KERNELS_ONLY_OUT" ]; then
+  echo "ERROR: --kernels-only wrote the parallel report ($KERNELS_ONLY_OUT)"
+  exit 1
+fi
+grep -q '"name":"lane_dot"' "$KERNELS_ONLY_SMOKE" \
+  || { echo "ERROR: $KERNELS_ONLY_SMOKE missing the lane_dot micro-kernel entry"; exit 1; }
 
 # Scaling gate (opt-in, recording machines with >=4 cores): perfbench
 # --strict asserts conv forward + executor reach >=3x at 4 threads on full
@@ -201,6 +226,12 @@ printf '{"degraded":true,"benches":[{"name":"b","serial_ms":10.0}]}\n' > "$FIXTU
 printf '{"degraded":false,"benches":[{"name":"b","serial_ms":10.0}]}\n' > "$FIXTURE/perf-nondeg.json"
 if "$TOOL" perf-diff "$FIXTURE/perf-deg.json" "$FIXTURE/perf-nondeg.json" > /dev/null 2>&1; then
   echo "ERROR: degraded vs non-degraded comparison was not refused"; exit 1
+fi
+echo "==> snapea-tool perf-diff degraded-mismatch smoke, kernels shape (must refuse)"
+printf '{"degraded":true,"kernels":[{"name":"lane_dot","kernel_ms":1.5}]}\n' > "$FIXTURE/perf-deg-k.json"
+printf '{"degraded":false,"kernels":[{"name":"lane_dot","kernel_ms":1.5}]}\n' > "$FIXTURE/perf-nondeg-k.json"
+if "$TOOL" perf-diff "$FIXTURE/perf-deg-k.json" "$FIXTURE/perf-nondeg-k.json" > /dev/null 2>&1; then
+  echo "ERROR: degraded vs non-degraded kernels comparison was not refused"; exit 1
 fi
 
 echo "OK: build, tests (1, 2, and 4 threads), clippy, selfcheck (1, 2, and 4 threads), artifact round-trip + corruption battery + golden fixture, bench smoke (scaling curves), kernel bit-identity, trace export, and perf-diff gates all clean."

@@ -31,7 +31,7 @@ use snapea_suite::tensor::init;
 use snapea_suite::tensor::q16::Q16Format;
 
 /// Frozen FNV-1a-64 digest of `tests/golden/tiny.snapea`.
-const GOLDEN_DIGEST: u64 = 0x5cb0_7012_5125_c17b;
+const GOLDEN_DIGEST: u64 = 0xbb3f_74df_3371_3cc1;
 
 fn golden_path() -> String {
     format!("{}/tests/golden/tiny.snapea", env!("CARGO_MANIFEST_DIR"))
@@ -199,6 +199,48 @@ fn header_errors_carry_their_typed_variants() {
         CompiledModel::from_bytes(&b),
         Err(ArtifactError::TrailingBytes { extra: 2 })
     ));
+}
+
+/// A PACKED payload whose framing checksum is *valid* but whose values
+/// disagree with the walk-order weights must still be rejected — the
+/// semantic cross-check, not the checksum, is what stops a well-formed file
+/// from smuggling in a packed layout the scalar paths would contradict.
+#[test]
+fn reframed_packed_section_corruption_is_caught_semantically() {
+    let bytes = compile_fixture().to_bytes();
+    // Walk the section framing (header is 24 bytes; each section is
+    // tag u32 · len u64 · payload · fnv u64) to the PACKED section, tag 5.
+    let mut pos = 24usize;
+    let (payload_start, payload_len) = loop {
+        let tag = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
+        if tag == 5 {
+            break (pos + 12, len);
+        }
+        pos += 12 + len + 8;
+    };
+    // Flip the sign bit of the section's last f32 (a lane-padding slot or a
+    // weight; either way the stored bits now disagree), then repair the
+    // section checksum so only the semantic validation can object.
+    let mut b = bytes.clone();
+    b[payload_start + payload_len - 1] ^= 0x80;
+    let mut framed = Vec::new();
+    framed.extend_from_slice(&5u32.to_le_bytes());
+    framed.extend_from_slice(&(payload_len as u64).to_le_bytes());
+    framed.extend_from_slice(&b[payload_start..payload_start + payload_len]);
+    let fixed = fnv64(&framed);
+    b[payload_start + payload_len..payload_start + payload_len + 8]
+        .copy_from_slice(&fixed.to_le_bytes());
+    match CompiledModel::from_bytes(&b) {
+        Err(ArtifactError::Invalid { region, detail }) => {
+            assert_eq!(region, "PACKED");
+            assert!(
+                detail.contains("padding") || detail.contains("walk-order"),
+                "unexpected detail: {detail}"
+            );
+        }
+        other => panic!("expected semantic PACKED rejection, got {other:?}"),
+    }
 }
 
 #[test]

@@ -77,7 +77,7 @@ proptest! {
 
         let r = predictive_reorder(&w, groups);
         let pau = Pau::predictive(&r, KernelParams::new(th, groups));
-        let k = KernelExec { reordered: r, pau };
+        let k = KernelExec::new(r, pau);
         let res = run_window(&k, &taps, item, bias);
         prop_assert!(res.ops as usize <= w.len());
         match res.termination {
@@ -105,7 +105,7 @@ proptest! {
         let taps: Vec<i32> = (0..w.len() as i32).collect();
         let r = sign_reorder(&w);
         let pau = Pau::exact(&r);
-        let k = KernelExec { reordered: r, pau };
+        let k = KernelExec::new(r, pau);
         let res = run_window(&k, &taps, item, bias);
         let dense: f32 = bias + w.iter().zip(item).map(|(a, b)| a * b).sum::<f32>();
         prop_assert!(
