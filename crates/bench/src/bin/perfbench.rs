@@ -75,6 +75,7 @@ struct Args {
 }
 
 fn parse_args() -> Args {
+    #[allow(clippy::disallowed_methods)] // sanctioned config read (R1)
     let mut args = Args {
         smoke: false,
         scaling: false,

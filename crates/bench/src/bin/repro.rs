@@ -38,6 +38,7 @@ fn main() {
     if !quiet && snapea_obs::sink::stderr_wanted() {
         snapea_obs::sink::install(Box::new(snapea_obs::StderrSink));
     }
+    #[allow(clippy::disallowed_methods)] // sanctioned config read (R1)
     if let Ok(path) = std::env::var("SNAPEA_LOG_FILE") {
         if let Ok(fs) = snapea_obs::FileSink::create(Path::new(&path)) {
             snapea_obs::sink::install(Box::new(fs));

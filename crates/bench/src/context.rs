@@ -64,6 +64,7 @@ pub struct TrainedWorkload {
 }
 
 /// Where cache files live (workspace-relative, overridable for tests).
+#[allow(clippy::disallowed_methods)] // sanctioned config read (R1)
 pub fn cache_dir() -> PathBuf {
     std::env::var_os("SNAPEA_CACHE_DIR")
         .map(PathBuf::from)

@@ -10,7 +10,7 @@ fn main() {
         print!("{}", commands::usage());
         std::process::exit(2);
     }
-    match Args::parse_with_flags(argv, &["json", "inject-bug", "artifact"])
+    match Args::parse_with_flags(argv, &["json", "inject-bug", "artifact", "graph"])
         .map_err(|e| e.to_string())
         .and_then(|a| commands::run(&a).map_err(|e| e.to_string()))
     {

@@ -600,13 +600,31 @@ fn parse_seed(spec: &str) -> Result<u64, Box<dyn Error>> {
     parsed.map_err(|_| format!("cannot parse seed {spec:?} (decimal or 0x-hex)").into())
 }
 
-/// `lint [--rule <id>] [--root <dir>]`: runs the `snapea-lint` static
-/// analysis over the workspace sources. Prints each finding (or, with
-/// `--json`, the full machine-readable report) and exits non-zero when any
-/// finding survives. `--rule` restricts the output to one rule id
-/// (`D1 D2 P1 P2 N1 S1 A1`); `--root` overrides workspace-root discovery
-/// (useful for linting a fixture tree in tests).
+/// `lint [--graph] [--rule <id>] [--explain <id>] [--root <dir>]`: runs
+/// the `snapea-lint` static analysis over the workspace sources. Prints
+/// each finding (or, with `--json`, the full machine-readable report) and
+/// exits non-zero when any finding survives. `--graph` additionally runs
+/// the transitive call-graph rules (R1 determinism-reachability, R2
+/// panic-reachability, R3 parallel-capture), whose findings carry the
+/// full evidence chain with a file:line span per edge. `--rule` restricts
+/// the output — human and JSON alike — to one rule id
+/// (`D1 D2 P1 P2 N1 S1 A1 R1 R2 R3`); `--explain` prints a rule's
+/// long-form documentation and exits; `--root` overrides workspace-root
+/// discovery (useful for linting a fixture tree in tests).
 pub fn lint(args: &Args) -> CmdResult {
+    if let Some(spec) = args.opt("explain") {
+        let id = spec.to_ascii_uppercase();
+        let rule = snapea_lint::RuleId::ALL
+            .into_iter()
+            .find(|r| r.as_str() == id)
+            .ok_or_else(|| format!("unknown rule {spec:?} (known: {})", known_rules()))?;
+        return Ok(format!(
+            "{} ({})\n\n{}\n",
+            rule.as_str(),
+            rule.name(),
+            rule.explain()
+        ));
+    }
     let root = match args.opt("root") {
         Some(dir) => std::path::PathBuf::from(dir),
         None => {
@@ -615,19 +633,14 @@ pub fn lint(args: &Args) -> CmdResult {
                 .ok_or("cannot find workspace root (no Cargo.toml with [workspace] above cwd); pass --root")?
         }
     };
-    let mut report = snapea_lint::lint_workspace(&root)?;
+    let opts = snapea_lint::LintOptions {
+        graph: args.flag("graph"),
+    };
+    let mut report = snapea_lint::lint_workspace_opts(&root, &opts)?;
     if let Some(spec) = args.opt("rule") {
         let want = spec.to_ascii_uppercase();
         if !snapea_lint::RuleId::ALL.iter().any(|r| r.as_str() == want) {
-            return Err(format!(
-                "unknown rule {spec:?} (known: {})",
-                snapea_lint::RuleId::ALL
-                    .iter()
-                    .map(|r| r.as_str())
-                    .collect::<Vec<_>>()
-                    .join(" ")
-            )
-            .into());
+            return Err(format!("unknown rule {spec:?} (known: {})", known_rules()).into());
         }
         report.findings.retain(|f| f.rule.as_str() == want);
     }
@@ -635,6 +648,7 @@ pub fn lint(args: &Args) -> CmdResult {
         "lint/report",
         files_scanned = report.files_scanned as u64,
         findings = report.findings.len() as u64,
+        graph = report.graph,
         passed = report.passed(),
     );
     let body = if args.flag("json") {
@@ -647,6 +661,15 @@ pub fn lint(args: &Args) -> CmdResult {
     } else {
         Err(body.into())
     }
+}
+
+/// The known rule ids, space-separated (for error messages).
+fn known_rules() -> String {
+    snapea_lint::RuleId::ALL
+        .iter()
+        .map(|r| r.as_str())
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// `report <events.jsonl>`: summarises a structured run-event log written by
@@ -760,7 +783,7 @@ pub fn usage() -> String {
        run       --artifact <model.snapea> [--images N] [--seed S]\n\
        simulate  <model.json> [--params params.json] [--images N]\n\
        selfcheck [--cases N] [--seed S] [--replay seed] [--inject-bug] [--artifact]\n\
-       lint      [--rule <id>] [--root <dir>]\n\
+       lint      [--graph] [--rule <id>] [--explain <id>] [--root <dir>]\n\
        report    <events.jsonl>\n\
        trace     <events.jsonl> [--chrome out.json] [--pe-trace out.json]\n\
        perf-diff <old.json> <new.json> [--max-regress pct]\n\
@@ -1076,6 +1099,125 @@ mod tests {
 
         // Unknown rule ids are rejected up front.
         let args = Args::parse(["lint", "--root", root.as_str(), "--rule", "Z9"]).unwrap();
+        let err = run(&args).unwrap_err().to_string();
+        assert!(err.contains("unknown rule"), "{err}");
+    }
+
+    #[test]
+    fn lint_graph_fixture_fails_naming_the_chain() {
+        let dir = std::env::temp_dir().join(format!("snapea-cli-graph-{}", std::process::id()));
+        let _guard = tempdir::TempDirLike(dir.clone());
+        let src = dir.join("crates").join("core").join("src");
+        fs::create_dir_all(&src).unwrap();
+        fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+        fs::write(src.join("lib.rs"), "#![forbid(unsafe_code)]\n").unwrap();
+        // A result-path fn reaching an env read two calls away.
+        fs::write(
+            src.join("exec.rs"),
+            "pub fn walk() {\n    helper()\n}\n\
+             fn helper() {\n    let v = std::env::var(\"X\");\n}\n",
+        )
+        .unwrap();
+        let root = dir.to_string_lossy().into_owned();
+
+        // Without --graph the tree is clean…
+        let args = Args::parse(["lint", "--root", root.as_str()]).unwrap();
+        assert!(run(&args).is_ok());
+
+        // …with --graph the R1 chain is reported, naming every link.
+        let args = Args::parse_with_flags(
+            ["lint", "--root", root.as_str(), "--graph"],
+            &["json", "graph"],
+        )
+        .unwrap();
+        let err = run(&args).unwrap_err().to_string();
+        assert!(err.contains("[R1/determinism-reachability]"), "{err}");
+        assert!(
+            err.contains("chain: walk() \u{2192} helper() \u{2192} std::env::var"),
+            "{err}"
+        );
+        // Per-edge spans: the call link and the sink link.
+        assert!(
+            err.contains("crates/core/src/exec.rs:2 core::walk \u{2192} core::helper"),
+            "{err}"
+        );
+        assert!(
+            err.contains("crates/core/src/exec.rs:5 core::helper \u{2192} std::env::var"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn lint_rule_filter_applies_to_json_payload() {
+        // Two rules fire in this fixture; `--rule D1 --json` must narrow
+        // the JSON findings array exactly like the human output.
+        let dir = std::env::temp_dir().join(format!("snapea-cli-rulejson-{}", std::process::id()));
+        let _guard = tempdir::TempDirLike(dir.clone());
+        let src = dir.join("crates").join("core").join("src");
+        fs::create_dir_all(&src).unwrap();
+        fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+        fs::write(
+            src.join("lib.rs"),
+            "#![forbid(unsafe_code)]\nuse std::collections::HashMap;\n\
+             pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+        )
+        .unwrap();
+        let root = dir.to_string_lossy().into_owned();
+
+        // Unfiltered: both findings.
+        let args =
+            Args::parse_with_flags(["lint", "--root", root.as_str(), "--json"], &["json"]).unwrap();
+        let doc = snapea_obs::parse(&run(&args).unwrap_err().to_string()).expect("valid json");
+        assert_eq!(
+            doc.get("findings").and_then(Json::as_array).unwrap().len(),
+            2
+        );
+
+        // Filtered: the JSON payload narrows to the one D1 finding.
+        let args = Args::parse_with_flags(
+            ["lint", "--root", root.as_str(), "--rule", "D1", "--json"],
+            &["json"],
+        )
+        .unwrap();
+        let doc = snapea_obs::parse(&run(&args).unwrap_err().to_string()).expect("valid json");
+        let findings = doc.get("findings").and_then(Json::as_array).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].get("rule").and_then(Json::as_str), Some("D1"));
+
+        // Graph findings live in the same findings vec, so `--rule R2
+        // --json` shows exactly the panic chain.
+        let args = Args::parse_with_flags(
+            [
+                "lint",
+                "--root",
+                root.as_str(),
+                "--graph",
+                "--rule",
+                "R2",
+                "--json",
+            ],
+            &["json", "graph"],
+        )
+        .unwrap();
+        let doc = snapea_obs::parse(&run(&args).unwrap_err().to_string()).expect("valid json");
+        assert_eq!(doc.get("graph").and_then(Json::as_bool), Some(true));
+        let findings = doc.get("findings").and_then(Json::as_array).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].get("rule").and_then(Json::as_str), Some("R2"));
+        let chain = findings[0].get("chain").and_then(Json::as_array).unwrap();
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain[0].get("to").and_then(Json::as_str), Some(".unwrap()"));
+        assert_eq!(chain[0].get("line").and_then(Json::as_u64), Some(4));
+    }
+
+    #[test]
+    fn lint_explain_prints_rule_docs() {
+        let args = Args::parse(["lint", "--explain", "r3"]).unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.starts_with("R3 (parallel-capture)"), "{out}");
+        assert!(out.contains("bit-identity"), "{out}");
+
+        let args = Args::parse(["lint", "--explain", "Z9"]).unwrap();
         let err = run(&args).unwrap_err().to_string();
         assert!(err.contains("unknown rule"), "{err}");
     }

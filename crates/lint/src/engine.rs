@@ -1,0 +1,126 @@
+//! The workspace lint engine: runs the per-file rules over every source,
+//! optionally layers the call-graph pass (R1/R2/R3) on top, applies the
+//! reasoned-allow grammar to both, and runs the A1 hygiene pass last.
+
+use crate::graph::CallGraph;
+use crate::parse::{parse_source, FileItems};
+use crate::rules::{analyze, FileAnalysis, FileCtx, FileKind, Finding, RuleId};
+use std::collections::BTreeMap;
+
+/// One source file handed to [`lint_sources`]: the workspace walker
+/// builds these, and tests can fabricate them in memory.
+#[derive(Debug, Clone)]
+pub struct SourceSpec {
+    /// Workspace-relative path, used in findings.
+    pub path: String,
+    /// Crate directory name (`tensor`, `core`, …; `suite` for the
+    /// facade crate at the workspace root).
+    pub crate_name: String,
+    /// Library or binary source.
+    pub kind: FileKind,
+    /// Whether this is a crate root (`lib.rs`), which S1 checks.
+    pub is_crate_root: bool,
+    /// Full file text.
+    pub source: String,
+}
+
+/// Engine options.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Run the transitive call-graph rules (R1/R2/R3) in addition to the
+    /// per-file rules.
+    pub graph: bool,
+}
+
+/// Lints a set of sources as one workspace. Findings come back sorted by
+/// `(file, line, rule)`.
+pub fn lint_sources(files: &[SourceSpec], opts: &LintOptions) -> Vec<Finding> {
+    let mut analyses: Vec<FileAnalysis> = Vec::new();
+    let mut parsed: Vec<FileItems> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+
+    for spec in files {
+        let ctx = FileCtx {
+            path: &spec.path,
+            crate_name: &spec.crate_name,
+            kind: spec.kind,
+            is_crate_root: spec.is_crate_root,
+        };
+        let mut fa = analyze(&ctx, &spec.source);
+        findings.extend(fa.apply_allows());
+        analyses.push(fa);
+        if opts.graph {
+            parsed.push(parse_source(&spec.source));
+        }
+    }
+
+    if opts.graph {
+        let ctx_items: Vec<(FileCtx<'_>, FileItems)> = files
+            .iter()
+            .zip(parsed)
+            .map(|(spec, items)| {
+                (
+                    FileCtx {
+                        path: &spec.path,
+                        crate_name: &spec.crate_name,
+                        kind: spec.kind,
+                        is_crate_root: spec.is_crate_root,
+                    },
+                    items,
+                )
+            })
+            .collect();
+        let graph = CallGraph::build(&ctx_items);
+
+        let by_path: BTreeMap<&str, &FileAnalysis> =
+            analyses.iter().map(|fa| (fa.path.as_str(), fa)).collect();
+        let excerpt = |path: &str, line: usize| -> String {
+            by_path
+                .get(path)
+                .map(|fa| fa.excerpt(line))
+                .unwrap_or_default()
+        };
+        // An R2 panic sink already audited by a valid per-file P1 allow is
+        // not a source: the audit at the sink covers every path to it.
+        let audited = |path: &str, line: usize| -> bool {
+            by_path
+                .get(path)
+                .is_some_and(|fa| fa.allows.iter().any(|a| a.covers(RuleId::P1, line)))
+        };
+
+        let mut graph_findings = graph.r1_findings(&excerpt);
+        graph_findings.extend(graph.r2_findings(&excerpt, &audited));
+        graph_findings.extend(graph.r3_findings(&excerpt));
+        drop(by_path);
+
+        // Allow application for chain findings: a reasoned
+        // `lint:allow(<rule>)` covering *any* link of the chain — the
+        // call site or the sink, in that link's file — suppresses the
+        // finding and marks the allow used. An allow above the fn that
+        // opens a chain covers it too (fn-scoped allows span the body,
+        // hence the call line).
+        for f in graph_findings {
+            let mut suppressed = false;
+            'links: for link in &f.chain {
+                if let Some(fa) = analyses.iter_mut().find(|fa| fa.path == link.file) {
+                    if let Some(a) = fa.allows.iter_mut().find(|a| a.covers(f.rule, link.line)) {
+                        a.used = true;
+                        suppressed = true;
+                        break 'links;
+                    }
+                }
+            }
+            if !suppressed {
+                findings.push(f);
+            }
+        }
+    }
+
+    for fa in &analyses {
+        findings.extend(fa.a1_findings(opts.graph));
+    }
+
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    findings
+}

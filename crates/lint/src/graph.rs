@@ -1,0 +1,486 @@
+//! Cross-crate call graph and the three transitive rules (R1/R2/R3).
+//!
+//! Nodes are `fn` items keyed by qualified name
+//! (`<crate>::[<Type>::]<name>`); edges are the call sites the parser
+//! recovered. Name resolution is intentionally approximate (DESIGN.md §8
+//! spells out the caveats):
+//!
+//! * a leading workspace-crate alias (`snapea_tensor::…`, `crate::…`)
+//!   pins the target crate; module segments in between are ignored;
+//! * a CamelCase penultimate segment resolves through the
+//!   `(Type, method)` owner index;
+//! * bare calls resolve within the caller's crate first, then anywhere;
+//! * `.method()` calls resolve to *every* fn of that name — minus a
+//!   std-method stoplist — which over-approximates (sound for
+//!   reachability, may need a reasoned allow at a false link);
+//! * `std::`/`core::`/`alloc::` paths are external: no edge (the sink
+//!   classifier has already seen the ones we care about).
+
+use crate::parse::FnItem;
+use crate::rules::{ChainLink, FileCtx, FileKind, Finding, RuleId};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Method names that resolve to std/core inherent or trait impls far
+/// more often than to workspace fns; `.name()` calls to these create no
+/// edge. Free and path-qualified calls are unaffected.
+const STD_METHODS: [&str; 78] = [
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "append",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "chain",
+    "chars",
+    "clamp",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "copied",
+    "count",
+    "dedup",
+    "drain",
+    "ends_with",
+    "enumerate",
+    "eq",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "flat_map",
+    "flatten",
+    "flush",
+    "fold",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "last",
+    "len",
+    "lines",
+    "map",
+    "max",
+    "min",
+    "next",
+    "ok",
+    "ok_or",
+    "parse",
+    "partial_cmp",
+    "position",
+    "pow",
+    "push",
+    "read",
+    "remove",
+    "rev",
+    "reserve",
+    "resize",
+    "retain",
+    "skip",
+    "sort",
+    "split",
+    "sqrt",
+    "starts_with",
+    "step_by",
+    "sum",
+    "take",
+    "to_owned",
+    "to_string",
+    "trim",
+    "truncate",
+    "windows",
+    "write",
+    "zip",
+];
+
+/// Files whose functions are result-path roots for R1: the executor
+/// walks, the kernels, the oracle references, and artifact load. Matched
+/// by suffix against the workspace-relative path.
+const RESULT_PATH_FILES: [&str; 10] = [
+    "crates/core/src/exec.rs",
+    "crates/core/src/pau.rs",
+    "crates/core/src/artifact.rs",
+    "crates/core/src/reorder.rs",
+    "crates/tensor/src/matrix.rs",
+    "crates/tensor/src/lane.rs",
+    "crates/tensor/src/q16.rs",
+    "crates/tensor/src/im2col.rs",
+    "crates/oracle/src/reference.rs",
+    "crates/oracle/src/cycle_model.rs",
+];
+
+/// Crates whose interiors are sanctioned for wall-clock and env access:
+/// R1 chains stop at their boundary (calling *into* obs is fine; what
+/// obs does with the clock is its charter).
+const SANCTIONED_CRATES: [&str; 2] = ["obs", "bench"];
+
+/// One fn node with its provenance.
+pub(crate) struct Node {
+    pub(crate) item: FnItem,
+    /// Crate directory name (`tensor`, `core`, …).
+    pub(crate) krate: String,
+    /// Workspace-relative file path.
+    pub(crate) file: String,
+    pub(crate) kind: FileKind,
+}
+
+impl Node {
+    /// `<crate>::[<Type>::]<name>`, the display form used in chains.
+    pub(crate) fn qualified(&self) -> String {
+        match &self.item.owner {
+            Some(t) => format!("{}::{}::{}", self.krate, t, self.item.name),
+            None => format!("{}::{}", self.krate, self.item.name),
+        }
+    }
+}
+
+/// The workspace call graph.
+pub(crate) struct CallGraph {
+    pub(crate) nodes: Vec<Node>,
+    /// node → outgoing edges as (callee node, call line).
+    edges: Vec<Vec<(usize, usize)>>,
+}
+
+/// Maps a path's first segment to a workspace crate directory, if it is
+/// a crate alias.
+fn crate_alias(seg: &str) -> Option<&'static str> {
+    Some(match seg {
+        "snapea_tensor" => "tensor",
+        "snapea" => "core",
+        "snapea_nn" => "nn",
+        "snapea_accel" => "accel",
+        "snapea_obs" => "obs",
+        "snapea_oracle" => "oracle",
+        "snapea_bench" => "bench",
+        "snapea_lint" => "lint",
+        "snapea_cli" => "cli",
+        _ => return None,
+    })
+}
+
+fn is_external_root(seg: &str) -> bool {
+    matches!(seg, "std" | "core" | "alloc")
+}
+
+fn is_type_like(seg: &str) -> bool {
+    seg.chars().next().is_some_and(|c| c.is_uppercase())
+}
+
+impl CallGraph {
+    /// Builds the graph from every file's parsed items. `files` pairs a
+    /// per-file context with its items.
+    pub(crate) fn build(files: &[(FileCtx<'_>, crate::parse::FileItems)]) -> CallGraph {
+        let mut nodes = Vec::new();
+        for (ctx, items) in files {
+            for f in &items.fns {
+                nodes.push(Node {
+                    item: f.clone(),
+                    krate: ctx.crate_name.to_string(),
+                    file: ctx.path.to_string(),
+                    kind: ctx.kind,
+                });
+            }
+        }
+
+        // Indexes: by bare name, by (crate, name), by (owner type, name).
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_crate_name: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut by_owner: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (idx, n) in nodes.iter().enumerate() {
+            by_name.entry(&n.item.name).or_default().push(idx);
+            by_crate_name
+                .entry((&n.krate, &n.item.name))
+                .or_default()
+                .push(idx);
+            if let Some(owner) = &n.item.owner {
+                by_owner
+                    .entry((owner.as_str(), &n.item.name))
+                    .or_default()
+                    .push(idx);
+            }
+        }
+
+        let mut edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nodes.len()];
+        for (idx, n) in nodes.iter().enumerate() {
+            for call in &n.item.calls {
+                let targets = resolve(call, &n.krate, &by_name, &by_crate_name, &by_owner);
+                for t in targets {
+                    if t != idx {
+                        edges[idx].push((t, call.line));
+                    }
+                }
+            }
+        }
+
+        CallGraph { nodes, edges }
+    }
+
+    /// Runs R1: from every non-test fn in a result-path file, search for
+    /// a reachable nondeterminism sink. Chains stop at the obs/bench
+    /// boundary. One finding per reached sink site, shortest chain wins.
+    pub(crate) fn r1_findings(&self, excerpt: &dyn Fn(&str, usize) -> String) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let mut reported: BTreeMap<(String, usize), ()> = BTreeMap::new();
+        for (root, n) in self.nodes.iter().enumerate() {
+            if n.item.in_test || !RESULT_PATH_FILES.iter().any(|f| n.file.ends_with(f)) {
+                continue;
+            }
+            let reach = self.bfs(root, |t| {
+                !SANCTIONED_CRATES.contains(&self.nodes[t].krate.as_str())
+            });
+            for (node, parent) in &reach {
+                let nn = &self.nodes[*node];
+                for sink in &nn.item.sinks {
+                    let key = (nn.file.clone(), sink.line);
+                    if reported.contains_key(&key) {
+                        continue;
+                    }
+                    let mut chain = self.chain_to(&reach, *node, parent);
+                    chain.push(ChainLink {
+                        from: nn.qualified(),
+                        to: sink.label.clone(),
+                        file: nn.file.clone(),
+                        line: sink.line,
+                    });
+                    reported.insert(key, ());
+                    findings.push(Finding {
+                        rule: RuleId::R1,
+                        file: nn.file.clone(),
+                        line: sink.line,
+                        excerpt: excerpt(&nn.file, sink.line),
+                        hint: RuleId::R1.hint().to_string(),
+                        chain,
+                    });
+                }
+            }
+        }
+        findings
+    }
+
+    /// Runs R2: multi-source BFS from every truly-`pub` library fn; any
+    /// reached unaudited panic site yields one finding carrying the
+    /// shortest chain from the nearest public root. `audited` says
+    /// whether a valid `lint:allow(P1)` already covers a sink line.
+    pub(crate) fn r2_findings(
+        &self,
+        excerpt: &dyn Fn(&str, usize) -> String,
+        audited: &dyn Fn(&str, usize) -> bool,
+    ) -> Vec<Finding> {
+        let roots: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.item.is_pub && !n.item.in_test && n.kind == FileKind::Lib)
+            .map(|(i, _)| i)
+            .collect();
+        let reach = self.multi_bfs(&roots, |_| true);
+        let mut findings = Vec::new();
+        let mut reported: BTreeMap<(String, usize), ()> = BTreeMap::new();
+        for (node, parent) in &reach {
+            let nn = &self.nodes[*node];
+            if nn.item.in_test {
+                continue;
+            }
+            for p in &nn.item.panics {
+                if audited(&nn.file, p.line) {
+                    continue;
+                }
+                let key = (nn.file.clone(), p.line);
+                if reported.contains_key(&key) {
+                    continue;
+                }
+                let mut chain = self.chain_to(&reach, *node, parent);
+                chain.push(ChainLink {
+                    from: nn.qualified(),
+                    to: p.label.clone(),
+                    file: nn.file.clone(),
+                    line: p.line,
+                });
+                reported.insert(key, ());
+                findings.push(Finding {
+                    rule: RuleId::R2,
+                    file: nn.file.clone(),
+                    line: p.line,
+                    excerpt: excerpt(&nn.file, p.line),
+                    hint: RuleId::R2.hint().to_string(),
+                    chain,
+                });
+            }
+        }
+        findings
+    }
+
+    /// Runs R3: every capture violation inside a pool-dispatched closure
+    /// is a finding; the chain is `enclosing_fn → par::<entry> → label`.
+    pub(crate) fn r3_findings(&self, excerpt: &dyn Fn(&str, usize) -> String) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for n in &self.nodes {
+            if n.item.in_test {
+                continue;
+            }
+            for d in &n.item.dispatches {
+                for v in &d.violations {
+                    let chain = vec![
+                        ChainLink {
+                            from: n.qualified(),
+                            to: format!("tensor::par::{}", d.callee),
+                            file: n.file.clone(),
+                            line: d.line,
+                        },
+                        ChainLink {
+                            from: format!("closure@{}", d.line),
+                            to: v.label.clone(),
+                            file: n.file.clone(),
+                            line: v.line,
+                        },
+                    ];
+                    findings.push(Finding {
+                        rule: RuleId::R3,
+                        file: n.file.clone(),
+                        line: v.line,
+                        excerpt: excerpt(&n.file, v.line),
+                        hint: RuleId::R3.hint().to_string(),
+                        chain,
+                    });
+                }
+            }
+        }
+        findings
+    }
+
+    /// BFS from `root`; `enter` gates whether an edge target's subtree is
+    /// explored. Returns `(node, parent)` pairs in visit order; `parent`
+    /// is `(caller node, call line)`, absent for the root.
+    fn bfs(
+        &self,
+        root: usize,
+        enter: impl Fn(usize) -> bool,
+    ) -> BTreeMap<usize, Option<(usize, usize)>> {
+        self.multi_bfs(&[root], enter)
+    }
+
+    fn multi_bfs(
+        &self,
+        roots: &[usize],
+        enter: impl Fn(usize) -> bool,
+    ) -> BTreeMap<usize, Option<(usize, usize)>> {
+        let mut seen: BTreeMap<usize, Option<(usize, usize)>> = BTreeMap::new();
+        let mut q = VecDeque::new();
+        for &r in roots {
+            if let std::collections::btree_map::Entry::Vacant(e) = seen.entry(r) {
+                e.insert(None);
+                q.push_back(r);
+            }
+        }
+        while let Some(u) = q.pop_front() {
+            for &(v, line) in &self.edges[u] {
+                if seen.contains_key(&v) || !enter(v) {
+                    continue;
+                }
+                seen.insert(v, Some((u, line)));
+                q.push_back(v);
+            }
+        }
+        seen
+    }
+
+    /// Reconstructs the call chain root → … → `node` from BFS parents.
+    fn chain_to(
+        &self,
+        reach: &BTreeMap<usize, Option<(usize, usize)>>,
+        node: usize,
+        parent: &Option<(usize, usize)>,
+    ) -> Vec<ChainLink> {
+        let mut links = Vec::new();
+        let mut cur = node;
+        let mut par = *parent;
+        while let Some((p, line)) = par {
+            links.push(ChainLink {
+                from: self.nodes[p].qualified(),
+                to: self.nodes[cur].qualified(),
+                file: self.nodes[p].file.clone(),
+                line,
+            });
+            cur = p;
+            par = reach.get(&p).copied().flatten();
+        }
+        links.reverse();
+        links
+    }
+}
+
+/// Resolves one call site to candidate node indexes.
+fn resolve(
+    call: &crate::parse::CallSite,
+    caller_crate: &str,
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    by_crate_name: &BTreeMap<(&str, &str), Vec<usize>>,
+    by_owner: &BTreeMap<(&str, &str), Vec<usize>>,
+) -> Vec<usize> {
+    let last = match call.path.last() {
+        Some(l) => l.as_str(),
+        None => return Vec::new(),
+    };
+
+    if call.method {
+        if STD_METHODS.contains(&last) {
+            return Vec::new();
+        }
+        // Receiver type unknown: every method of that name is a candidate.
+        return by_name.get(last).cloned().unwrap_or_default();
+    }
+
+    let first = call.path.first().map(String::as_str).unwrap_or("");
+    if is_external_root(first) && call.path.len() > 1 {
+        return Vec::new();
+    }
+
+    // `Type::method` / `snapea_x::…::Type::method`: the owner index.
+    let penult = call
+        .path
+        .len()
+        .checked_sub(2)
+        .and_then(|k| call.path.get(k))
+        .map(String::as_str);
+    if let Some(p) = penult {
+        if is_type_like(p) {
+            return by_owner.get(&(p, last)).cloned().unwrap_or_default();
+        }
+    }
+
+    // A crate-qualified free fn: `snapea_tensor::par::run_tasks`,
+    // `crate::helper`.
+    let target_crate = match first {
+        "crate" | "self" | "super" => Some(caller_crate),
+        f => crate_alias(f),
+    };
+    if call.path.len() > 1 {
+        if let Some(tc) = target_crate {
+            return by_crate_name.get(&(tc, last)).cloned().unwrap_or_default();
+        }
+        // Module-qualified within the current crate (`par::run_tasks`):
+        // same crate first, then anywhere.
+        if let Some(hits) = by_crate_name.get(&(caller_crate, last)) {
+            return hits.clone();
+        }
+        return by_name.get(last).cloned().unwrap_or_default();
+    }
+
+    // Bare call: caller's crate first, then any crate (a `use`-imported
+    // free fn).
+    if let Some(hits) = by_crate_name.get(&(caller_crate, last)) {
+        return hits.clone();
+    }
+    by_name.get(last).cloned().unwrap_or_default()
+}

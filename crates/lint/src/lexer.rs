@@ -122,18 +122,12 @@ impl Lexer {
                     self.bump();
                     self.char_literal(line);
                 }
-                'b' if self.peek(1) == Some('r')
-                    && matches!(self.peek(2), Some('"') | Some('#')) =>
-                {
+                'b' if self.peek(1) == Some('r') && self.raw_string_follows(2) => {
                     self.bump();
                     self.bump();
                     self.raw_string(line);
                 }
-                'r' if matches!(self.peek(1), Some('"')) => {
-                    self.bump();
-                    self.raw_string(line);
-                }
-                'r' if self.peek(1) == Some('#') && self.peek(2) == Some('"') => {
+                'r' if self.raw_string_follows(1) => {
                     self.bump();
                     self.raw_string(line);
                 }
@@ -207,6 +201,19 @@ impl Lexer {
             }
         }
         self.push(line, TokKind::Str);
+    }
+
+    /// True when the characters from offset `start` spell a raw-string
+    /// opener: zero or more `#` then `"`. Any hash depth is accepted —
+    /// matching only `r"`/`r#"` would mis-lex `r##"…"##` as an identifier
+    /// plus a plain string whose closing quote swallows following code
+    /// (found by the lexer fuzz tests).
+    fn raw_string_follows(&self, start: usize) -> bool {
+        let mut k = start;
+        while self.peek(k) == Some('#') {
+            k += 1;
+        }
+        self.peek(k) == Some('"')
     }
 
     /// Raw string, positioned at the `#…#"` or `"` after the `r`.
@@ -363,6 +370,25 @@ mod tests {
         assert_eq!(toks.len(), 2);
         assert!(matches!(toks[0], TokKind::Str));
         assert_eq!(toks[1].ident(), Some("ident"));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_terminate() {
+        // Regression: `r##"…"##` used to lex as ident `r` + puncts + a
+        // plain string whose closing quote swallowed following code.
+        let toks = kinds("r##\"has \"# inside\"## after br###\"bytes\"### tail");
+        assert_eq!(toks[0], TokKind::Str);
+        assert_eq!(toks[1].ident(), Some("after"));
+        assert_eq!(toks[2], TokKind::Str);
+        assert_eq!(toks[3].ident(), Some("tail"));
+    }
+
+    #[test]
+    fn raw_identifiers_still_lex() {
+        let toks = kinds("r#type r#fn x");
+        assert_eq!(toks[0].ident(), Some("type"));
+        assert_eq!(toks[1].ident(), Some("fn"));
+        assert_eq!(toks[2].ident(), Some("x"));
     }
 
     #[test]

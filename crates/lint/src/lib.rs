@@ -40,9 +40,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
+mod graph;
 pub mod lexer;
+mod parse;
 pub mod rules;
 pub mod walk;
 
-pub use rules::{lint_source, FileCtx, FileKind, Finding, RuleId};
-pub use walk::{find_workspace_root, lint_workspace, LintReport, WalkError};
+pub use engine::{lint_sources, LintOptions, SourceSpec};
+pub use rules::{lint_source, ChainLink, FileCtx, FileKind, Finding, RuleId};
+pub use walk::{find_workspace_root, lint_workspace, lint_workspace_opts, LintReport, WalkError};

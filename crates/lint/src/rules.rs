@@ -36,7 +36,9 @@
 
 use crate::lexer::{lex, TokKind, Token};
 
-/// Rule identifiers. `A1` is the meta-rule for malformed annotations.
+/// Rule identifiers. `A1` is the meta-rule for malformed annotations;
+/// `R1`–`R3` are the call-graph (transitive) rules, only run by the
+/// workspace-level graph pass (`--graph`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum RuleId {
     /// Hash collections in result-affecting crates.
@@ -54,11 +56,18 @@ pub enum RuleId {
     S1,
     /// Malformed, unknown, or unused `lint:allow` annotation.
     A1,
+    /// Result-path function transitively reaches a nondeterminism source.
+    R1,
+    /// Public library API transitively reaches a panic site.
+    R2,
+    /// Closure dispatched into the `snapea-tensor::par` pool captures or
+    /// mutates aliased outer state.
+    R3,
 }
 
 impl RuleId {
     /// All rules, in report order.
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 10] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::P1,
@@ -66,6 +75,9 @@ impl RuleId {
         RuleId::N1,
         RuleId::S1,
         RuleId::A1,
+        RuleId::R1,
+        RuleId::R2,
+        RuleId::R3,
     ];
 
     /// The short id used in reports and `lint:allow(...)` annotations.
@@ -78,12 +90,21 @@ impl RuleId {
             RuleId::N1 => "N1",
             RuleId::S1 => "S1",
             RuleId::A1 => "A1",
+            RuleId::R1 => "R1",
+            RuleId::R2 => "R2",
+            RuleId::R3 => "R3",
         }
     }
 
     /// Parses a rule id as written in an annotation or `--rule` filter.
     pub fn parse(s: &str) -> Option<RuleId> {
         RuleId::ALL.into_iter().find(|r| r.as_str() == s)
+    }
+
+    /// True for the transitive call-graph rules, which only run under the
+    /// workspace graph pass (`LintOptions::graph` / `lint --graph`).
+    pub fn is_graph(self) -> bool {
+        matches!(self, RuleId::R1 | RuleId::R2 | RuleId::R3)
     }
 
     /// Human name of the rule.
@@ -96,6 +117,9 @@ impl RuleId {
             RuleId::N1 => "narrow-cast",
             RuleId::S1 => "forbid-unsafe",
             RuleId::A1 => "allow-grammar",
+            RuleId::R1 => "determinism-reachability",
+            RuleId::R2 => "panic-reachability",
+            RuleId::R3 => "parallel-capture",
         }
     }
 
@@ -134,6 +158,115 @@ impl RuleId {
                 "every `// lint:allow(<rule>) <reason>` must name a known rule, give a \
                  non-empty reason, and suppress at least one finding"
             }
+            RuleId::R1 => {
+                "a result-path function (executor walks, kernels, oracle references, \
+                 artifact load) transitively reaches a nondeterminism source; break the \
+                 chain, or justify the sanctioned site with `// lint:allow(R1) <reason>` \
+                 at any link"
+            }
+            RuleId::R2 => {
+                "a public library API transitively reaches an unaudited panic site; \
+                 propagate the error, audit the sink with `// lint:allow(P1) <reason>`, \
+                 or justify a link with `// lint:allow(R2) <reason>`"
+            }
+            RuleId::R3 => {
+                "a closure dispatched into the snapea-tensor::par pool captures &mut \
+                 state or mutates a captured binding; pass per-task data as task items \
+                 (disjoint &mut slabs via chunks_mut) or justify with \
+                 `// lint:allow(R3) <reason>`"
+            }
+        }
+    }
+
+    /// Long-form documentation for `snapea-tool lint --explain <rule>`: the
+    /// invariant, the scope, and what a fix looks like.
+    pub fn explain(self) -> &'static str {
+        match self {
+            RuleId::D1 => {
+                "D1 hash-collections — scope: result-affecting crates (tensor, core, \
+                 accel, nn, oracle).\n\
+                 HashMap/HashSet iteration order varies per process (SipHash keys are \
+                 randomized), so any float accumulation or output ordering derived from \
+                 it silently breaks the bit-identity contracts. Use BTreeMap/BTreeSet \
+                 or a sorted Vec; a membership-only set that is provably never iterated \
+                 into results may carry `// lint:allow(D1) <reason>`."
+            }
+            RuleId::D2 => {
+                "D2 wall-clock — scope: everywhere except the obs and bench crates.\n\
+                 Instant/SystemTime/ambient RNG (thread_rng, from_entropy, OsRng) make \
+                 result-affecting code a function of more than its inputs and seed. \
+                 Route timing through snapea_obs::Stopwatch/spans and randomness \
+                 through seeded generators."
+            }
+            RuleId::P1 => {
+                "P1 panic-path — scope: library (non-test, non-bin) code.\n\
+                 unwrap/expect/panic!/todo!/unimplemented!/unreachable! tear down a \
+                 pool worker mid-merge. Return Result, restructure, or annotate the \
+                 invariant with `// lint:allow(P1) <reason>` — the reason is the audit \
+                 trail arguing the panic is unreachable."
+            }
+            RuleId::P2 => {
+                "P2 hot-index — scope: the designated hot kernel files.\n\
+                 Each slice index inside a loop is a bounds-check branch and a panic \
+                 path in the innermost MAC loops. Use iterators/zip, or annotate the \
+                 enclosing fn stating why every index is in range."
+            }
+            RuleId::N1 => {
+                "N1 narrow-cast — scope: the hot kernel files.\n\
+                 A bare `as` cast to i8/u8/i16/u16/i32/u32 silently wraps; use the \
+                 checked/saturating helpers in snapea_tensor::num."
+            }
+            RuleId::S1 => {
+                "S1 forbid-unsafe — scope: every crate root and every unsafe token.\n\
+                 Crate roots carry #![forbid(unsafe_code)] (or #![deny(unsafe_code)] \
+                 for the audited tensor pool core), and each unsafe token outside \
+                 tests needs `// lint:allow(S1) <soundness argument>`."
+            }
+            RuleId::A1 => {
+                "A1 allow-grammar — scope: all `lint:allow` annotations.\n\
+                 Every suppression must name a known rule, carry a non-empty reason, \
+                 and actually suppress a finding. Graph-rule allows (R1/R2/R3) are \
+                 usage-checked only when the graph pass runs, since only it can \
+                 observe the chains they suppress."
+            }
+            RuleId::R1 => {
+                "R1 determinism-reachability — scope: functions defined in the \
+                 result-path files (executor walks, kernels, oracle references, \
+                 artifact load), analyzed over the whole workspace call graph.\n\
+                 A result-path function must not transitively reach a nondeterminism \
+                 source: wall-clock constructors, ambient RNG, hash-order iteration, \
+                 std::env reads, or thread-identity reads. Calls into the obs and \
+                 bench crates do not propagate (the sanctioned observability \
+                 boundary: timing flows into events, never back into results). The \
+                 finding prints the evidence chain, e.g.\n\
+                 \x20   execute_conv() \u{2192} run_tasks() \u{2192} threads() \u{2192} std::env::var\n\
+                 and a reasoned `// lint:allow(R1) <reason>` at any link (typically \
+                 the sanctioned config-read site) suppresses every chain through it."
+            }
+            RuleId::R2 => {
+                "R2 panic-reachability — scope: public functions in library code, \
+                 analyzed over the whole workspace call graph.\n\
+                 Where P1 flags a panic token at its site, R2 proves the negative \
+                 transitively: no public API may reach a panic site that lacks a \
+                 reasoned audit. A panic site under a valid `lint:allow(P1)` is \
+                 audited (its reason argues unreachability) and terminates the \
+                 search; an unaudited site yields one finding carrying the complete \
+                 shortest call chain from the nearest public API, with file:line \
+                 spans for every edge. `// lint:allow(R2) <reason>` at any chain \
+                 link also suppresses."
+            }
+            RuleId::R3 => {
+                "R3 parallel-capture — scope: closure arguments at every \
+                 snapea_tensor::par dispatch site (run_tasks, parallel_map, \
+                 parallel_map_chunks, parallel_for), workspace-wide.\n\
+                 The pool's bit-identity contract requires tasks to write only \
+                 per-task state: a dispatched closure must not capture `&mut` \
+                 aliased outer state, assign to captured bindings, or call mutating \
+                 methods on captured collections. Per-task outputs belong in the \
+                 task items themselves (disjoint &mut slabs via chunks_mut). This is \
+                 the static shadow of the contract the determinism suite checks \
+                 dynamically."
+            }
         }
     }
 }
@@ -141,6 +274,34 @@ impl RuleId {
 impl std::fmt::Display for RuleId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.as_str())
+    }
+}
+
+/// One edge of a call-graph evidence chain: `from` calls (or contains)
+/// `to`, at `file:line`. The final link's `to` is the sink itself (a
+/// nondeterminism source, panic token, or capture violation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainLink {
+    /// Qualified caller, `<crate>::[<Type>::]<fn>`.
+    pub from: String,
+    /// Qualified callee, or the sink label for the terminal link.
+    pub to: String,
+    /// Workspace-relative file of the call (or sink) site.
+    pub file: String,
+    /// 1-based line of the call (or sink) site.
+    pub line: usize,
+}
+
+impl ChainLink {
+    /// Renders the link as a JSON object.
+    pub fn to_json_string(&self) -> String {
+        format!(
+            "{{\"from\":{},\"to\":{},\"file\":{},\"line\":{}}}",
+            json_str(&self.from),
+            json_str(&self.to),
+            json_str(&self.file),
+            self.line
+        )
     }
 }
 
@@ -159,34 +320,73 @@ pub struct Finding {
     /// [`RuleId::hint`] for the rule, carried so JSON consumers need no
     /// rule table.
     pub hint: String,
+    /// Evidence chain for graph-rule findings (root → … → sink), with the
+    /// call-site span of every edge. Empty for the per-file rules.
+    pub chain: Vec<ChainLink>,
 }
 
 impl Finding {
     /// Renders the finding as a single JSON object (hand-rolled: this crate
     /// is std-only by design).
     pub fn to_json_string(&self) -> String {
+        let chain: Vec<String> = self.chain.iter().map(ChainLink::to_json_string).collect();
         format!(
-            "{{\"rule\":{},\"file\":{},\"line\":{},\"excerpt\":{},\"hint\":{}}}",
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"excerpt\":{},\"hint\":{},\"chain\":[{}]}}",
             json_str(self.rule.as_str()),
             json_str(&self.file),
             self.line,
             json_str(&self.excerpt),
-            json_str(&self.hint)
+            json_str(&self.hint),
+            chain.join(",")
         )
     }
 
-    /// Renders the human-readable two-line report form.
+    /// The one-line evidence form, `root() → callee() → sink` (short fn
+    /// names; the terminal sink label is printed verbatim).
+    pub fn chain_summary(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for (i, link) in self.chain.iter().enumerate() {
+            if i == 0 {
+                parts.push(format!("{}()", short_name(&link.from)));
+            }
+            if i + 1 == self.chain.len() {
+                parts.push(link.to.clone());
+            } else {
+                parts.push(format!("{}()", short_name(&link.to)));
+            }
+        }
+        parts.join(" \u{2192} ")
+    }
+
+    /// Renders the human-readable report form: the two-line site + hint,
+    /// plus — for graph findings — the evidence chain with a file:line
+    /// span per edge.
     pub fn render_text(&self) -> String {
-        format!(
-            "{}:{} [{}/{}] {}\n    hint: {}",
+        let mut out = format!(
+            "{}:{} [{}/{}] {}",
             self.file,
             self.line,
             self.rule,
             self.rule.name(),
-            self.excerpt,
-            self.hint
-        )
+            self.excerpt
+        );
+        if !self.chain.is_empty() {
+            out.push_str(&format!("\n    chain: {}", self.chain_summary()));
+            for link in &self.chain {
+                out.push_str(&format!(
+                    "\n      {}:{} {} \u{2192} {}",
+                    link.file, link.line, link.from, link.to
+                ));
+            }
+        }
+        out.push_str(&format!("\n    hint: {}", self.hint));
+        out
     }
+}
+
+/// The last `::` segment of a qualified name.
+fn short_name(qualified: &str) -> &str {
+    qualified.rsplit("::").next().unwrap_or(qualified)
 }
 
 /// Minimal JSON string escaping (the only JSON this crate emits).
@@ -266,24 +466,113 @@ const NARROW_INTS: [&str; 6] = ["i8", "u8", "i16", "u16", "i32", "u32"];
 
 /// A parsed `// lint:allow(<rule>) <reason>` annotation.
 #[derive(Debug)]
-struct Allow {
+pub(crate) struct Allow {
     /// Line of the comment itself.
-    comment_line: usize,
+    pub(crate) comment_line: usize,
     /// The rule text inside the parens (may be unknown — A1 reports it).
-    rule_text: String,
+    pub(crate) rule_text: String,
     /// Parsed rule, when known.
-    rule: Option<RuleId>,
+    pub(crate) rule: Option<RuleId>,
     /// Free-text justification after the closing paren.
-    reason: String,
+    pub(crate) reason: String,
     /// Inclusive line range the allow covers (one line, or a fn body).
-    scope: (usize, usize),
+    pub(crate) scope: (usize, usize),
     /// Whether any finding was suppressed by this allow.
-    used: bool,
+    pub(crate) used: bool,
+}
+
+impl Allow {
+    /// True when the allow is well-formed for `rule` and its scope covers
+    /// `line` — the condition under which it may suppress a finding.
+    pub(crate) fn covers(&self, rule: RuleId, line: usize) -> bool {
+        self.rule == Some(rule)
+            && !self.reason.is_empty()
+            && line >= self.scope.0
+            && line <= self.scope.1
+    }
+}
+
+/// The per-file analysis state: raw (pre-suppression) findings from the
+/// file rules plus the collected allow annotations. The workspace engine
+/// holds one per file so the graph pass can consume allows before the A1
+/// hygiene pass runs.
+#[derive(Debug)]
+pub(crate) struct FileAnalysis {
+    pub(crate) path: String,
+    pub(crate) lines: Vec<String>,
+    pub(crate) raw: Vec<Finding>,
+    pub(crate) allows: Vec<Allow>,
+}
+
+impl FileAnalysis {
+    /// The trimmed source line at 1-based `line`.
+    pub(crate) fn excerpt(&self, line: usize) -> String {
+        self.lines
+            .get(line.saturating_sub(1))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+
+    /// Applies the allows to the raw file-rule findings: a valid, reasoned
+    /// allow for the matching rule and line suppresses the finding (and is
+    /// marked used); invalid allows suppress nothing.
+    pub(crate) fn apply_allows(&mut self) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for f in std::mem::take(&mut self.raw) {
+            match self.allows.iter_mut().find(|a| a.covers(f.rule, f.line)) {
+                Some(a) => a.used = true,
+                None => findings.push(f),
+            }
+        }
+        findings
+    }
+
+    /// The A1 hygiene pass: malformed allows always fire; unused allows
+    /// fire except graph-rule allows when the graph pass did not run
+    /// (`check_unused_graph == false`) — only the graph pass can observe
+    /// the chains those suppress.
+    pub(crate) fn a1_findings(&self, check_unused_graph: bool) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for a in &self.allows {
+            let problem = if a.rule.is_none() {
+                Some(format!("unknown rule {:?} in lint:allow", a.rule_text))
+            } else if a.reason.is_empty() {
+                Some("lint:allow without a reason".to_string())
+            } else if !a.used && (check_unused_graph || !a.rule.is_some_and(RuleId::is_graph)) {
+                Some("lint:allow suppresses no finding".to_string())
+            } else {
+                None
+            };
+            if let Some(p) = problem {
+                findings.push(Finding {
+                    rule: RuleId::A1,
+                    file: self.path.clone(),
+                    line: a.comment_line,
+                    excerpt: format!("{} ({})", self.excerpt(a.comment_line), p),
+                    hint: RuleId::A1.hint().to_string(),
+                    chain: Vec::new(),
+                });
+            }
+        }
+        findings
+    }
 }
 
 /// Lints one file. `source` is the full file text; findings come back in
-/// line order. This is the unit the fixture tests drive directly.
+/// line order. This is the unit the fixture tests drive directly. Only the
+/// per-file rules run here; the transitive R-rules need the workspace
+/// engine ([`crate::lint_sources`] with `graph` on).
 pub fn lint_source(ctx: &FileCtx<'_>, source: &str) -> Vec<Finding> {
+    let mut fa = analyze(ctx, source);
+    let mut findings = fa.apply_allows();
+    findings.extend(fa.a1_findings(false));
+    findings.sort_by_key(|a| (a.line, a.rule));
+    findings
+}
+
+/// Runs the file rules over `source`, returning the raw findings and the
+/// allow annotations without applying them.
+pub(crate) fn analyze(ctx: &FileCtx<'_>, source: &str) -> FileAnalysis {
     let lines: Vec<&str> = source.lines().collect();
     let excerpt = |line: usize| -> String {
         lines
@@ -296,7 +585,7 @@ pub fn lint_source(ctx: &FileCtx<'_>, source: &str) -> Vec<Finding> {
     let code: Vec<&Token> = tokens.iter().filter(|t| !t.kind.is_comment()).collect();
     let test_ranges = test_regions(&code);
     let in_test = |idx: usize| test_ranges.iter().any(|&(lo, hi)| idx >= lo && idx <= hi);
-    let mut allows = collect_allows(&tokens, &code);
+    let allows = collect_allows(&tokens, &code);
 
     let mut raw: Vec<Finding> = Vec::new();
     let mut push = |rule: RuleId, line: usize| {
@@ -306,6 +595,7 @@ pub fn lint_source(ctx: &FileCtx<'_>, source: &str) -> Vec<Finding> {
             line,
             excerpt: excerpt(line),
             hint: rule.hint().to_string(),
+            chain: Vec::new(),
         });
     };
 
@@ -443,49 +733,12 @@ pub fn lint_source(ctx: &FileCtx<'_>, source: &str) -> Vec<Finding> {
         }
     }
 
-    // Apply allows: a valid, reasoned allow for the matching rule and line
-    // suppresses the finding; invalid allows suppress nothing.
-    let mut findings: Vec<Finding> = Vec::new();
-    for f in raw {
-        let allowed = allows.iter_mut().find(|a| {
-            a.rule == Some(f.rule)
-                && !a.reason.is_empty()
-                && f.line >= a.scope.0
-                && f.line <= a.scope.1
-        });
-        match allowed {
-            Some(a) => a.used = true,
-            None => findings.push(f),
-        }
+    FileAnalysis {
+        path: ctx.path.to_string(),
+        lines: lines.iter().map(|l| l.to_string()).collect(),
+        raw,
+        allows,
     }
-
-    // A1 — annotation hygiene. (Allows inside test regions are exempt from
-    // the "must suppress something" clause only via the rules themselves
-    // being off there; an allow in test code is simply unused and flagged,
-    // keeping annotations honest.)
-    for a in &allows {
-        let problem = if a.rule.is_none() {
-            Some(format!("unknown rule {:?} in lint:allow", a.rule_text))
-        } else if a.reason.is_empty() {
-            Some("lint:allow without a reason".to_string())
-        } else if !a.used {
-            Some("lint:allow suppresses no finding".to_string())
-        } else {
-            None
-        };
-        if let Some(p) = problem {
-            findings.push(Finding {
-                rule: RuleId::A1,
-                file: ctx.path.to_string(),
-                line: a.comment_line,
-                excerpt: format!("{} ({})", excerpt(a.comment_line), p),
-                hint: RuleId::A1.hint().to_string(),
-            });
-        }
-    }
-
-    findings.sort_by_key(|a| (a.line, a.rule));
-    findings
 }
 
 /// True when `kind` can be the base expression of an index (`x[`, `)[`,
@@ -499,7 +752,7 @@ fn is_index_base(kind: &TokKind) -> bool {
 }
 
 /// Code-token index ranges covered by `#[cfg(test)]` / `#[test]` items.
-fn test_regions(code: &[&Token]) -> Vec<(usize, usize)> {
+pub(crate) fn test_regions(code: &[&Token]) -> Vec<(usize, usize)> {
     let mut regions = Vec::new();
     let mut i = 0;
     while i < code.len() {
@@ -588,8 +841,15 @@ fn collect_allows(tokens: &[Token], code: &[&Token]) -> Vec<Allow> {
             None => (String::new(), rest.trim().to_string()),
         };
         // Binding line: the first code token on a later line. Other allow
-        // comments may sit between (stacked annotations share a target).
-        let bind = code.iter().position(|c| c.line > t.line);
+        // comments may sit between (stacked annotations share a target), and
+        // `#[...]` attribute lines are bound through — a rustc-side
+        // `#[allow(clippy::...)]` stacked with a lint:allow annotates the
+        // same statement.
+        let bind = code
+            .iter()
+            .position(|c| c.line > t.line)
+            .map(|idx| skip_attrs(code, idx))
+            .filter(|&idx| idx < code.len());
         let scope = match bind {
             None => (t.line + 1, t.line + 1),
             Some(idx) => fn_scope(code, idx),
@@ -606,10 +866,40 @@ fn collect_allows(tokens: &[Token], code: &[&Token]) -> Vec<Allow> {
     out
 }
 
+/// Advances `idx` past any `#[...]` / `#![...]` attributes so an allow
+/// comment binds to the statement or item the attributes annotate.
+fn skip_attrs(code: &[&Token], mut idx: usize) -> usize {
+    while idx < code.len() && matches!(code[idx].kind, TokKind::Punct('#')) {
+        let mut j = idx + 1;
+        if matches!(code.get(j).map(|t| &t.kind), Some(TokKind::Punct('!'))) {
+            j += 1;
+        }
+        if !matches!(code.get(j).map(|t| &t.kind), Some(TokKind::Punct('['))) {
+            break;
+        }
+        let mut depth = 0usize;
+        while let Some(t) = code.get(j) {
+            match t.kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        idx = j + 1;
+    }
+    idx
+}
+
 /// The line span an allow bound at code token `idx` covers: normally just
 /// that token's line, but the whole body when the statement starting there
 /// is a `fn` item.
-fn fn_scope(code: &[&Token], idx: usize) -> (usize, usize) {
+pub(crate) fn fn_scope(code: &[&Token], idx: usize) -> (usize, usize) {
     let line = code[idx].line;
     // Scan the item header: if an `fn` keyword appears before the first
     // `{` or item-level `;`, the allow covers the function body. Semicolons

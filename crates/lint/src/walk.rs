@@ -8,7 +8,8 @@
 //! regions *inside* scanned files are excluded by the rule engine itself.
 //! Directory iteration is sorted so reports are byte-stable run to run.
 
-use crate::rules::{lint_source, FileCtx, FileKind, Finding};
+use crate::engine::{lint_sources, LintOptions, SourceSpec};
+use crate::rules::{FileKind, Finding};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -22,6 +23,8 @@ pub struct LintReport {
     pub findings: Vec<Finding>,
     /// How many files were scanned.
     pub files_scanned: usize,
+    /// Whether the call-graph pass (R1/R2/R3) ran.
+    pub graph: bool,
 }
 
 impl LintReport {
@@ -35,8 +38,9 @@ impl LintReport {
     pub fn to_json_string(&self) -> String {
         let items: Vec<String> = self.findings.iter().map(Finding::to_json_string).collect();
         format!(
-            "{{\"files_scanned\":{},\"findings\":[{}],\"passed\":{}}}",
+            "{{\"files_scanned\":{},\"graph\":{},\"findings\":[{}],\"passed\":{}}}",
             self.files_scanned,
+            self.graph,
             items.join(","),
             self.passed()
         )
@@ -87,8 +91,17 @@ fn walk_err(path: &Path) -> impl FnOnce(io::Error) -> WalkError + '_ {
 /// Returns a [`WalkError`] when the filesystem cannot be read; findings —
 /// including parse oddities — are never errors.
 pub fn lint_workspace(root: &Path) -> Result<LintReport, WalkError> {
-    let mut findings = Vec::new();
-    let mut files_scanned = 0usize;
+    lint_workspace_opts(root, &LintOptions::default())
+}
+
+/// Like [`lint_workspace`], with engine options (the CLI's `--graph` mode
+/// enables the transitive rules this way).
+///
+/// # Errors
+///
+/// Returns a [`WalkError`] when the filesystem cannot be read.
+pub fn lint_workspace_opts(root: &Path, opts: &LintOptions) -> Result<LintReport, WalkError> {
+    let mut specs: Vec<SourceSpec> = Vec::new();
 
     // Crate sources: crates/<name>/src, sorted by crate name.
     let crates_dir = root.join("crates");
@@ -132,22 +145,22 @@ pub fn lint_workspace(root: &Path) -> Result<LintReport, WalkError> {
             };
             let is_crate_root = file == src.join("lib.rs");
             let source = fs::read_to_string(&file).map_err(walk_err(&file))?;
-            let ctx = FileCtx {
-                path: &rel,
-                crate_name: &crate_name,
+            specs.push(SourceSpec {
+                path: rel,
+                crate_name: crate_name.clone(),
                 kind,
                 is_crate_root,
-            };
-            findings.extend(lint_source(&ctx, &source));
-            files_scanned += 1;
+                source,
+            });
         }
     }
 
-    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    let findings = lint_sources(&specs, opts);
     Ok(LintReport {
         root: root.to_string_lossy().into_owned(),
         findings,
-        files_scanned,
+        files_scanned: specs.len(),
+        graph: opts.graph,
     })
 }
 

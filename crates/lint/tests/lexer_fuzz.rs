@@ -1,0 +1,236 @@
+//! Property/fuzz tests for the lexer: the lint must never panic on the
+//! code it inspects, whatever that code looks like. Inputs are generated
+//! from the oracle's deterministic SplitMix64 generator, so any failure
+//! replays from the printed seed.
+//!
+//! Two properties hold for *every* input:
+//!
+//! 1. **Totality** — `lex` returns (no panic, no hang) even on malformed
+//!    input: unterminated strings, stray quotes, invalid UTF-8-adjacent
+//!    byte soup (we stay in `&str` land, but arbitrary chars).
+//! 2. **Span monotonicity** — token line numbers are non-decreasing and
+//!    never exceed the input's line count.
+
+use snapea_lint::lexer::{lex, TokKind};
+use snapea_oracle::rng::{mix, OracleRng};
+
+/// Checks both fuzz properties on one input, with the seed in failures.
+fn check(src: &str, seed: u64) {
+    let tokens = lex(src);
+    let line_count = src.lines().count().max(1);
+    let mut prev = 1usize;
+    for t in &tokens {
+        assert!(
+            t.line >= prev,
+            "seed {seed}: line numbers must be non-decreasing \
+             ({} after {prev})\ninput: {src:?}",
+            t.line
+        );
+        assert!(
+            t.line <= line_count,
+            "seed {seed}: token line {} exceeds input line count {line_count}\ninput: {src:?}",
+            t.line
+        );
+        prev = t.line;
+    }
+}
+
+/// Random token soup: identifiers, punctuation, quotes, digits, and
+/// newlines thrown together with no grammatical structure.
+#[test]
+fn random_token_soup_never_panics() {
+    const PIECES: [&str; 24] = [
+        "fn",
+        "ident",
+        "0x1f",
+        "1_000u64",
+        "1.5e-3",
+        "'a'",
+        "'a",
+        "b'\\n'",
+        "\"str\"",
+        "r#\"raw\"#",
+        "r\"half",
+        "\"unterminated",
+        "/*",
+        "*/",
+        "//",
+        "///",
+        "::",
+        ".",
+        "[",
+        "]",
+        "{",
+        "#",
+        "$",
+        "\\",
+    ];
+    for case in 0..512u64 {
+        let seed = mix(0x5EED_1E8A, case);
+        let mut rng = OracleRng::new(seed);
+        let mut src = String::new();
+        for _ in 0..rng.range(0, 80) {
+            src.push_str(PIECES[rng.range(0, PIECES.len() - 1)]);
+            match rng.range(0, 4) {
+                0 => src.push('\n'),
+                1 => src.push(' '),
+                _ => {}
+            }
+        }
+        check(&src, seed);
+    }
+}
+
+/// Random raw chars, including control characters and non-ASCII.
+#[test]
+fn random_chars_never_panic() {
+    for case in 0..256u64 {
+        let seed = mix(0xC0DE_500F, case);
+        let mut rng = OracleRng::new(seed);
+        let mut src = String::new();
+        for _ in 0..rng.range(0, 200) {
+            let c = match rng.range(0, 6) {
+                0 => char::from(rng.range(0x20, 0x7f) as u8),
+                1 => char::from(rng.range(0, 0x20) as u8), // control chars
+                2 => '\n',
+                3 => '"',
+                4 => '\'',
+                _ => char::from_u32(rng.range(0x80, 0x2200) as u32).unwrap_or('\u{fffd}'),
+            };
+            src.push(c);
+        }
+        check(&src, seed);
+    }
+}
+
+/// Nested block comments to random depth, optionally left unterminated.
+#[test]
+fn nested_block_comments() {
+    for case in 0..128u64 {
+        let seed = mix(0x00B1_0CC0, case);
+        let mut rng = OracleRng::new(seed);
+        let depth = rng.range(1, 12);
+        let mut src = String::new();
+        for _ in 0..depth {
+            src.push_str("/* open\n");
+        }
+        src.push_str("core text /* and */ more\n");
+        let closes = if rng.chance(0.5) {
+            depth
+        } else {
+            rng.range(0, depth)
+        };
+        for _ in 0..closes {
+            src.push_str("*/\n");
+        }
+        src.push_str("fn after() {}\n");
+        check(&src, seed);
+        // Fully-closed comments must lex to exactly one BlockComment.
+        if closes == depth {
+            let tokens = lex(&src);
+            let comments = tokens
+                .iter()
+                .filter(|t| matches!(t.kind, TokKind::BlockComment))
+                .count();
+            assert_eq!(
+                comments, 1,
+                "seed {seed}: nested comment collapses to one token"
+            );
+            assert!(
+                tokens.iter().any(|t| t.kind.ident() == Some("after")),
+                "seed {seed}: code after the comment must still lex"
+            );
+        }
+    }
+}
+
+/// Raw strings with every hash depth 0–8, with tricky interiors: quotes,
+/// lesser hash runs, and newlines must all stay inside the literal.
+#[test]
+fn raw_strings_with_hash_depths() {
+    for case in 0..128u64 {
+        let seed = mix(0x4A57_0123, case);
+        let mut rng = OracleRng::new(seed);
+        let depth = rng.range(0, 9);
+        let hashes = "#".repeat(depth);
+        let mut interior = match rng.range(0, 4) {
+            0 => "plain".to_string(),
+            1 => format!(
+                "quote \" inside and {} short",
+                "#".repeat(depth.saturating_sub(1))
+            ),
+            2 => "multi\nline\ncontent".to_string(),
+            _ => "trailing hash run #####".to_string(),
+        };
+        if depth == 0 {
+            // A hashless raw string terminates at any quote.
+            interior = interior.replace('"', "");
+        }
+        let src = format!("let x = r{hashes}\"{interior}\"{hashes};\nfn after() {{}}\n");
+        check(&src, seed);
+        let tokens = lex(&src);
+        assert!(
+            tokens.iter().any(|t| t.kind == TokKind::Str),
+            "seed {seed}: raw string must lex as one Str token: {src:?}"
+        );
+        assert!(
+            tokens.iter().any(|t| t.kind.ident() == Some("after")),
+            "seed {seed}: code after the raw string must still lex: {src:?}"
+        );
+        // Nothing in the interior may leak out as an identifier.
+        assert!(
+            tokens.iter().all(|t| t.kind.ident() != Some("quote")),
+            "seed {seed}: raw-string interior leaked into the token stream: {src:?}"
+        );
+    }
+}
+
+/// Byte and char literals, including escapes, against the char/lifetime
+/// ambiguity (`'a'` vs `'a`).
+#[test]
+fn byte_and_char_literals() {
+    const CASES: [(&str, &str); 8] = [
+        ("'a'", "char"),
+        ("'\\n'", "char"),
+        ("'\\''", "char"),
+        ("'\\u{1f600}'", "char"),
+        ("b'a'", "char"),
+        ("b'\\xff'", "char"),
+        ("'static", "lifetime"),
+        ("'_", "lifetime"),
+    ];
+    for (lit, want) in CASES {
+        let src = format!("let x = {lit};\nfn after() {{}}\n");
+        check(&src, 0);
+        let tokens = lex(&src);
+        let got_char = tokens.iter().any(|t| t.kind == TokKind::Char);
+        let got_lifetime = tokens.iter().any(|t| t.kind == TokKind::Lifetime);
+        match want {
+            "char" => assert!(
+                got_char && !got_lifetime,
+                "{lit}: want Char, got {tokens:?}"
+            ),
+            _ => assert!(
+                got_lifetime && !got_char,
+                "{lit}: want Lifetime, got {tokens:?}"
+            ),
+        }
+        assert!(
+            tokens.iter().any(|t| t.kind.ident() == Some("after")),
+            "{lit}: code after the literal must still lex"
+        );
+    }
+}
+
+/// Truncating valid code at every byte boundary must never panic — the
+/// half-written state of an editor save is a lint input too.
+#[test]
+fn truncated_real_code_never_panics() {
+    let src = "/// doc\npub fn f(x: &[f32; 4]) -> f32 {\n    let s = r#\"raw \"q\" \"#;\n    \
+               x.iter().sum::<f32>() /* t */ + b'\\n' as f32\n}\n";
+    for cut in 0..src.len() {
+        if src.is_char_boundary(cut) {
+            check(&src[..cut], cut as u64);
+        }
+    }
+}

@@ -152,6 +152,37 @@ fn p2_fn_scoped_allow_covers_the_whole_body() {
 }
 
 #[test]
+fn allow_binds_through_attribute_lines() {
+    // A `#[allow(clippy::...)]` stacked between the lint:allow comment and
+    // the statement (the clippy.toml mirror sites do exactly this) must not
+    // steal the binding: the allow covers the annotated statement, and on a
+    // fn item still widens over the whole body.
+    let ctx = lib_ctx("crates/nn/src/x.rs", "nn");
+    let stmt = "fn f(v: &[f32]) -> f32 {\n\
+                \x20   // lint:allow(P1) v is non-empty by construction\n\
+                \x20   #[allow(clippy::disallowed_methods)]\n\
+                \x20   let last = *v.last().expect(\"non-empty\");\n\
+                \x20   last\n\
+                }\n";
+    assert!(
+        lint_source(&ctx, stmt).is_empty(),
+        "{:?}",
+        lint_source(&ctx, stmt)
+    );
+
+    let item = "// lint:allow(P1) both unwraps guarded by the is_empty check above\n\
+                #[inline]\n\
+                fn g(v: &[f32]) -> f32 {\n\
+                \x20   *v.first().unwrap() + *v.last().unwrap()\n\
+                }\n";
+    assert!(
+        lint_source(&ctx, item).is_empty(),
+        "{:?}",
+        lint_source(&ctx, item)
+    );
+}
+
+#[test]
 fn allow_on_tail_expression_does_not_leak_into_next_fn() {
     // An allow bound to a tail expression (no trailing `;`) must stay
     // line-scoped: the forward scan must stop at the block's closing `}`

@@ -66,6 +66,7 @@ fn unix_now() -> u64 {
 /// Recorded in every manifest so perf numbers stay attributable; callers
 /// that override the pool at runtime should `set("threads", ...)` instead.
 pub fn env_threads() -> u64 {
+    #[allow(clippy::disallowed_methods)] // sanctioned config read (R1)
     if let Ok(v) = std::env::var("SNAPEA_THREADS") {
         if let Ok(n) = v.trim().parse::<u64>() {
             return n.max(1);

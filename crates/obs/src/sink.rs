@@ -104,6 +104,7 @@ static DETAIL: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::
 pub fn detail_enabled() -> bool {
     match DETAIL.load(Ordering::Relaxed) {
         0 => {
+            #[allow(clippy::disallowed_methods)] // sanctioned config read (R1)
             let on = std::env::var("SNAPEA_TRACE_DETAIL")
                 .map(|v| {
                     let v = v.trim();
@@ -279,6 +280,7 @@ impl Sink for MemorySink {
 
 /// `true` unless `SNAPEA_LOG` is set to `off`, `0`, `none`, `false`, or
 /// `quiet` — the knob that silences interactive stderr progress.
+#[allow(clippy::disallowed_methods)] // sanctioned config read (R1)
 pub fn stderr_wanted() -> bool {
     match std::env::var("SNAPEA_LOG") {
         Ok(v) => !matches!(
@@ -298,6 +300,7 @@ pub fn init_from_env() -> bool {
         install(Box::new(StderrSink));
         any = true;
     }
+    #[allow(clippy::disallowed_methods)] // sanctioned config read (R1)
     if let Ok(path) = std::env::var("SNAPEA_LOG_FILE") {
         if let Ok(fs) = FileSink::create(Path::new(&path)) {
             install(Box::new(fs));

@@ -132,6 +132,10 @@ pub fn parse_thread_count(value: &str) -> Option<usize> {
 }
 
 fn resolve_threads() -> usize {
+    // lint:allow(R1) sanctioned config site: SNAPEA_THREADS is read once at
+    // pool init and only sizes the pool; results are thread-count-invariant
+    // by the bit-identity contract
+    #[allow(clippy::disallowed_methods)]
     if let Ok(v) = std::env::var("SNAPEA_THREADS") {
         if let Some(n) = parse_thread_count(&v) {
             return n;
@@ -191,6 +195,9 @@ fn machine_parallelism() -> usize {
 pub fn oversubscribe_enabled() -> bool {
     match OVERSUB.load(Ordering::Relaxed) {
         0 => {
+            // lint:allow(R1) sanctioned config site: SNAPEA_OVERSUBSCRIBE is
+            // resolved once and only gates dispatch width, never results
+            #[allow(clippy::disallowed_methods)]
             let on = std::env::var("SNAPEA_OVERSUBSCRIBE").is_ok_and(|v| v.trim() == "1");
             OVERSUB.store(if on { 2 } else { 1 }, Ordering::Relaxed);
             on

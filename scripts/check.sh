@@ -42,11 +42,15 @@ echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 # Domain-specific static analysis (DESIGN.md §8): the workspace must lint
-# clean, and — same protocol as selfcheck --inject-bug below — the lint
-# must prove it *can* fail, on a fixture with a planted violation.
+# clean — both the per-file token pass and the call-graph pass (R1
+# determinism-reachability, R2 panic-reachability, R3 parallel-capture) —
+# and, same protocol as selfcheck --inject-bug below, the lint must prove
+# it *can* fail, on fixtures with planted violations.
 LINT=./target/release/snapea-tool
 echo "==> snapea-tool lint"
 "$LINT" lint --root .
+echo "==> snapea-tool lint --graph"
+"$LINT" lint --root . --graph
 echo "==> snapea-tool lint negative smoke (planted violation must fail)"
 FIXTURE=$(mktemp -d)
 trap 'rm -rf "$FIXTURE"' EXIT
@@ -57,6 +61,55 @@ printf '#![forbid(unsafe_code)]\nuse std::collections::HashMap;\n' \
 if "$LINT" lint --root "$FIXTURE" > /dev/null 2>&1; then
   echo "ERROR: planted D1 violation went undetected"; exit 1
 fi
+
+# Graph-rule negative smokes: one planted violation per call-graph rule,
+# each required to fail naming the planted evidence chain. The fixtures
+# live in a throwaway workspace so the graph pass sees only the plant.
+graph_smoke() { # <rule> <chain-substring> : lint --graph must fail citing the chain
+  local rule="$1" chain="$2" out
+  if out=$("$LINT" lint --root "$FIXTURE" --graph --rule "$rule" 2>&1); then
+    echo "ERROR: planted $rule violation went undetected"; exit 1
+  fi
+  echo "$out" | grep -qF "$chain" || {
+    echo "ERROR: $rule finding does not name the planted chain '$chain':"
+    echo "$out"; exit 1
+  }
+}
+
+echo "==> snapea-tool lint --graph negative smoke: R1 (env read on the result path)"
+printf '#![forbid(unsafe_code)]\npub mod exec;\n' > "$FIXTURE/crates/core/src/lib.rs"
+cat > "$FIXTURE/crates/core/src/exec.rs" <<'EOF'
+pub fn walk() {
+    helper();
+}
+fn helper() {
+    let _v = std::env::var("PLANTED");
+}
+EOF
+graph_smoke R1 'chain: walk() → helper() → std::env::var'
+
+echo "==> snapea-tool lint --graph negative smoke: R2 (panic reachable from pub API)"
+cat > "$FIXTURE/crates/core/src/exec.rs" <<'EOF'
+pub fn api(v: &[f32]) -> f32 {
+    inner(v)
+}
+fn inner(v: &[f32]) -> f32 {
+    *v.first().unwrap()
+}
+EOF
+graph_smoke R2 'chain: api() → inner() → .unwrap()'
+
+echo "==> snapea-tool lint --graph negative smoke: R3 (mutating capture in a par closure)"
+cat > "$FIXTURE/crates/core/src/exec.rs" <<'EOF'
+pub fn fanout(items: &mut [u32]) {
+    let mut log = Vec::new();
+    snapea_tensor::par::run_tasks(items, |i, _t| {
+        log.push(i);
+    });
+}
+EOF
+graph_smoke R3 'chain: fanout() → run_tasks() → mutates captured `log` (.push())'
+rm -rf "$FIXTURE/crates"
 
 # Differential selfcheck: the speculative executor, kernels, and cycle
 # simulator fuzzed against the snapea-oracle reference models, serial and
@@ -234,4 +287,4 @@ if "$TOOL" perf-diff "$FIXTURE/perf-deg-k.json" "$FIXTURE/perf-nondeg-k.json" > 
   echo "ERROR: degraded vs non-degraded kernels comparison was not refused"; exit 1
 fi
 
-echo "OK: build, tests (1, 2, and 4 threads), clippy, selfcheck (1, 2, and 4 threads), artifact round-trip + corruption battery + golden fixture, bench smoke (scaling curves), kernel bit-identity, trace export, and perf-diff gates all clean."
+echo "OK: build, tests (1, 2, and 4 threads), clippy, lint (token + call-graph passes, planted-violation smokes), selfcheck (1, 2, and 4 threads), artifact round-trip + corruption battery + golden fixture, bench smoke (scaling curves), kernel bit-identity, trace export, and perf-diff gates all clean."

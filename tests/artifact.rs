@@ -119,6 +119,7 @@ fn zoo_networks_execute_bit_identically_from_artifacts() {
 fn golden_artifact_is_byte_stable_with_frozen_digest() {
     let bytes = compile_fixture().to_bytes();
     let path = golden_path();
+    #[allow(clippy::disallowed_methods)] // regen knob, test-only
     if std::env::var_os("SNAPEA_REGEN_GOLDEN").is_some() {
         std::fs::write(&path, &bytes).expect("write golden fixture");
         panic!(

@@ -1,0 +1,34 @@
+//! Planted violations for the lint golden test: one chain per graph rule,
+//! one allow-suppressed chain, one rotting allow. Never compiled.
+
+pub fn walk() {
+    config()
+}
+
+fn config() {
+    let v = std::env::var("SNAPEA_FIXTURE");
+    let _ = v;
+}
+
+pub fn api(x: Option<u32>) -> u32 {
+    inner(x)
+}
+
+fn inner(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn fanout(tasks: Vec<u32>, mut log: Vec<u32>) {
+    snapea_tensor::par::run_tasks(tasks, |i, _t| {
+        log.push(i);
+    });
+}
+
+// lint:allow(R1) fixture: a reasoned allow above the fn suppresses its chain
+pub fn allowed_walk() {
+    let v = std::env::var("SNAPEA_FIXTURE");
+    let _ = v;
+}
+
+// lint:allow(R3) fixture: suppresses nothing, rots to A1 under --graph
+pub fn quiet() {}

@@ -1,0 +1,2 @@
+//! Golden-fixture crate root (scanned by tests/golden_lint.rs).
+#![forbid(unsafe_code)]

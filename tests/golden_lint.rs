@@ -1,0 +1,103 @@
+//! Golden-file test pinning `snapea-tool lint --graph` output — the JSON
+//! schema for graph findings (rule, chain with per-edge file:line spans,
+//! hint) and the human-readable evidence-chain rendering.
+//!
+//! The fixture tree lives in `tests/golden/lint_fixture/`: a fake
+//! workspace planting one violation per graph rule (an env read reachable
+//! from a result-path fn, a panic chain from a pub API, a mutating
+//! capture in a par closure), one allow-suppressed chain, and one rotting
+//! allow. The expected outputs:
+//!
+//! * `lint_graph.txt` — byte-exact human report;
+//! * `lint_graph.json` — byte-exact `--json` report.
+//!
+//! To regenerate after an intentional format change (the trailing `sed`
+//! strips the CLI's `error: ` failure prefix; drop the final blank line):
+//!
+//! ```text
+//! snapea-tool lint --root tests/golden/lint_fixture --graph 2>&1 \
+//!   | sed 's/^error: //' > tests/golden/lint_graph.txt
+//! snapea-tool lint --root tests/golden/lint_fixture --graph --json 2>&1 \
+//!   | sed 's/^error: //' > tests/golden/lint_graph.json
+//! ```
+
+use snapea_cli::args::Args;
+use snapea_cli::commands;
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing fixture {path}: {e}"))
+}
+
+fn fixture_root() -> String {
+    format!("{}/tests/golden/lint_fixture", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run_lint(extra: &[&str]) -> String {
+    let mut argv = vec!["lint", "--root"];
+    let root = fixture_root();
+    argv.push(&root);
+    argv.extend_from_slice(extra);
+    let args = Args::parse_with_flags(argv, &["json", "graph"]).unwrap();
+    commands::run(&args)
+        .expect_err("the planted fixture must fail the lint")
+        .to_string()
+}
+
+#[test]
+fn lint_graph_text_matches_golden_file() {
+    let got = run_lint(&["--graph"]);
+    let want = golden("lint_graph.txt");
+    assert_eq!(
+        got, want,
+        "`snapea-tool lint --graph` text output changed; if intentional, regenerate \
+         tests/golden/lint_graph.txt (see module docs)"
+    );
+}
+
+#[test]
+fn lint_graph_json_matches_golden_file() {
+    let got = run_lint(&["--graph", "--json"]);
+    let want = golden("lint_graph.json");
+    assert_eq!(
+        got, want,
+        "`snapea-tool lint --graph --json` output changed; if intentional, regenerate \
+         tests/golden/lint_graph.json (see module docs)"
+    );
+}
+
+/// The R2 acceptance shape: the finding's chain is complete — every edge
+/// from the public API to the panic sink carries a file:line span — and
+/// the `--rule` filter narrows the JSON payload exactly like the text.
+#[test]
+fn r2_chain_is_complete_with_spans_per_edge() {
+    let text = run_lint(&["--graph", "--rule", "R2"]);
+    assert!(text.contains("[R2/panic-reachability]"), "{text}");
+    assert!(!text.contains("[R1/"), "{text}");
+    assert!(!text.contains("[R3/"), "{text}");
+    assert!(
+        text.contains("chain: api() \u{2192} inner() \u{2192} .unwrap()"),
+        "{text}"
+    );
+    assert!(
+        text.contains("crates/core/src/exec.rs:14 core::api \u{2192} core::inner"),
+        "{text}"
+    );
+    assert!(
+        text.contains("crates/core/src/exec.rs:18 core::inner \u{2192} .unwrap()"),
+        "{text}"
+    );
+
+    let json = run_lint(&["--graph", "--rule", "R2", "--json"]);
+    assert!(json.contains("\"rule\":\"R2\""), "{json}");
+    assert!(!json.contains("\"rule\":\"R1\""), "{json}");
+    assert!(
+        json.contains(
+            "\"chain\":[{\"from\":\"core::api\",\"to\":\"core::inner\",\
+             \"file\":\"crates/core/src/exec.rs\",\"line\":14},\
+             {\"from\":\"core::inner\",\"to\":\".unwrap()\",\
+             \"file\":\"crates/core/src/exec.rs\",\"line\":18}]"
+        ),
+        "{json}"
+    );
+}
